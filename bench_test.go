@@ -1,0 +1,208 @@
+// These benchmarks regenerate every table and figure of Lam & Wilson,
+// "Limits of Control Flow on Parallelism" (ISCA 1992).
+// Each Benchmark* function runs the complete pipeline that reproduces one
+// experiment and logs the rendered table/figure; timings measure the cost
+// of regenerating that experiment from scratch.
+//
+//	go test -bench=Table3 -benchtime=1x -v .
+//
+// prints the paper's Table 3 from a fresh run.
+package ilplimit_test
+
+import (
+	"testing"
+
+	"ilplimit/internal/bench"
+	"ilplimit/internal/harness"
+	"ilplimit/internal/limits"
+)
+
+// runSuite executes the pipeline over the whole suite with the given
+// models.
+func runSuite(b *testing.B, models []limits.Model) *harness.SuiteResult {
+	b.Helper()
+	s, err := harness.RunSuite(harness.Options{Scale: 1, Models: models})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkTable1Inventory(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = harness.Table1()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTable2BranchStats(b *testing.B) {
+	// Table 2 needs only the profiling pass; restricting the models to
+	// ORACLE keeps the analysis cost minimal while reusing the pipeline.
+	var out string
+	for i := 0; i < b.N; i++ {
+		s := runSuite(b, []limits.Model{limits.Oracle})
+		out = s.Table2()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTable3Parallelism(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s := runSuite(b, limits.AllModels())
+		out = s.Table3()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTable4Unrolling(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s := runSuite(b, limits.AllModels())
+		out = s.Table4()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFigure4ControlDependence(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s := runSuite(b, []limits.Model{limits.Base, limits.CD, limits.CDMF})
+		out = s.Figure4()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFigure5Speculation(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s := runSuite(b, []limits.Model{limits.Base, limits.SP, limits.SPCD, limits.SPCDMF})
+		out = s.Figure5()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFigure6MispredictionDistances(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s := runSuite(b, []limits.Model{limits.SP})
+		out = s.Figure6()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFigure7SegmentParallelism(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s := runSuite(b, []limits.Model{limits.SP})
+		out = s.Figure7()
+	}
+	b.Log("\n" + out)
+}
+
+// Ablation studies (beyond the paper's tables; see DESIGN.md):
+// prediction scheme, scheduling-window size, latency model, and guarded
+// instructions.
+
+func BenchmarkStudyPrediction(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s, err := harness.RunPredictionStudy(harness.Options{Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = s.Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkStudyWindow(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s, err := harness.RunWindowStudy(harness.Options{Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = s.Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkStudyLatency(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s, err := harness.RunLatencyStudy(harness.Options{Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = s.Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkStudyGuarded(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s, err := harness.RunGuardedStudy(harness.Options{Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = s.Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkStudyWidth(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s, err := harness.RunWidthStudy(harness.Options{Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = s.Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkStudyScale(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s, err := harness.RunScaleStudy(harness.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = s.Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkStudyQuality(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s, err := harness.RunQualityStudy(harness.Options{Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = s.Render()
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkPipelineSingle measures the per-benchmark pipeline cost under
+// all models — the unit of work every table above is built from.
+func BenchmarkPipelineSingle(b *testing.B) {
+	for _, name := range []string{"ccom", "espresso", "matrix300"} {
+		bm, err := bench.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunBenchmark(bm, harness.Options{Scale: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

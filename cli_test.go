@@ -1,0 +1,133 @@
+package ilplimit_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the repository's commands into t's temp dir.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIIlplimit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "ilplimit")
+
+	out := runCmd(t, bin, "-table", "1")
+	for _, want := range []string{"awk", "tomcatv", "FORTRAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-table 1 missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, bin, "-bench", "irsim", "-table", "3")
+	if !strings.Contains(out, "ORACLE") || !strings.Contains(out, "irsim") {
+		t.Errorf("-bench irsim -table 3 malformed:\n%s", out)
+	}
+	out = runCmd(t, bin, "-bench", "irsim", "-figure", "6")
+	if !strings.Contains(out, "<=100") {
+		t.Errorf("-figure 6 malformed:\n%s", out)
+	}
+	out = runCmd(t, bin, "-bench", "irsim", "-json")
+	if !strings.Contains(out, "\"SP-CD-MF\"") {
+		t.Errorf("-json missing model keys:\n%s", out)
+	}
+	out = runCmd(t, bin, "-bench", "irsim", "-opt", "-table", "3")
+	if !strings.Contains(out, "irsim") {
+		t.Errorf("-opt run malformed:\n%s", out)
+	}
+	// Bad flags exit non-zero.
+	if err := exec.Command(bin, "-table", "9").Run(); err == nil {
+		t.Error("-table 9 should fail")
+	}
+	if err := exec.Command(bin, "-study", "nope").Run(); err == nil {
+		t.Error("-study nope should fail")
+	}
+	if err := exec.Command(bin, "-bench", "zzz").Run(); err == nil {
+		t.Error("-bench zzz should fail")
+	}
+}
+
+func TestCLIMccAsmdumpTracegen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	mcc := buildCmd(t, "mcc")
+	asmdump := buildCmd(t, "asmdump")
+	tracegen := buildCmd(t, "tracegen")
+
+	dir := t.TempDir()
+	cSrc := filepath.Join(dir, "p.c")
+	if err := os.WriteFile(cSrc, []byte(`
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 10; i++) s += i;
+	print(s);
+	return 0;
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if out := runCmd(t, mcc, "-run", cSrc); strings.TrimSpace(out) != "45" {
+		t.Errorf("mcc -run output %q, want 45", out)
+	}
+	asmOut := runCmd(t, mcc, cSrc)
+	if !strings.Contains(asmOut, ".proc main") {
+		t.Errorf("mcc assembly malformed:\n%s", asmOut)
+	}
+	sFile := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(sFile, []byte(asmOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out := runCmd(t, asmdump, sFile); !strings.Contains(out, "jal main") {
+		t.Errorf("asmdump disassembly malformed:\n%s", out)
+	}
+	if out := runCmd(t, asmdump, "-cfg", sFile); !strings.Contains(out, "ctrl-dep") {
+		t.Errorf("asmdump -cfg missing control dependences:\n%s", out)
+	}
+	if out := runCmd(t, asmdump, "-marks", "-c", cSrc); !strings.Contains(out, "U ") {
+		t.Errorf("asmdump -marks missing unroll marks:\n%s", out)
+	}
+	if out := runCmd(t, mcc, "-bench", "latex", "-source"); !strings.Contains(out, "int main") {
+		t.Errorf("mcc -bench -source malformed:\n%s", out)
+	}
+	if out := runCmd(t, mcc, "-ifconvert", cSrc); !strings.Contains(out, ".proc main") {
+		t.Errorf("mcc -ifconvert malformed:\n%s", out)
+	}
+
+	trc := filepath.Join(dir, "p.trc")
+	runCmd(t, tracegen, "-o", trc, cSrc)
+	if fi, err := os.Stat(trc); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if out := runCmd(t, tracegen, "-in", trc, "-sym", cSrc, "-dump", "3"); !strings.Contains(out, "jal main") {
+		t.Errorf("tracegen dump malformed:\n%s", out)
+	}
+	if out := runCmd(t, tracegen, "-summary", cSrc); !strings.Contains(out, "addi") {
+		t.Errorf("tracegen summary malformed:\n%s", out)
+	}
+}

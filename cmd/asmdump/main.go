@@ -1,0 +1,134 @@
+// Command asmdump assembles a file and dumps the analyses the limit study
+// computes statically: the disassembly, per-procedure control-flow graphs
+// with reverse dominance frontiers (immediate control dependences), natural
+// loops, and the instructions removed by the perfect-inlining and
+// perfect-unrolling trace filters.
+//
+// Usage:
+//
+//	asmdump prog.s                 # disassembly
+//	asmdump -cfg prog.s            # CFG + control dependence per procedure
+//	asmdump -marks prog.s          # trace-filter classification
+//	asmdump -c prog.c              # treat input as mini-C and compile first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/cfg"
+	"ilplimit/internal/dataflow"
+	"ilplimit/internal/isa"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/trace"
+)
+
+func main() {
+	var (
+		showCFG   = flag.Bool("cfg", false, "dump control-flow graphs, dominators and control dependences")
+		showMarks = flag.Bool("marks", false, "dump inlining/unrolling trace-filter marks")
+		fromC     = flag.Bool("c", false, "input is mini-C; compile before assembling")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail(fmt.Errorf("usage: asmdump [-cfg] [-marks] [-c] FILE"))
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	src := string(data)
+	if *fromC {
+		src, err = minic.Compile(src)
+		if err != nil {
+			fail(err)
+		}
+	}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		fail(err)
+	}
+
+	if !*showCFG && !*showMarks {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	var graphs []*cfg.Graph
+	for _, proc := range prog.Procs {
+		g, err := cfg.Build(prog, proc)
+		if err != nil {
+			fail(err)
+		}
+		graphs = append(graphs, g)
+	}
+
+	if *showCFG {
+		for _, g := range graphs {
+			dumpCFG(prog, g)
+		}
+	}
+	if *showMarks {
+		dumpMarks(prog, graphs)
+	}
+}
+
+func dumpCFG(p *isa.Program, g *cfg.Graph) {
+	fmt.Printf("procedure %s: %d blocks, entry B%d\n", g.Proc.Name, len(g.Blocks), g.Entry)
+	for b := range g.Blocks {
+		blk := &g.Blocks[b]
+		fmt.Printf("  B%d [%d,%d)", b, blk.Start, blk.End)
+		if len(blk.Succs) > 0 {
+			fmt.Printf("  succs=%v", blk.Succs)
+		}
+		if g.IDom[b] >= 0 {
+			fmt.Printf("  idom=B%d", g.IDom[b])
+		}
+		if g.IPdom[b] == g.VExit() {
+			fmt.Printf("  ipdom=exit")
+		} else if g.IPdom[b] >= 0 {
+			fmt.Printf("  ipdom=B%d", g.IPdom[b])
+		}
+		if len(g.RDF[b]) > 0 {
+			deps := make([]string, len(g.RDF[b]))
+			for i, x := range g.RDF[b] {
+				deps[i] = fmt.Sprintf("B%d@%d", x, g.Terminator(x))
+			}
+			fmt.Printf("  ctrl-dep on %s", strings.Join(deps, ","))
+		}
+		fmt.Println()
+		for i := blk.Start; i < blk.End; i++ {
+			fmt.Printf("    %5d: %s\n", i, p.Instrs[i].String())
+		}
+	}
+	for _, l := range g.Loops {
+		fmt.Printf("  loop header B%d blocks %v latches %v\n", l.Header, l.Blocks, l.Latches)
+	}
+	fmt.Println()
+}
+
+func dumpMarks(p *isa.Program, graphs []*cfg.Graph) {
+	inline := trace.InlineMarks(p)
+	unroll := dataflow.UnrollMarks(p, graphs)
+	fmt.Println("trace-filter marks (I = removed by perfect inlining, U = by perfect unrolling):")
+	for i := range p.Instrs {
+		tag := "  "
+		switch {
+		case inline[i] && unroll[i]:
+			tag = "IU"
+		case inline[i]:
+			tag = "I "
+		case unroll[i]:
+			tag = "U "
+		}
+		fmt.Printf("  %s %5d: %s\n", tag, i, p.Instrs[i].String())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "asmdump:", err)
+	os.Exit(1)
+}

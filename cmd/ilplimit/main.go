@@ -1,0 +1,162 @@
+// Command ilplimit reproduces the experiments of Lam & Wilson, "Limits of
+// Control Flow on Parallelism" (ISCA 1992): it compiles the benchmark
+// suite, simulates the traces under the seven abstract machine models, and
+// prints the paper's tables and figures.
+//
+// Usage:
+//
+//	ilplimit                         # everything: tables 1-4, figures 4-7
+//	ilplimit -table 3                # one table
+//	ilplimit -figure 6               # one figure
+//	ilplimit -bench espresso         # restrict the suite to one benchmark
+//	ilplimit -scale 4                # larger workloads
+//	ilplimit -v                      # progress on stderr
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ilplimit/internal/bench"
+	"ilplimit/internal/harness"
+	"ilplimit/internal/limits"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "print only this table (1-4)")
+		figure   = flag.Int("figure", 0, "print only this figure (4-7)")
+		study    = flag.String("study", "", "run an ablation study: prediction, window, latency, guarded, quality, or width")
+		name     = flag.String("bench", "", "run only this benchmark (name or unique prefix)")
+		scale    = flag.Int("scale", 1, "workload scale factor (>= 1)")
+		optimize = flag.Bool("opt", false, "run the post-codegen optimizer before analysis")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		verbose  = flag.Bool("v", false, "log pipeline progress to stderr")
+	)
+	flag.Parse()
+
+	if *table == 1 {
+		fmt.Print(harness.Table1())
+		return
+	}
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	opt := harness.Options{Scale: *scale, Progress: progress, Models: limits.AllModels(), Optimize: *optimize}
+
+	switch *study {
+	case "":
+	case "prediction":
+		s, err := harness.RunPredictionStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(s.Render())
+		return
+	case "window":
+		s, err := harness.RunWindowStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(s.Render())
+		return
+	case "latency":
+		s, err := harness.RunLatencyStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(s.Render())
+		return
+	case "guarded":
+		s, err := harness.RunGuardedStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(s.Render())
+		return
+	case "quality":
+		s, err := harness.RunQualityStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(s.Render())
+		return
+	case "width":
+		s, err := harness.RunWidthStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(s.Render())
+		return
+	case "scale":
+		s, err := harness.RunScaleStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(s.Render())
+		return
+	default:
+		fail(fmt.Errorf("unknown study %q (want prediction, window, latency, guarded, quality, width, or scale)", *study))
+	}
+
+	suite := &harness.SuiteResult{Models: opt.Models}
+	if *name != "" {
+		b, err := bench.ByName(*name)
+		if err != nil {
+			fail(err)
+		}
+		r, err := harness.RunBenchmark(b, opt)
+		if err != nil {
+			fail(err)
+		}
+		suite.Benchmarks = append(suite.Benchmarks, *r)
+	} else {
+		s, err := harness.RunSuite(opt)
+		if err != nil {
+			fail(err)
+		}
+		suite = s
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(suite); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	switch {
+	case *table == 2:
+		fmt.Print(suite.Table2())
+	case *table == 3:
+		fmt.Print(suite.Table3())
+	case *table == 4:
+		fmt.Print(suite.Table4())
+	case *table != 0:
+		fail(fmt.Errorf("unknown table %d", *table))
+	case *figure == 4:
+		fmt.Print(suite.Figure4())
+	case *figure == 5:
+		fmt.Print(suite.Figure5())
+	case *figure == 6:
+		fmt.Print(suite.Figure6())
+	case *figure == 7:
+		fmt.Print(suite.Figure7())
+	case *figure != 0:
+		fail(fmt.Errorf("unknown figure %d", *figure))
+	default:
+		fmt.Print(suite.Report())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ilplimit:", err)
+	os.Exit(1)
+}

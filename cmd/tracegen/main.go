@@ -1,0 +1,186 @@
+// Command tracegen produces, inspects and summarizes dynamic instruction
+// traces — the pixie role of the original study's workflow, with traces
+// persisted in the internal/trace binary format.
+//
+// Usage:
+//
+//	tracegen -bench espresso -o espresso.trc     # record a benchmark trace
+//	tracegen prog.c -o prog.trc                  # record a mini-C program
+//	tracegen -dump 20 -in prog.trc -sym prog.c   # print the first 20 events
+//	tracegen -bench awk -summary                 # per-opcode trace summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/bench"
+	"ilplimit/internal/isa"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/trace"
+	"ilplimit/internal/vm"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "trace a benchmark suite program")
+		scale     = flag.Int("scale", 1, "benchmark scale factor")
+		out       = flag.String("o", "", "write the trace to this file")
+		in        = flag.String("in", "", "read an existing trace instead of recording")
+		sym       = flag.String("sym", "", "mini-C source for disassembling -in dumps")
+		dump      = flag.Int("dump", 0, "print the first N events as text")
+		summary   = flag.Bool("summary", false, "print per-opcode dynamic counts")
+	)
+	flag.Parse()
+
+	if *in != "" {
+		if err := dumpFile(*in, *sym, *dump); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	var src string
+	switch {
+	case *benchName != "":
+		b, err := bench.ByName(*benchName)
+		if err != nil {
+			fail(err)
+		}
+		src = b.Source(*scale)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	default:
+		fail(fmt.Errorf("usage: tracegen (-bench NAME | FILE) [-o OUT] [-dump N] [-summary]"))
+	}
+
+	asmText, err := minic.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		fail(err)
+	}
+	machine := vm.New(prog)
+	machine.StepLimit = 1 << 34
+
+	var w *trace.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if w, err = trace.NewWriter(f); err != nil {
+			fail(err)
+		}
+	}
+	counts := make(map[isa.Op]int64)
+	dumped := 0
+	err = machine.Run(func(ev vm.Event) {
+		if w != nil {
+			if err := w.Write(ev); err != nil {
+				fail(err)
+			}
+		}
+		if *summary {
+			counts[prog.Instrs[ev.Idx].Op]++
+		}
+		if dumped < *dump {
+			printEvent(prog, ev)
+			dumped++
+		}
+	})
+	if err != nil {
+		fail(err)
+	}
+	if w != nil {
+		if err := w.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d events to %s\n", w.Count(), *out)
+	}
+	if *summary {
+		printSummary(counts, machine.Steps)
+	}
+	if !*summary && *dump == 0 && w == nil {
+		fmt.Printf("traced %d instructions (%d static)\n", machine.Steps, len(prog.Instrs))
+	}
+}
+
+func dumpFile(path, symSrc string, n int) error {
+	var prog *isa.Program
+	if symSrc != "" {
+		data, err := os.ReadFile(symSrc)
+		if err != nil {
+			return err
+		}
+		asmText, err := minic.Compile(string(data))
+		if err != nil {
+			return err
+		}
+		if prog, err = asm.Assemble(asmText); err != nil {
+			return err
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dumped := 0
+	total, err := trace.Visit(f, func(ev vm.Event) {
+		if dumped < n || n == 0 {
+			printEvent(prog, ev)
+			dumped++
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d events in %s\n", total, path)
+	return nil
+}
+
+func printEvent(p *isa.Program, ev vm.Event) {
+	line := fmt.Sprintf("%8d  idx=%-6d", ev.Seq, ev.Idx)
+	if p != nil && int(ev.Idx) < len(p.Instrs) {
+		line += fmt.Sprintf("  %-28s", p.Instrs[ev.Idx].String())
+	}
+	if ev.Addr != 0 {
+		line += fmt.Sprintf("  addr=%d", ev.Addr)
+	}
+	if ev.Taken {
+		line += "  taken"
+	}
+	fmt.Println(line)
+}
+
+func printSummary(counts map[isa.Op]int64, total int64) {
+	type row struct {
+		op isa.Op
+		n  int64
+	}
+	var rows []row
+	for op, n := range counts {
+		rows = append(rows, row{op, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Printf("%-8s %12s %8s\n", "opcode", "count", "share")
+	for _, r := range rows {
+		fmt.Printf("%-8s %12d %7.2f%%\n", r.op, r.n, 100*float64(r.n)/float64(total))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

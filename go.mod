@@ -1,0 +1,3 @@
+module ilplimit
+
+go 1.22

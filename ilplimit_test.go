@@ -1,0 +1,117 @@
+package ilplimit_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"testing"
+
+	"ilplimit"
+)
+
+const facadeProgram = `
+int data[64];
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 64; i++) data[i] = (i * 29) & 63;
+	for (i = 0; i < 64; i++) {
+		if (data[i] > 31) s += data[i];
+	}
+	print(s);
+	return 0;
+}
+`
+
+func TestMeasureFacade(t *testing.T) {
+	results, err := ilplimit.Measure(facadeProgram, ilplimit.MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ilplimit.AllModels()) {
+		t.Fatalf("got %d results, want %d", len(results), len(ilplimit.AllModels()))
+	}
+	byModel := map[ilplimit.Model]ilplimit.Result{}
+	for _, r := range results {
+		byModel[r.Model] = r
+	}
+	if byModel[ilplimit.Oracle].Cycles > byModel[ilplimit.Base].Cycles {
+		t.Error("ORACLE slower than BASE")
+	}
+	// Restricting models and toggling options work.
+	some, err := ilplimit.Measure(facadeProgram, ilplimit.MeasureOptions{
+		Models:           []ilplimit.Model{ilplimit.SP},
+		DisableUnrolling: true,
+		Optimize:         true,
+		IfConvert:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 1 || some[0].Model != ilplimit.SP || some[0].Unrolled {
+		t.Errorf("restricted measure wrong: %+v", some)
+	}
+}
+
+func TestRunAndCompileFacade(t *testing.T) {
+	out, err := ilplimit.Run(facadeProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) == "" {
+		t.Error("program printed nothing")
+	}
+	asmText, err := ilplimit.Compile(facadeProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asmText, ".proc main") {
+		t.Error("assembly missing main")
+	}
+	if _, err := ilplimit.Compile("int main( {"); err == nil {
+		t.Error("bad program compiled")
+	}
+}
+
+func TestBenchmarkAccessors(t *testing.T) {
+	names := ilplimit.BenchmarkNames()
+	if len(names) != 10 || names[0] != "awk" || names[9] != "tomcatv" {
+		t.Errorf("names = %v", names)
+	}
+	src, err := ilplimit.BenchmarkSource("espresso", 1)
+	if err != nil || !strings.Contains(src, "int main") {
+		t.Errorf("BenchmarkSource: %v", err)
+	}
+	if _, err := ilplimit.BenchmarkSource("nope", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if !strings.Contains(ilplimit.Table1(), "espresso") {
+		t.Error("Table1 missing espresso")
+	}
+}
+
+// Example measures a small program under three machine models — the
+// package-level quickstart.
+func Example() {
+	results, err := ilplimit.Measure(`
+int main() {
+	int i, s;
+	s = 1;
+	for (i = 0; i < 6; i++) s = s + s;
+	print(s);
+	return 0;
+}
+`, ilplimit.MeasureOptions{
+		Models: []ilplimit.Model{ilplimit.Base, ilplimit.SPCDMF, ilplimit.Oracle},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s schedules %d instructions\n", r.Model, r.Instructions)
+	}
+	// Output:
+	// BASE schedules 27 instructions
+	// SP-CD-MF schedules 27 instructions
+	// ORACLE schedules 27 instructions
+}

@@ -1,0 +1,334 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"ilplimit/internal/isa"
+)
+
+// instruction parses one instruction statement and appends it to the program.
+func (a *assembler) instruction(line string, lineNo int) error {
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnem = strings.ToLower(mnem)
+	var ops []string
+	if rest != "" {
+		for _, o := range strings.Split(rest, ",") {
+			ops = append(ops, strings.TrimSpace(o))
+		}
+	}
+
+	emit := func(in isa.Instr) {
+		a.prog.Instrs = append(a.prog.Instrs, in)
+	}
+	patchLast := func(label string) {
+		a.patches = append(a.patches, patch{instr: len(a.prog.Instrs) - 1, label: label, line: lineNo})
+	}
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "beqz", "bnez", "bltz", "bgez", "blez", "bgtz":
+		if len(ops) != 2 {
+			return a.errf(lineNo, "%s needs reg, label", mnem)
+		}
+		rs, err := isa.ParseReg(ops[0])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		var op isa.Op
+		switch mnem {
+		case "beqz":
+			op = isa.BEQ
+		case "bnez":
+			op = isa.BNE
+		case "bltz":
+			op = isa.BLT
+		case "bgez":
+			op = isa.BGE
+		case "blez":
+			op = isa.BLE
+		case "bgtz":
+			op = isa.BGT
+		}
+		emit(isa.Instr{Op: op, Rs: rs, Rt: isa.RZero, TargetSym: ops[1]})
+		patchLast(ops[1])
+		return nil
+	case "not":
+		if len(ops) != 2 {
+			return a.errf(lineNo, "not needs rd, rs")
+		}
+		rd, err1 := isa.ParseReg(ops[0])
+		rs, err2 := isa.ParseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return a.errf(lineNo, "bad register in %q", line)
+		}
+		emit(isa.Instr{Op: isa.NOR, Rd: rd, Rs: rs, Rt: isa.RZero})
+		return nil
+	case "neg":
+		if len(ops) != 2 {
+			return a.errf(lineNo, "neg needs rd, rs")
+		}
+		rd, err1 := isa.ParseReg(ops[0])
+		rs, err2 := isa.ParseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return a.errf(lineNo, "bad register in %q", line)
+		}
+		emit(isa.Instr{Op: isa.SUB, Rd: rd, Rs: isa.RZero, Rt: rs})
+		return nil
+	case "subi":
+		if len(ops) != 3 {
+			return a.errf(lineNo, "subi needs rd, rs, imm")
+		}
+		rd, err1 := isa.ParseReg(ops[0])
+		rs, err2 := isa.ParseReg(ops[1])
+		imm, err3 := strconv.ParseInt(ops[2], 0, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return a.errf(lineNo, "bad operand in %q", line)
+		}
+		emit(isa.Instr{Op: isa.ADDI, Rd: rd, Rs: rs, Imm: -imm})
+		return nil
+	case "ret":
+		emit(isa.Instr{Op: isa.JR, Rs: isa.RRA})
+		return nil
+	}
+
+	op, ok := isa.OpByName[mnem]
+	if !ok {
+		return a.errf(lineNo, "unknown mnemonic %q", mnem)
+	}
+
+	needOps := func(n int) error {
+		if len(ops) != n {
+			return a.errf(lineNo, "%s needs %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(s string) (isa.Reg, error) {
+		r, err := isa.ParseReg(s)
+		if err != nil {
+			return 0, a.errf(lineNo, "%v", err)
+		}
+		return r, nil
+	}
+
+	switch op {
+	case isa.NOP, isa.HALT:
+		if err := needOps(0); err != nil {
+			return err
+		}
+		emit(isa.Instr{Op: op})
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR,
+		isa.XOR, isa.NOR, isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLE,
+		isa.SEQ, isa.SNE, isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV,
+		isa.FSLT, isa.FSLE, isa.FSEQ, isa.FSNE,
+		isa.CMOVN, isa.CMOVZ, isa.FCMOVN, isa.FCMOVZ:
+		if err := needOps(3); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		rt, err := reg(ops[2])
+		if err != nil {
+			return err
+		}
+		emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Rt: rt})
+
+	case isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI,
+		isa.SRLI, isa.SRAI, isa.SLTI:
+		if err := needOps(3); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err2 := strconv.ParseInt(ops[2], 0, 64)
+		if err2 != nil {
+			return a.errf(lineNo, "bad immediate %q", ops[2])
+		}
+		emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Imm: imm})
+
+	case isa.LI:
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err2 := strconv.ParseInt(ops[1], 0, 64)
+		if err2 != nil {
+			return a.errf(lineNo, "bad immediate %q", ops[1])
+		}
+		emit(isa.Instr{Op: op, Rd: rd, Imm: imm})
+
+	case isa.LA:
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		// Data addresses resolve in pass two via DataSyms; LA keeps the
+		// symbol name and is fixed up in resolveLA below via the patch list
+		// reusing TargetSym.
+		emit(isa.Instr{Op: op, Rd: rd, TargetSym: ops[1]})
+		a.laPatches = append(a.laPatches, laPatch{instr: len(a.prog.Instrs) - 1, label: ops[1], line: lineNo})
+
+	case isa.FLI:
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		f, err2 := strconv.ParseFloat(ops[1], 64)
+		if err2 != nil {
+			return a.errf(lineNo, "bad float immediate %q", ops[1])
+		}
+		emit(isa.Instr{Op: op, Rd: rd, FImm: f})
+
+	case isa.MOV, isa.FMOV, isa.FNEG, isa.FABS, isa.FSQRT, isa.CVTIF, isa.CVTFI:
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		emit(isa.Instr{Op: op, Rd: rd, Rs: rs})
+
+	case isa.LW, isa.FLW:
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, rs, sym, err := a.memOperand(ops[1], lineNo)
+		if err != nil {
+			return err
+		}
+		emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Imm: imm})
+		if sym != "" {
+			a.laPatches = append(a.laPatches, laPatch{instr: len(a.prog.Instrs) - 1, label: sym, line: lineNo})
+		}
+
+	case isa.SW, isa.FSW:
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rt, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, rs, sym, err := a.memOperand(ops[1], lineNo)
+		if err != nil {
+			return err
+		}
+		emit(isa.Instr{Op: op, Rt: rt, Rs: rs, Imm: imm})
+		if sym != "" {
+			a.laPatches = append(a.laPatches, laPatch{instr: len(a.prog.Instrs) - 1, label: sym, line: lineNo})
+		}
+
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLE, isa.BGT:
+		if err := needOps(3); err != nil {
+			return err
+		}
+		rs, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rt, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		emit(isa.Instr{Op: op, Rs: rs, Rt: rt, TargetSym: ops[2]})
+		patchLast(ops[2])
+
+	case isa.J, isa.JAL:
+		if err := needOps(1); err != nil {
+			return err
+		}
+		emit(isa.Instr{Op: op, TargetSym: ops[0]})
+		patchLast(ops[0])
+
+	case isa.JR, isa.JALR, isa.PRINTI, isa.PRINTF, isa.PRINTC:
+		if err := needOps(1); err != nil {
+			return err
+		}
+		rs, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		emit(isa.Instr{Op: op, Rs: rs})
+
+	case isa.JTAB:
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rs, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		emit(isa.Instr{Op: op, Rs: rs})
+		a.jtPatches = append(a.jtPatches, jtPatch{instr: len(a.prog.Instrs) - 1, name: ops[1], line: lineNo})
+
+	default:
+		return a.errf(lineNo, "mnemonic %q not handled", mnem)
+	}
+	return nil
+}
+
+// memOperand parses "imm(reg)", "(reg)" or "symbol(reg)".  For the symbol
+// form it returns the data-symbol name for pass-two resolution (the
+// immediate becomes the symbol's address), which lets generated code access
+// global scalars as "lw $t0, g($zero)" in a single instruction.
+func (a *assembler) memOperand(s string, lineNo int) (int64, isa.Reg, string, error) {
+	open := strings.IndexByte(s, '(')
+	close_ := strings.LastIndexByte(s, ')')
+	if open < 0 || close_ < open {
+		return 0, 0, "", a.errf(lineNo, "bad memory operand %q (want imm(reg))", s)
+	}
+	r, err := isa.ParseReg(strings.TrimSpace(s[open+1 : close_]))
+	if err != nil {
+		return 0, 0, "", a.errf(lineNo, "%v", err)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		return 0, r, "", nil
+	}
+	if c := immStr[0]; c == '-' || (c >= '0' && c <= '9') {
+		imm, err := strconv.ParseInt(immStr, 0, 64)
+		if err != nil {
+			return 0, 0, "", a.errf(lineNo, "bad offset %q", immStr)
+		}
+		return imm, r, "", nil
+	}
+	if !isIdent(immStr) {
+		return 0, 0, "", a.errf(lineNo, "bad offset %q", immStr)
+	}
+	return 0, r, immStr, nil
+}

@@ -1,0 +1,162 @@
+package asm
+
+import (
+	"testing"
+
+	"ilplimit/internal/isa"
+)
+
+// equivalent compares two programs for semantic equality: identical
+// instruction streams (ignoring display symbols), data, tables, procedures
+// and entry points.
+func equivalent(t *testing.T, a, b *isa.Program) {
+	t.Helper()
+	if len(a.Instrs) != len(b.Instrs) {
+		t.Fatalf("instruction counts differ: %d vs %d", len(a.Instrs), len(b.Instrs))
+	}
+	for i := range a.Instrs {
+		x, y := a.Instrs[i], b.Instrs[i]
+		x.TargetSym, y.TargetSym = "", ""
+		if x != y {
+			t.Errorf("instr %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+	if len(a.Data) != len(b.Data) {
+		t.Fatalf("data lengths differ: %d vs %d", len(a.Data), len(b.Data))
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Errorf("data[%d] differs: %d vs %d", i, a.Data[i], b.Data[i])
+		}
+	}
+	if len(a.Tables) != len(b.Tables) {
+		t.Fatalf("table counts differ")
+	}
+	for ti := range a.Tables {
+		if len(a.Tables[ti]) != len(b.Tables[ti]) {
+			t.Fatalf("table %d sizes differ", ti)
+		}
+		for k := range a.Tables[ti] {
+			if a.Tables[ti][k] != b.Tables[ti][k] {
+				t.Errorf("table %d entry %d differs", ti, k)
+			}
+		}
+	}
+	if len(a.Procs) != len(b.Procs) {
+		t.Fatalf("proc counts differ")
+	}
+	for i := range a.Procs {
+		if a.Procs[i] != b.Procs[i] {
+			t.Errorf("proc %d differs: %+v vs %+v", i, a.Procs[i], b.Procs[i])
+		}
+	}
+	if a.Entry != b.Entry {
+		t.Errorf("entries differ: %d vs %d", a.Entry, b.Entry)
+	}
+}
+
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	dis := p1.Disassemble()
+	p2, err := Assemble(dis)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n--- disassembly ---\n%s", err, dis)
+	}
+	equivalent(t, p1, p2)
+}
+
+func TestRoundTripTiny(t *testing.T) { roundTrip(t, tinyProg) }
+
+func TestRoundTripControlFlow(t *testing.T) {
+	roundTrip(t, `
+.data
+zs: .space 32
+k:  .word 7
+.proc main
+	li   $t0, 3
+loop:
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	jal  helper
+	beqz $v0, out
+	nop
+out:
+	halt
+.endproc
+.proc helper
+	lw  $v0, k($zero)
+	ret
+.endproc
+`)
+}
+
+func TestRoundTripJumpTable(t *testing.T) {
+	roundTrip(t, `
+.jumptable disp: c0 c1 c2
+.proc main
+	li   $t0, 2
+	jtab $t0, disp
+c0:	li $s0, 1
+	j end
+c1:	li $s0, 2
+	j end
+c2:	li $s0, 3
+end:
+	halt
+.endproc
+`)
+}
+
+func TestRoundTripFloatsAndGuards(t *testing.T) {
+	roundTrip(t, `
+.data
+c: .word 2.5
+.proc main
+	fli    $f0, 1.5
+	flw    $f1, c($zero)
+	fadd   $f2, $f0, $f1
+	fli    $f3, 1e17
+	li     $t0, 1
+	cmovn  $s0, $t0, $t0
+	fcmovz $f4, $f2, $t0
+	fsw    $f2, c($zero)
+	halt
+.endproc
+`)
+}
+
+func TestRoundTripZeroRuns(t *testing.T) {
+	// Long zero runs pack as .space; interior symbols must split runs.
+	p1, err := Assemble(`
+.data
+a: .space 20
+b: .word 5
+c: .space 3
+d: .space 40
+.proc main
+	la $t0, a
+	la $t1, b
+	la $t2, c
+	la $t3, d
+	halt
+.endproc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p1.Disassemble()
+	p2, err := Assemble(dis)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, dis)
+	}
+	equivalent(t, p1, p2)
+	for _, sym := range []string{"a", "b", "c", "d"} {
+		if p1.DataSyms[sym] != p2.DataSyms[sym] {
+			t.Errorf("data symbol %s moved: %d vs %d", sym, p1.DataSyms[sym], p2.DataSyms[sym])
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/vm"
+)
+
+func TestSuiteShape(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("suite has %d benchmarks, want 10 (paper Table 1)", len(all))
+	}
+	numeric := 0
+	for _, b := range all {
+		if b.Numeric {
+			numeric++
+			if b.Language != "FORTRAN" {
+				t.Errorf("%s: numeric but language %s", b.Name, b.Language)
+			}
+		}
+	}
+	if numeric != 3 {
+		t.Errorf("%d numeric benchmarks, want 3", numeric)
+	}
+	if len(NonNumeric()) != 7 {
+		t.Errorf("NonNumeric() = %d, want 7", len(NonNumeric()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("awk")
+	if err != nil || b.Name != "awk" {
+		t.Errorf("ByName(awk) = %v, %v", b.Name, err)
+	}
+	b, err = ByName("tom")
+	if err != nil || b.Name != "tomcatv" {
+		t.Errorf("ByName(tom) = %v, %v", b.Name, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName(nosuch) should fail")
+	}
+	// "e" prefixes both eqntott and espresso.
+	if _, err := ByName("e"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ByName(e) = %v, want ambiguous", err)
+	}
+}
+
+// TestAllBenchmarksRun compiles and executes every benchmark at scale 1 and
+// checks determinism and sane dynamic sizes.
+func TestAllBenchmarksRun(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(strings.ReplaceAll(b.Name, " ", "_"), func(t *testing.T) {
+			t.Parallel()
+			src := b.Source(1)
+			asmText, err := minic.Compile(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			prog, err := asm.Assemble(asmText)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			machine := vm.NewSized(prog, 1<<20)
+			machine.StepLimit = 100_000_000
+			if err := machine.Run(nil); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			out1 := machine.Output()
+			steps1 := machine.Steps
+			if out1 == "" {
+				t.Error("benchmark printed nothing")
+			}
+			if steps1 < 50_000 {
+				t.Errorf("only %d dynamic instructions at scale 1; too small to be meaningful", steps1)
+			}
+			if steps1 > 20_000_000 {
+				t.Errorf("%d dynamic instructions at scale 1; too slow for the suite", steps1)
+			}
+			machine.Reset()
+			if err := machine.Run(nil); err != nil {
+				t.Fatalf("rerun: %v", err)
+			}
+			if machine.Output() != out1 || machine.Steps != steps1 {
+				t.Error("benchmark is not deterministic across runs")
+			}
+		})
+	}
+}
+
+// TestScalesGrow verifies that raising the scale increases work.
+func TestScalesGrow(t *testing.T) {
+	b, _ := ByName("awk")
+	run := func(scale int) int64 {
+		asmText, err := minic.Compile(b.Source(scale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := asm.Assemble(asmText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine := vm.NewSized(prog, 1<<21)
+		machine.StepLimit = 1 << 31
+		if err := machine.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		return machine.Steps
+	}
+	s1, s2 := run(1), run(2)
+	if s2 <= s1 {
+		t.Errorf("scale 2 ran %d steps, scale 1 %d; scaling is broken", s2, s1)
+	}
+}
+
+// Every compiled benchmark must survive a disassemble/reassemble round
+// trip and still produce identical output.
+func TestDisassemblyRoundTrip(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(strings.ReplaceAll(b.Name, " ", "_"), func(t *testing.T) {
+			t.Parallel()
+			asmText, err := minic.Compile(b.Source(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1, err := asm.Assemble(asmText)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := asm.Assemble(p1.Disassemble())
+			if err != nil {
+				t.Fatalf("reassembly failed: %v", err)
+			}
+			m1 := vm.NewSized(p1, 1<<20)
+			m1.StepLimit = 100_000_000
+			if err := m1.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			m2 := vm.NewSized(p2, 1<<20)
+			m2.StepLimit = 100_000_000
+			if err := m2.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			if m1.Output() != m2.Output() || m1.Steps != m2.Steps {
+				t.Errorf("round trip diverged: %q/%d vs %q/%d",
+					m1.Output(), m1.Steps, m2.Output(), m2.Steps)
+			}
+		})
+	}
+}
+
+func TestScaleClamped(t *testing.T) {
+	for _, b := range All() {
+		// Extreme scales must still produce compilable sources (sizes are
+		// clamped to fit VM memory).
+		if _, err := minic.Compile(b.Source(1000)); err != nil {
+			t.Errorf("%s at huge scale: %v", b.Name, err)
+		}
+		if _, err := minic.Compile(b.Source(-5)); err != nil {
+			t.Errorf("%s at negative scale: %v", b.Name, err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package bench
+
+import "fmt"
+
+// gccSource: the optimizer heart of a compiler — iterative live-variable
+// dataflow analysis over a randomly generated control-flow graph, with a
+// worklist.  Irregular, pointer-chasing, highly data-dependent control,
+// like cc1.
+func gccSource(scale int) string {
+	scale = clampScale(scale, 16)
+	n := 1200 * scale
+	if n > 20000 {
+		n = 20000
+	}
+	return fmt.Sprintf(`
+int nsucc[%d];
+int succ1[%d];
+int succ2[%d];
+int gen0[%d];
+int gen1[%d];
+int kill0[%d];
+int kill1[%d];
+int livein0[%d];
+int livein1[%d];
+int liveout0[%d];
+int liveout1[%d];
+int work[%d];
+int inwork[%d];
+%s
+int main() {
+	int i, n, head, tail, b, s, o0, o1, ni0, ni1, iters, sum;
+	n = %d;
+	for (i = 0; i < n; i++) {
+		// Mostly fall-through edges with random branches, like real CFGs.
+		nsucc[i] = 1 + hash(i) %% 2;
+		succ1[i] = (i + 1) %% n;
+		succ2[i] = hash(i + 40000) %% n;
+		gen0[i] = hash(i + 80000) * 3 %% 65536;
+		gen1[i] = hash(i + 120000) * 5 %% 65536;
+		kill0[i] = hash(i + 160000) * 7 %% 65536;
+		kill1[i] = hash(i + 200000) * 11 %% 65536;
+		livein0[i] = 0;
+		livein1[i] = 0;
+		liveout0[i] = 0;
+		liveout1[i] = 0;
+		work[i] = n - 1 - i;   // process backward first: fewer iterations
+		inwork[i] = 1;
+	}
+	head = 0;
+	tail = 0;     // queue occupies work[] as a ring; initially full
+	iters = 0;
+	// Ring-buffer worklist: head reads, tail writes, count tracked in i.
+	i = n;        // elements in queue
+	while (i > 0) {
+		b = work[head];
+		head = (head + 1) %% n;
+		i--;
+		inwork[b] = 0;
+		iters++;
+		// out[b] = union of in[s] over successors
+		o0 = livein0[succ1[b]];
+		o1 = livein1[succ1[b]];
+		if (nsucc[b] == 2) {
+			o0 = o0 | livein0[succ2[b]];
+			o1 = o1 | livein1[succ2[b]];
+		}
+		liveout0[b] = o0;
+		liveout1[b] = o1;
+		// in[b] = gen[b] | (out[b] & ~kill[b])
+		ni0 = gen0[b] | (o0 & ~kill0[b]);
+		ni1 = gen1[b] | (o1 & ~kill1[b]);
+		if (ni0 != livein0[b] || ni1 != livein1[b]) {
+			livein0[b] = ni0;
+			livein1[b] = ni1;
+			// requeue all predecessors; we stored only successors, so walk
+			// a precomputed reverse edge the cheap way: requeue b-1 and a
+			// random sample of nodes that may point here.
+			s = b - 1;
+			if (s >= 0 && !inwork[s] && i < n) {
+				work[tail] = s;
+				tail = (tail + 1) %% n;
+				inwork[s] = 1;
+				i++;
+			}
+			s = (b * 7 + 13) %% n;
+			if (!inwork[s] && i < n) {
+				work[tail] = s;
+				tail = (tail + 1) %% n;
+				inwork[s] = 1;
+				i++;
+			}
+		}
+	}
+	sum = 0;
+	for (b = 0; b < n; b++) sum = (sum + livein0[b] + liveout1[b]) & 65535;
+	print(iters);
+	print(sum);
+	return 0;
+}
+`, n, n, n, n, n, n, n, n, n, n, n, n, n, lcg, n)
+}
+
+// irsimSource: an event-driven switch-level simulator — a time-wheel event
+// queue over a random gate network.  Event-driven scheduling gives long
+// data-dependent dependence chains, like irsim.
+func irsimSource(scale int) string {
+	scale = clampScale(scale, 16)
+	gates := 500 * scale
+	if gates > 8000 {
+		gates = 8000
+	}
+	steps := 220
+	return fmt.Sprintf(`
+int gtype[%d];
+int in1[%d];
+int in2[%d];
+int value[%d];
+int fan1[%d];
+int fan2[%d];
+int pending[%d];
+int wheel[256][64];
+int wcount[256];
+%s
+int eval(int g) {
+	int a, b, t;
+	a = value[in1[g]];
+	b = value[in2[g]];
+	t = gtype[g];
+	if (t == 0) return a & b;
+	if (t == 1) return a | b;
+	if (t == 2) return a ^ b;
+	return !a;
+}
+void schedule(int g, int t) {
+	int slot;
+	slot = t & 255;
+	if (pending[g]) return;
+	if (wcount[slot] >= 64) return;
+	wheel[slot][wcount[slot]] = g;
+	wcount[slot]++;
+	pending[g] = 1;
+}
+int main() {
+	int i, t, k, g, nv, events, n;
+	n = %d;
+	for (i = 0; i < n; i++) {
+		gtype[i] = hash(i) %% 4;
+		in1[i] = hash(i + 10000) %% n;
+		in2[i] = hash(i + 20000) %% n;
+		value[i] = hash(i + 30000) %% 2;
+		fan1[i] = hash(i + 40000) %% n;
+		fan2[i] = hash(i + 50000) %% n;
+		pending[i] = 0;
+	}
+	for (i = 0; i < 256; i++) wcount[i] = 0;
+	// Initial stimulus: schedule a batch of gates at time 0.
+	for (i = 0; i < n; i = i + 4) schedule(i, 0);
+	events = 0;
+	for (t = 0; t < %d; t++) {
+		int slot;
+		// Periodic external stimulus keeps the network switching, like
+		// input vectors arriving at a chip's pads.
+		if ((t & 15) == 0) {
+			for (i = hash(t) %% 4; i < n; i = i + 16) {
+				value[i] = !value[i];
+				schedule(fan1[i], t + 1);
+				schedule(fan2[i], t + 1);
+			}
+		}
+		slot = t & 255;
+		k = wcount[slot];
+		wcount[slot] = 0;
+		for (i = 0; i < k; i++) {
+			g = wheel[slot][i];
+			pending[g] = 0;
+			nv = eval(g);
+			events++;
+			if (nv != value[g]) {
+				value[g] = nv;
+				schedule(fan1[g], t + 1 + (g & 3));
+				schedule(fan2[g], t + 2 + (g & 1));
+			}
+		}
+	}
+	print(events);
+	k = 0;
+	for (i = 0; i < n; i++) k += value[i];
+	print(k);
+	return 0;
+}
+`, gates, gates, gates, gates, gates, gates, gates, lcg, gates, steps)
+}
+
+// latexSource: document preparation — optimal paragraph line breaking with
+// a windowed dynamic program over generated word widths (Knuth-Plass in
+// miniature) plus a greedy pass for comparison.
+func latexSource(scale int) string {
+	scale = clampScale(scale, 16)
+	words := 1800 * scale
+	if words > 28000 {
+		words = 28000
+	}
+	return fmt.Sprintf(`
+int width[%d];
+int best[%d];
+int brk[%d];
+%s
+int badness(int slack) {
+	if (slack < 0) return 1000000;
+	return slack * slack;
+}
+int greedy(int n, int line) {
+	int i, used, total, w;
+	used = 0;
+	total = 0;
+	for (i = 0; i < n; i++) {
+		w = width[i];
+		if (used == 0) {
+			used = w;
+		} else if (used + 1 + w <= line) {
+			used = used + 1 + w;
+		} else {
+			total = total + badness(line - used);
+			used = w;
+		}
+	}
+	return total + badness(line - used);
+}
+int optimal(int n, int line) {
+	int i, j, used, b, cand;
+	best[0] = 0;
+	for (i = 1; i <= n; i++) {
+		b = 1000000000;
+		used = 0;
+		// Try the last line starting at word j (windowed at 25 words).
+		for (j = i - 1; j >= 0 && i - j <= 25; j--) {
+			if (used == 0) used = width[j];
+			else used = used + 1 + width[j];
+			if (used > line) break;
+			cand = best[j] + badness(line - used);
+			if (cand < b) {
+				b = cand;
+				brk[i] = j;
+			}
+		}
+		best[i] = b;
+	}
+	return best[n];
+}
+int main() {
+	int i, n, lines, p;
+	n = %d;
+	for (i = 0; i < n; i++) width[i] = 1 + hash(i) %% 12;
+	print(greedy(n, 65));
+	print(optimal(n, 65));
+	// Count lines in the optimal solution by walking the break chain.
+	lines = 0;
+	p = n;
+	while (p > 0) {
+		p = brk[p];
+		lines++;
+	}
+	print(lines);
+	return 0;
+}
+`, words, words+1, words+1, lcg, words)
+}

@@ -1,0 +1,696 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/vm"
+)
+
+// This file reimplements every benchmark natively in Go, mirroring the
+// mini-C sources statement for statement, and compares printed outputs.
+// A mismatch implicates the compiler, assembler or VM (or the mirror);
+// agreement validates the whole substrate stack end to end.
+
+// lcgState mirrors the embedded stateful generator.
+type lcgState struct{ seed int64 }
+
+func (l *lcgState) rnd(m int64) int64 {
+	l.seed = l.seed*1103515245 + 12345
+	return ((l.seed >> 16) & 32767) % m
+}
+
+// hashv mirrors the stateless hash (int64 wrap-around, arithmetic shifts).
+func hashv(x int64) int64 {
+	x = x*2654435761 + 1013904223
+	x = x ^ (x >> 15)
+	x = x * 2246822519
+	x = x ^ (x >> 13)
+	return x & 32767
+}
+
+type printer struct{ b strings.Builder }
+
+func (p *printer) pi(v int64)   { fmt.Fprintf(&p.b, "%d\n", v) }
+func (p *printer) pf(v float64) { fmt.Fprintf(&p.b, "%g\n", v) }
+
+func compiledOutput(t *testing.T, name string) string {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmText, err := minic.Compile(b.Source(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.NewSized(prog, 1<<20)
+	m.StepLimit = 100_000_000
+	if err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	return m.Output()
+}
+
+func checkNative(t *testing.T, name string, native func(p *printer)) {
+	t.Helper()
+	var p printer
+	native(&p)
+	want := p.b.String()
+	got := compiledOutput(t, name)
+	if got != want {
+		t.Errorf("%s: compiled output %q != native %q", name, got, want)
+	}
+}
+
+func TestNativeAwk(t *testing.T) {
+	checkNative(t, "awk", func(p *printer) {
+		const n = 9000
+		text := make([]int64, n)
+		var pats [6][8]int64
+		var patlen, hits [6]int64
+		for i := int64(0); i < n; i++ {
+			r := hashv(i) % 10
+			if r < 8 {
+				text[i] = 'a' + hashv(i+70001)%4
+			} else {
+				text[i] = ' '
+			}
+		}
+		for i := int64(0); i < 6; i++ {
+			patlen[i] = 2 + hashv(900+i)%3
+			for j := int64(0); j < patlen[i]; j++ {
+				pats[i][j] = 'a' + hashv(1000+i*8+j)%4
+			}
+		}
+		// scan
+		total := int64(0)
+		i := int64(0)
+		for i < n {
+			longest := int64(0)
+			for k := int64(0); k < 6; k++ {
+				if i+patlen[k] <= n {
+					j := int64(0)
+					for j < patlen[k] && text[i+j] == pats[k][j] {
+						j++
+					}
+					if j == patlen[k] {
+						hits[k]++
+						total++
+						if patlen[k] > longest {
+							longest = patlen[k]
+						}
+					}
+				}
+			}
+			if longest > 0 {
+				i += longest
+			} else {
+				i++
+			}
+		}
+		p.pi(total)
+		// words
+		inword, count := int64(0), int64(0)
+		for i := int64(0); i < n; i++ {
+			if text[i] != ' ' {
+				if inword == 0 {
+					count++
+				}
+				inword = 1
+			} else {
+				inword = 0
+			}
+		}
+		p.pi(count)
+	})
+}
+
+func TestNativeCcom(t *testing.T) {
+	checkNative(t, "ccom", func(p *printer) {
+		const exprs = 350
+		lcg := &lcgState{seed: 123456789}
+		toks := make([]int64, 6000)
+		tvals := make([]int64, 6000)
+		var counts [6]int64
+		var ntok, pos int64
+		tally := func() {
+			for i := int64(0); i < ntok; i++ {
+				k := toks[i]
+				if k >= 0 && k < 6 {
+					counts[k]++
+				}
+			}
+		}
+
+		var genexpr func(depth int64)
+		genexpr = func(depth int64) {
+			r := lcg.rnd(10)
+			if depth <= 0 || r < 3 {
+				toks[ntok] = 0
+				tvals[ntok] = lcg.rnd(100)
+				ntok++
+				return
+			}
+			if r < 8 {
+				genexpr(depth - 1)
+				op2 := lcg.rnd(10)
+				if op2 < 8 {
+					toks[ntok] = 1
+				} else if op2 < 9 {
+					toks[ntok] = 2
+				} else {
+					toks[ntok] = 3
+				}
+				ntok++
+				genexpr(depth - 1)
+				return
+			}
+			toks[ntok] = 4
+			ntok++
+			genexpr(depth - 1)
+			toks[ntok] = 5
+			ntok++
+		}
+		var parseexpr func() int64
+		parsefactor := func() int64 {
+			var v int64
+			if pos < ntok && toks[pos] == 4 {
+				pos++
+				v = parseexpr()
+				if pos < ntok && toks[pos] == 5 {
+					pos++
+				}
+				return v
+			}
+			v = tvals[pos]
+			pos++
+			return v
+		}
+		parseterm := func() int64 {
+			v := parsefactor()
+			for pos < ntok && toks[pos] == 3 {
+				pos++
+				v = v * parsefactor()
+			}
+			return v
+		}
+		parseexpr = func() int64 {
+			v := parseterm()
+			for pos < ntok && (toks[pos] == 1 || toks[pos] == 2) {
+				op := toks[pos]
+				pos++
+				if op == 1 {
+					v = v + parseterm()
+				} else {
+					v = v - parseterm()
+				}
+			}
+			return v
+		}
+		sum := int64(0)
+		for e := 0; e < exprs; e++ {
+			ntok = 0
+			genexpr(5)
+			tally()
+			pos = 0
+			sum = (sum + parseexpr()) & 65535
+		}
+		p.pi(sum)
+		p.pi(counts[0] & 1023)
+	})
+}
+
+func TestNativeEqntott(t *testing.T) {
+	checkNative(t, "eqntott", func(p *printer) {
+		const n = 4500
+		keys := make([]int64, n)
+		perm := make([]int64, n)
+		for i := int64(0); i < n; i++ {
+			keys[i] = ((i*5)&8191)*4 + hashv(i)%4
+			perm[i] = i
+		}
+		compare := func(i, j int64) int64 {
+			a, b := keys[i], keys[j]
+			if (a >> 8) < (b >> 8) {
+				return -1
+			}
+			if (a >> 8) > (b >> 8) {
+				return 1
+			}
+			if (a & 255) < (b & 255) {
+				return -1
+			}
+			if (a & 255) > (b & 255) {
+				return 1
+			}
+			return 0
+		}
+		var quick func(lo, hi int64)
+		quick = func(lo, hi int64) {
+			if lo >= hi {
+				return
+			}
+			pv := lo + (hi-lo)/2
+			perm[pv], perm[hi] = perm[hi], perm[pv]
+			pk := keys[perm[hi]]
+			i := lo
+			for j := lo; j < hi; j++ {
+				if keys[perm[j]] < pk {
+					perm[i], perm[j] = perm[j], perm[i]
+					i++
+				}
+			}
+			perm[i], perm[hi] = perm[hi], perm[i]
+			quick(lo, i-1)
+			quick(i+1, hi)
+		}
+		quick(0, n-1)
+		bad, sum := int64(0), int64(0)
+		for i := int64(1); i < n; i++ {
+			if compare(perm[i-1], perm[i]) > 0 {
+				bad++
+			}
+			sum = (sum + keys[perm[i]]*i) & 65535
+		}
+		p.pi(bad)
+		p.pi(sum)
+	})
+}
+
+func TestNativeEspresso(t *testing.T) {
+	checkNative(t, "espresso", func(p *printer) {
+		const n = 190
+		val := make([]int64, n)
+		care := make([]int64, n)
+		next := make([]int64, n)
+		for i := int64(0); i < n; i++ {
+			val[i] = hashv(i) % 4096
+			care[i] = (hashv(i+50000) % 4096) | 1
+			val[i] = val[i] & care[i]
+			next[i] = i + 1
+		}
+		next[n-1] = -1
+		popcount := func(x int64) int64 {
+			c := int64(0)
+			for x != 0 {
+				c = c + (x & 1)
+				x = x >> 1
+			}
+			return c
+		}
+		covers := func(i, j int64) bool {
+			if (care[i] & care[j]) != care[i] {
+				return false
+			}
+			if ((val[i] ^ val[j]) & care[i]) != 0 {
+				return false
+			}
+			return true
+		}
+		removed, merged := int64(0), int64(0)
+		pass, changed := int64(0), int64(1)
+		for changed != 0 && pass < 4 {
+			changed = 0
+			pass++
+			for i := int64(0); i != -1; i = next[i] {
+				pj := i
+				j := next[i]
+				for j != -1 {
+					if covers(i, j) {
+						next[pj] = next[j]
+						removed++
+						changed = 1
+						j = next[pj]
+					} else if care[i] == care[j] {
+						d := (val[i] ^ val[j]) & care[i]
+						if popcount(d) == 1 {
+							care[i] = care[i] & ^d
+							val[i] = val[i] & care[i]
+							next[pj] = next[j]
+							merged++
+							changed = 1
+							j = next[pj]
+						} else {
+							pj = j
+							j = next[j]
+						}
+					} else {
+						pj = j
+						j = next[j]
+					}
+				}
+			}
+		}
+		p.pi(removed)
+		p.pi(merged)
+	})
+}
+
+func TestNativeGcc(t *testing.T) {
+	checkNative(t, "gcc", func(p *printer) {
+		const n = 1200
+		var nsucc, succ1, succ2, gen0, gen1, kill0, kill1 [n]int64
+		var livein0, livein1, liveout0, liveout1 [n]int64
+		var work, inwork [n]int64
+		for i := int64(0); i < n; i++ {
+			nsucc[i] = 1 + hashv(i)%2
+			succ1[i] = (i + 1) % n
+			succ2[i] = hashv(i+40000) % n
+			gen0[i] = hashv(i+80000) * 3 % 65536
+			gen1[i] = hashv(i+120000) * 5 % 65536
+			kill0[i] = hashv(i+160000) * 7 % 65536
+			kill1[i] = hashv(i+200000) * 11 % 65536
+			work[i] = n - 1 - i
+			inwork[i] = 1
+		}
+		head, tail := int64(0), int64(0)
+		iters := int64(0)
+		count := int64(n)
+		for count > 0 {
+			b := work[head]
+			head = (head + 1) % n
+			count--
+			inwork[b] = 0
+			iters++
+			o0 := livein0[succ1[b]]
+			o1 := livein1[succ1[b]]
+			if nsucc[b] == 2 {
+				o0 = o0 | livein0[succ2[b]]
+				o1 = o1 | livein1[succ2[b]]
+			}
+			liveout0[b] = o0
+			liveout1[b] = o1
+			ni0 := gen0[b] | (o0 & ^kill0[b])
+			ni1 := gen1[b] | (o1 & ^kill1[b])
+			if ni0 != livein0[b] || ni1 != livein1[b] {
+				livein0[b] = ni0
+				livein1[b] = ni1
+				s := b - 1
+				if s >= 0 && inwork[s] == 0 && count < n {
+					work[tail] = s
+					tail = (tail + 1) % n
+					inwork[s] = 1
+					count++
+				}
+				s = (b*7 + 13) % n
+				if inwork[s] == 0 && count < n {
+					work[tail] = s
+					tail = (tail + 1) % n
+					inwork[s] = 1
+					count++
+				}
+			}
+		}
+		sum := int64(0)
+		for b := int64(0); b < n; b++ {
+			sum = (sum + livein0[b] + liveout1[b]) & 65535
+		}
+		p.pi(iters)
+		p.pi(sum)
+	})
+}
+
+func TestNativeIrsim(t *testing.T) {
+	checkNative(t, "irsim", func(p *printer) {
+		const n = 500
+		const steps = 220
+		var gtype, in1, in2, value, fan1, fan2, pending [n]int64
+		var wheel [256][64]int64
+		var wcount [256]int64
+		for i := int64(0); i < n; i++ {
+			gtype[i] = hashv(i) % 4
+			in1[i] = hashv(i+10000) % n
+			in2[i] = hashv(i+20000) % n
+			value[i] = hashv(i+30000) % 2
+			fan1[i] = hashv(i+40000) % n
+			fan2[i] = hashv(i+50000) % n
+		}
+		eval := func(g int64) int64 {
+			a, b := value[in1[g]], value[in2[g]]
+			switch gtype[g] {
+			case 0:
+				return a & b
+			case 1:
+				return a | b
+			case 2:
+				return a ^ b
+			}
+			if a == 0 { // !a
+				return 1
+			}
+			return 0
+		}
+		schedule := func(g, t int64) {
+			slot := t & 255
+			if pending[g] != 0 {
+				return
+			}
+			if wcount[slot] >= 64 {
+				return
+			}
+			wheel[slot][wcount[slot]] = g
+			wcount[slot]++
+			pending[g] = 1
+		}
+		for i := int64(0); i < n; i += 4 {
+			schedule(i, 0)
+		}
+		events := int64(0)
+		for t := int64(0); t < steps; t++ {
+			if (t & 15) == 0 {
+				for i := hashv(t) % 4; i < n; i += 16 {
+					if value[i] == 0 {
+						value[i] = 1
+					} else {
+						value[i] = 0
+					}
+					schedule(fan1[i], t+1)
+					schedule(fan2[i], t+1)
+				}
+			}
+			slot := t & 255
+			k := wcount[slot]
+			wcount[slot] = 0
+			for i := int64(0); i < k; i++ {
+				g := wheel[slot][i]
+				pending[g] = 0
+				nv := eval(g)
+				events++
+				if nv != value[g] {
+					value[g] = nv
+					schedule(fan1[g], t+1+(g&3))
+					schedule(fan2[g], t+2+(g&1))
+				}
+			}
+		}
+		p.pi(events)
+		k := int64(0)
+		for i := int64(0); i < n; i++ {
+			k += value[i]
+		}
+		p.pi(k)
+	})
+}
+
+func TestNativeLatex(t *testing.T) {
+	checkNative(t, "latex", func(p *printer) {
+		const n = 1800
+		width := make([]int64, n)
+		best := make([]int64, n+1)
+		brk := make([]int64, n+1)
+		for i := int64(0); i < n; i++ {
+			width[i] = 1 + hashv(i)%12
+		}
+		badness := func(slack int64) int64 {
+			if slack < 0 {
+				return 1000000
+			}
+			return slack * slack
+		}
+		const line = 65
+		// greedy
+		used, total := int64(0), int64(0)
+		for i := int64(0); i < n; i++ {
+			w := width[i]
+			if used == 0 {
+				used = w
+			} else if used+1+w <= line {
+				used = used + 1 + w
+			} else {
+				total = total + badness(line-used)
+				used = w
+			}
+		}
+		p.pi(total + badness(line-used))
+		// optimal
+		best[0] = 0
+		for i := int64(1); i <= n; i++ {
+			b := int64(1000000000)
+			used := int64(0)
+			for j := i - 1; j >= 0 && i-j <= 25; j-- {
+				if used == 0 {
+					used = width[j]
+				} else {
+					used = used + 1 + width[j]
+				}
+				if used > line {
+					break
+				}
+				cand := best[j] + badness(line-used)
+				if cand < b {
+					b = cand
+					brk[i] = j
+				}
+			}
+			best[i] = b
+		}
+		p.pi(best[n])
+		lines := int64(0)
+		pp := int64(n)
+		for pp > 0 {
+			pp = brk[pp]
+			lines++
+		}
+		p.pi(lines)
+	})
+}
+
+func TestNativeMatrix300(t *testing.T) {
+	checkNative(t, "matrix300", func(p *printer) {
+		const n = 36
+		var a, b, c [n][n]float64
+		for i := int64(0); i < n; i++ {
+			for j := int64(0); j < n; j++ {
+				a[i][j] = float64(hashv(i*n+j)%1000) / 1000.0
+				b[i][j] = float64(hashv(i*n+j+65536)%1000) / 1000.0
+				c[i][j] = 0.0
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s = s + a[i][k]*b[k][j]
+				}
+				c[i][j] = s
+			}
+		}
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s = s + c[i][i]
+		}
+		p.pf(s)
+	})
+}
+
+func TestNativeSpice(t *testing.T) {
+	checkNative(t, "spice2g6", func(p *printer) {
+		const n = 260
+		const nnz = 6
+		diag := make([]float64, n)
+		var offv [n][nnz]float64
+		var offc [n][nnz]int64
+		b := make([]float64, n)
+		x := make([]float64, n)
+		for i := int64(0); i < n; i++ {
+			diag[i] = 8.0 + float64(hashv(i)%100)/25.0
+			for k := int64(0); k < nnz; k++ {
+				offv[i][k] = 0.0 - float64(hashv(i*8+k)%100)/100.0
+				offc[i][k] = hashv(i*8+k+99991) % n
+			}
+			b[i] = float64(hashv(i+777)%2000-1000) / 100.0
+			x[i] = 0.0
+		}
+		devcurrent := func(v float64) float64 {
+			if v > 0.5 {
+				return (v-0.5)*4.0 + 0.1
+			}
+			if v < 0.0-0.5 {
+				return (v + 0.5) * 0.25
+			}
+			return v * 0.2
+		}
+		fabs := func(v float64) float64 {
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+		tol := 0.0001
+		maxiter := int64(120)
+		iter := int64(0)
+		converged := false
+		for !converged && iter < maxiter {
+			err := 0.0
+			for i := int64(0); i < n; i++ {
+				s := b[i] - devcurrent(x[i])
+				for k := int64(0); k < nnz; k++ {
+					s = s - offv[i][k]*x[offc[i][k]]
+				}
+				nx := s / diag[i]
+				if fabs(nx-x[i]) > err {
+					err = fabs(nx - x[i])
+				}
+				x[i] = nx
+			}
+			iter++
+			if err < tol {
+				converged = true
+			}
+		}
+		p.pi(iter)
+		s := 0.0
+		for i := int64(0); i < n; i++ {
+			s = s + x[i]
+		}
+		p.pf(s)
+	})
+}
+
+func TestNativeTomcatv(t *testing.T) {
+	checkNative(t, "tomcatv", func(p *printer) {
+		const n = 34
+		const iters = 25
+		var xg, yg, nxg, nyg [n][n]float64
+		for i := int64(0); i < n; i++ {
+			for j := int64(0); j < n; j++ {
+				xg[i][j] = float64(i) + float64(hashv(i*n+j)%100)/200.0
+				yg[i][j] = float64(j) + float64(hashv(i*n+j+31337)%100)/200.0
+			}
+		}
+		fabs := func(v float64) float64 {
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+		resid := 0.0
+		for it := 0; it < iters; it++ {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					nxg[i][j] = (xg[i-1][j] + xg[i+1][j] + xg[i][j-1] + xg[i][j+1]) * 0.25
+					nyg[i][j] = (yg[i-1][j] + yg[i+1][j] + yg[i][j-1] + yg[i][j+1]) * 0.25
+				}
+			}
+			resid = 0.0
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					rx := nxg[i][j] - xg[i][j]
+					ry := nyg[i][j] - yg[i][j]
+					resid = resid + fabs(rx) + fabs(ry)
+					xg[i][j] = nxg[i][j]
+					yg[i][j] = nyg[i][j]
+				}
+			}
+		}
+		p.pf(resid)
+	})
+}

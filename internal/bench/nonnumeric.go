@@ -1,0 +1,327 @@
+package bench
+
+import "fmt"
+
+// awkSource: pattern scanning over generated text, like the awk benchmark.
+// Highly data-dependent inner loops (match/mismatch) plus a word-count
+// state machine.
+func awkSource(scale int) string {
+	scale = clampScale(scale, 16)
+	n := 9000 * scale
+	return fmt.Sprintf(`
+int text[%d];
+int pats[6][8];
+int patlen[6];
+int hits[6];
+%s
+void gentext(int n) {
+	int i, r;
+	for (i = 0; i < n; i++) {
+		r = hash(i) %% 10;
+		if (r < 8) text[i] = 'a' + hash(i + 70001) %% 4;
+		else text[i] = ' ';
+	}
+}
+void genpats() {
+	int i, j;
+	for (i = 0; i < 6; i++) {
+		patlen[i] = 2 + hash(900 + i) %% 3;
+		for (j = 0; j < patlen[i]; j++) pats[i][j] = 'a' + hash(1000 + i * 8 + j) %% 4;
+	}
+}
+int scan(int n) {
+	int i, j, k, total, longest;
+	total = 0;
+	i = 0;
+	// Like awk's record scanner, the position advances by the length of
+	// the match found there, so the scan loop itself is data dependent.
+	while (i < n) {
+		longest = 0;
+		for (k = 0; k < 6; k++) {
+			if (i + patlen[k] <= n) {
+				j = 0;
+				while (j < patlen[k] && text[i + j] == pats[k][j]) j++;
+				if (j == patlen[k]) {
+					hits[k]++;
+					total++;
+					if (patlen[k] > longest) longest = patlen[k];
+				}
+			}
+		}
+		if (longest > 0) i = i + longest;
+		else i = i + 1;
+	}
+	return total;
+}
+int words(int n) {
+	int i, inword, count;
+	inword = 0;
+	count = 0;
+	for (i = 0; i < n; i++) {
+		if (text[i] != ' ') {
+			if (!inword) count++;
+			inword = 1;
+		} else {
+			inword = 0;
+		}
+	}
+	return count;
+}
+int main() {
+	int n;
+	n = %d;
+	gentext(n);
+	genpats();
+	print(scan(n));
+	print(words(n));
+	return 0;
+}
+`, n, lcg, n)
+}
+
+// ccomSource: a compiler front end in miniature — generate random
+// arithmetic expressions as token streams, then parse them with a
+// recursive-descent parser and evaluate on the fly.  Recursion-heavy with
+// unpredictable branching, like ccom.
+func ccomSource(scale int) string {
+	scale = clampScale(scale, 16)
+	exprs := 350 * scale
+	return fmt.Sprintf(`
+int toks[6000];
+int tvals[6000];
+int counts[6];
+int ntok;
+int pos;
+%s
+void tally() {
+	// Token-kind dispatch through a jump table, like a lexer's switch.
+	int i, k;
+	for (i = 0; i < ntok; i++) {
+		k = toks[i];
+		switch (k) {
+		case 0: counts[0]++; break;
+		case 1: counts[1]++; break;
+		case 2: counts[2]++; break;
+		case 3: counts[3]++; break;
+		case 4: counts[4]++; break;
+		case 5: counts[5]++; break;
+		}
+	}
+}
+void genexpr(int depth) {
+	int r;
+	r = rnd(10);
+	if (depth <= 0 || r < 3) {
+		toks[ntok] = 0;
+		tvals[ntok] = rnd(100);
+		ntok++;
+		return;
+	}
+	if (r < 8) {
+		int op2;
+		genexpr(depth - 1);
+		op2 = rnd(10);
+		if (op2 < 8) toks[ntok] = 1;        // + dominates, as in real code
+		else if (op2 < 9) toks[ntok] = 2;   // -
+		else toks[ntok] = 3;                // *
+		ntok++;
+		genexpr(depth - 1);
+		return;
+	}
+	toks[ntok] = 4;   // (
+	ntok++;
+	genexpr(depth - 1);
+	toks[ntok] = 5;   // )
+	ntok++;
+}
+int parsefactor() {
+	int v;
+	if (pos < ntok && toks[pos] == 4) {
+		pos++;
+		v = parseexpr();
+		if (pos < ntok && toks[pos] == 5) pos++;
+		return v;
+	}
+	v = tvals[pos];
+	pos++;
+	return v;
+}
+int parseterm() {
+	int v;
+	v = parsefactor();
+	while (pos < ntok && toks[pos] == 3) {
+		pos++;
+		v = v * parsefactor();
+	}
+	return v;
+}
+int parseexpr() {
+	int v, op;
+	v = parseterm();
+	while (pos < ntok && (toks[pos] == 1 || toks[pos] == 2)) {
+		op = toks[pos];
+		pos++;
+		if (op == 1) v = v + parseterm();
+		else v = v - parseterm();
+	}
+	return v;
+}
+int main() {
+	int e, sum;
+	sum = 0;
+	for (e = 0; e < %d; e++) {
+		ntok = 0;
+		genexpr(5);
+		tally();
+		pos = 0;
+		sum = (sum + parseexpr()) & 65535;
+	}
+	print(sum);
+	print(counts[0] & 1023);
+	return 0;
+}
+`, lcg, exprs)
+}
+
+// eqntottSource: dominated by a recursive quicksort over generated keys,
+// like eqntott's truth-table sorting phase.
+func eqntottSource(scale int) string {
+	scale = clampScale(scale, 16)
+	n := 4500 * scale
+	return fmt.Sprintf(`
+int keys[%d];
+int perm[%d];
+%s
+int compare(int i, int j) {
+	// Two-level comparison like eqntott's bit-vector compare.
+	int a, b;
+	a = keys[i];
+	b = keys[j];
+	if ((a >> 8) < (b >> 8)) return -1;
+	if ((a >> 8) > (b >> 8)) return 1;
+	if ((a & 255) < (b & 255)) return -1;
+	if ((a & 255) > (b & 255)) return 1;
+	return 0;
+}
+void quick(int lo, int hi) {
+	int i, j, p, t, pk;
+	if (lo >= hi) return;
+	p = lo + (hi - lo) / 2;
+	t = perm[p]; perm[p] = perm[hi]; perm[hi] = t;
+	pk = keys[perm[hi]];
+	i = lo;
+	for (j = lo; j < hi; j++) {
+		if (keys[perm[j]] < pk) {
+			t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+			i++;
+		}
+	}
+	t = perm[i]; perm[i] = perm[hi]; perm[hi] = t;
+	quick(lo, i - 1);
+	quick(i + 1, hi);
+}
+int main() {
+	int i, n, bad, sum;
+	n = %d;
+	for (i = 0; i < n; i++) {
+		// Truth-table rows are mostly ordered already with local noise,
+		// which keeps the comparison branches predictable as in eqntott.
+		keys[i] = ((i * 5) & 8191) * 4 + hash(i) %% 4;
+		perm[i] = i;
+	}
+	quick(0, n - 1);
+	bad = 0;
+	sum = 0;
+	for (i = 1; i < n; i++) {
+		if (compare(perm[i - 1], perm[i]) > 0) bad++;
+		sum = (sum + keys[perm[i]] * i) & 65535;
+	}
+	print(bad);
+	print(sum);
+	return 0;
+}
+`, n, n, lcg, n)
+}
+
+// espressoSource: two-level logic minimization in miniature — cube
+// containment and distance-1 merging over bit-vector cubes, dominated by
+// bitwise operations and data-dependent pair loops.
+func espressoSource(scale int) string {
+	scale = clampScale(scale, 16)
+	n := 190 * scale
+	if n > 1900 {
+		n = 1900
+	}
+	return fmt.Sprintf(`
+int val[%d];
+int care[%d];
+int nextc[%d];
+%s
+int popcount(int x) {
+	int c;
+	c = 0;
+	while (x != 0) {
+		c = c + (x & 1);
+		x = x >> 1;
+	}
+	return c;
+}
+int covers(int i, int j) {
+	// cube i covers cube j if i's care set is a subset of j's and the
+	// cared values agree.
+	if ((care[i] & care[j]) != care[i]) return 0;
+	if (((val[i] ^ val[j]) & care[i]) != 0) return 0;
+	return 1;
+}
+int main() {
+	int i, j, pj, n, removed, merged, pass, changed, d;
+	n = %d;
+	for (i = 0; i < n; i++) {
+		val[i] = hash(i) %% 4096;
+		care[i] = (hash(i + 50000) %% 4096) | 1;
+		val[i] = val[i] & care[i];
+		nextc[i] = i + 1;   // the cover is a linked list, as in espresso
+	}
+	nextc[n - 1] = -1;
+	removed = 0;
+	merged = 0;
+	pass = 0;
+	changed = 1;
+	while (changed && pass < 4) {
+		changed = 0;
+		pass++;
+		for (i = 0; i != -1; i = nextc[i]) {
+			pj = i;
+			j = nextc[i];
+			while (j != -1) {
+				if (covers(i, j)) {
+					nextc[pj] = nextc[j];   // unlink j
+					removed++;
+					changed = 1;
+					j = nextc[pj];
+				} else if (care[i] == care[j]) {
+					d = (val[i] ^ val[j]) & care[i];
+					if (popcount(d) == 1) {
+						care[i] = care[i] & ~d;
+						val[i] = val[i] & care[i];
+						nextc[pj] = nextc[j];
+						merged++;
+						changed = 1;
+						j = nextc[pj];
+					} else {
+						pj = j;
+						j = nextc[j];
+					}
+				} else {
+					pj = j;
+					j = nextc[j];
+				}
+			}
+		}
+	}
+	print(removed);
+	print(merged);
+	return 0;
+}
+`, n, n, n, lcg, n)
+}

@@ -1,0 +1,155 @@
+package bench
+
+import "fmt"
+
+// matrixSource: dense double-precision matrix multiplication, like
+// matrix300 (which the paper runs at 300x300; scale 1 uses a smaller order
+// with identical loop structure and data-independent control flow).
+func matrixSource(scale int) string {
+	scale = clampScale(scale, 8)
+	n := 36 + 6*(scale-1)
+	return fmt.Sprintf(`
+float a[%d][%d];
+float b[%d][%d];
+float c[%d][%d];
+%s
+int main() {
+	int i, j, k, n;
+	float s;
+	n = %d;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			a[i][j] = itof(hash(i * n + j) %% 1000) / 1000.0;
+			b[i][j] = itof(hash(i * n + j + 65536) %% 1000) / 1000.0;
+			c[i][j] = 0.0;
+		}
+	}
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			s = 0.0;
+			for (k = 0; k < n; k++) {
+				s = s + a[i][k] * b[k][j];
+			}
+			c[i][j] = s;
+		}
+	}
+	s = 0.0;
+	for (i = 0; i < n; i++) s = s + c[i][i];
+	print(s);
+	return 0;
+}
+`, n, n, n, n, n, n, lcg, n)
+}
+
+// spiceSource: circuit simulation in miniature — Newton-ish iteration over
+// a sparse diagonally dominant system (Gauss-Seidel relaxation) with a
+// data-dependent convergence test and a piecewise-nonlinear device model.
+// The paper singles spice2g6 out as the FORTRAN program whose control flow
+// is highly data dependent; this kernel has the same character.
+func spiceSource(scale int) string {
+	scale = clampScale(scale, 16)
+	n := 260 * scale
+	if n > 4000 {
+		n = 4000
+	}
+	nnz := 6
+	return fmt.Sprintf(`
+float diag[%d];
+float offv[%d][%d];
+int offc[%d][%d];
+float b[%d];
+float x[%d];
+%s
+float devcurrent(float v) {
+	// Piecewise diode-like model: data-dependent branch per node.
+	if (v > 0.5) return (v - 0.5) * 4.0 + 0.1;
+	if (v < 0.0 - 0.5) return (v + 0.5) * 0.25;
+	return v * 0.2;
+}
+int main() {
+	int i, k, n, iter, maxiter, converged;
+	float s, nx, err, tol;
+	n = %d;
+	for (i = 0; i < n; i++) {
+		diag[i] = 8.0 + itof(hash(i) %% 100) / 25.0;
+		for (k = 0; k < %d; k++) {
+			offv[i][k] = 0.0 - itof(hash(i * 8 + k) %% 100) / 100.0;
+			offc[i][k] = hash(i * 8 + k + 99991) %% n;
+		}
+		b[i] = itof(hash(i + 777) %% 2000 - 1000) / 100.0;
+		x[i] = 0.0;
+	}
+	tol = 0.0001;
+	maxiter = 120;
+	iter = 0;
+	converged = 0;
+	while (!converged && iter < maxiter) {
+		err = 0.0;
+		for (i = 0; i < n; i++) {
+			s = b[i] - devcurrent(x[i]);
+			for (k = 0; k < %d; k++) {
+				s = s - offv[i][k] * x[offc[i][k]];
+			}
+			nx = s / diag[i];
+			if (fabs(nx - x[i]) > err) err = fabs(nx - x[i]);
+			x[i] = nx;
+		}
+		iter++;
+		if (err < tol) converged = 1;
+	}
+	print(iter);
+	s = 0.0;
+	for (i = 0; i < n; i++) s = s + x[i];
+	print(s);
+	return 0;
+}
+`, n, n, nnz, n, nnz, n, n, lcg, n, nnz, nnz)
+}
+
+// tomcatvSource: vectorized mesh generation in miniature — repeated
+// five-point stencil relaxation over two coordinate grids with residual
+// accumulation.  Entirely data-independent control flow, like tomcatv.
+func tomcatvSource(scale int) string {
+	scale = clampScale(scale, 8)
+	n := 34 + 4*(scale-1)
+	iters := 25
+	return fmt.Sprintf(`
+float xg[%d][%d];
+float yg[%d][%d];
+float nxg[%d][%d];
+float nyg[%d][%d];
+%s
+int main() {
+	int i, j, it, n;
+	float rx, ry, resid;
+	n = %d;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			xg[i][j] = itof(i) + itof(hash(i * n + j) %% 100) / 200.0;
+			yg[i][j] = itof(j) + itof(hash(i * n + j + 31337) %% 100) / 200.0;
+		}
+	}
+	resid = 0.0;
+	for (it = 0; it < %d; it++) {
+		for (i = 1; i < n - 1; i++) {
+			for (j = 1; j < n - 1; j++) {
+				nxg[i][j] = (xg[i-1][j] + xg[i+1][j] + xg[i][j-1] + xg[i][j+1]) * 0.25;
+				nyg[i][j] = (yg[i-1][j] + yg[i+1][j] + yg[i][j-1] + yg[i][j+1]) * 0.25;
+			}
+		}
+		resid = 0.0;
+		for (i = 1; i < n - 1; i++) {
+			for (j = 1; j < n - 1; j++) {
+				rx = nxg[i][j] - xg[i][j];
+				ry = nyg[i][j] - yg[i][j];
+				resid = resid + fabs(rx) + fabs(ry);
+				xg[i][j] = nxg[i][j];
+				yg[i][j] = nyg[i][j];
+			}
+		}
+	}
+	print(resid);
+	return 0;
+}
+`, n, n, n, n, n, n, n, n, lcg, n, iters)
+}

@@ -1,0 +1,359 @@
+package cfg
+
+import (
+	"sort"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/isa"
+)
+
+func build(t *testing.T, src string) (*isa.Program, *Graph) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p, p.Procs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, g
+}
+
+func blockAt(t *testing.T, g *Graph, p *isa.Program, label string) int {
+	t.Helper()
+	idx, ok := p.Symbols[label]
+	if !ok {
+		t.Fatalf("no label %q", label)
+	}
+	return g.BlockOf(idx)
+}
+
+func sortedCopy(s []int) []int {
+	c := append([]int(nil), s...)
+	sort.Ints(c)
+	return c
+}
+
+func TestStraightLine(t *testing.T) {
+	_, g := build(t, `
+.proc main
+	li $t0, 1
+	li $t1, 2
+	add $t2, $t0, $t1
+	halt
+.endproc
+`)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	if len(g.Blocks[0].Succs) != 0 {
+		t.Errorf("straight-line block has successors %v", g.Blocks[0].Succs)
+	}
+	if len(g.RDF[0]) != 0 {
+		t.Errorf("straight-line RDF = %v, want empty", g.RDF[0])
+	}
+	if g.IPdom[0] != g.VExit() {
+		t.Errorf("ipdom = %d, want vexit", g.IPdom[0])
+	}
+}
+
+const diamondSrc = `
+.proc main
+entry:
+	li   $t0, 1
+	beqz $t0, elsebr
+thenbr:
+	li   $t1, 10
+	j    join
+elsebr:
+	li   $t1, 20
+join:
+	add  $t2, $t1, $t1
+	halt
+.endproc
+`
+
+func TestDiamond(t *testing.T) {
+	p, g := build(t, diamondSrc)
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	e := blockAt(t, g, p, "entry")
+	th := blockAt(t, g, p, "thenbr")
+	el := blockAt(t, g, p, "elsebr")
+	jn := blockAt(t, g, p, "join")
+	if got := sortedCopy(g.Blocks[e].Succs); len(got) != 2 || got[0] != th && got[0] != el {
+		t.Errorf("entry succs = %v", g.Blocks[e].Succs)
+	}
+	// Both arms are control dependent on the entry branch; the join is not.
+	if len(g.RDF[th]) != 1 || g.RDF[th][0] != e {
+		t.Errorf("RDF(then) = %v, want [%d]", g.RDF[th], e)
+	}
+	if len(g.RDF[el]) != 1 || g.RDF[el][0] != e {
+		t.Errorf("RDF(else) = %v, want [%d]", g.RDF[el], e)
+	}
+	if len(g.RDF[jn]) != 0 {
+		t.Errorf("RDF(join) = %v, want empty", g.RDF[jn])
+	}
+	// Dominators: entry dominates everything; join dominated by entry only.
+	if g.IDom[jn] != e {
+		t.Errorf("idom(join) = %d, want %d", g.IDom[jn], e)
+	}
+	// Postdominators: join postdominates everything.
+	if g.IPdom[e] != jn || g.IPdom[th] != jn || g.IPdom[el] != jn {
+		t.Errorf("ipdoms: e=%d th=%d el=%d, want all %d", g.IPdom[e], g.IPdom[th], g.IPdom[el], jn)
+	}
+	if !g.Postdominates(jn, e) || g.Postdominates(th, e) {
+		t.Error("postdominance wrong")
+	}
+	if !g.Dominates(e, jn) || g.Dominates(th, jn) {
+		t.Error("dominance wrong")
+	}
+	if !g.IsBranchBlock(e) || g.IsBranchBlock(th) {
+		t.Error("branch block classification wrong")
+	}
+	if len(g.Loops) != 0 {
+		t.Errorf("diamond has loops: %+v", g.Loops)
+	}
+}
+
+const loopSrc = `
+.proc main
+	li   $t0, 0
+	li   $t1, 10
+head:
+	bge  $t0, $t1, done
+body:
+	addi $t0, $t0, 1
+	j    head
+done:
+	halt
+.endproc
+`
+
+func TestLoop(t *testing.T) {
+	p, g := build(t, loopSrc)
+	h := blockAt(t, g, p, "head")
+	b := blockAt(t, g, p, "body")
+	d := blockAt(t, g, p, "done")
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(g.Loops))
+	}
+	l := &g.Loops[0]
+	if l.Header != h {
+		t.Errorf("header = %d, want %d", l.Header, h)
+	}
+	if want := sortedCopy([]int{h, b}); len(l.Blocks) != 2 || l.Blocks[0] != want[0] || l.Blocks[1] != want[1] {
+		t.Errorf("loop blocks = %v, want %v", l.Blocks, want)
+	}
+	if !l.Contains(h) || !l.Contains(b) || l.Contains(d) {
+		t.Error("loop membership wrong")
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != b {
+		t.Errorf("latches = %v, want [%d]", l.Latches, b)
+	}
+	// The loop body and the header itself are control dependent on the
+	// header branch; code after the loop is not.
+	hasRDF := func(x int, on int) bool {
+		for _, v := range g.RDF[x] {
+			if v == on {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasRDF(b, h) {
+		t.Errorf("RDF(body) = %v, want to contain %d", g.RDF[b], h)
+	}
+	if !hasRDF(h, h) {
+		t.Errorf("RDF(head) = %v, want to contain %d (loop header depends on itself)", g.RDF[h], h)
+	}
+	if len(g.RDF[d]) != 0 {
+		t.Errorf("RDF(done) = %v, want empty", g.RDF[d])
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	p, g := build(t, `
+.proc main
+	li $t0, 0
+outer:
+	li $t1, 0
+inner:
+	addi $t1, $t1, 1
+	li   $t3, 5
+	blt  $t1, $t3, inner
+	addi $t0, $t0, 1
+	li   $t3, 5
+	blt  $t0, $t3, outer
+	halt
+.endproc
+`)
+	if len(g.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(g.Loops))
+	}
+	// Outermost first by our ordering.
+	outer, inner := &g.Loops[0], &g.Loops[1]
+	if len(outer.Blocks) <= len(inner.Blocks) {
+		t.Fatalf("ordering wrong: outer %d blocks, inner %d", len(outer.Blocks), len(inner.Blocks))
+	}
+	if !inner.IsProperSubloopOf(outer) {
+		t.Error("inner should be a proper subloop of outer")
+	}
+	if outer.IsProperSubloopOf(inner) || outer.IsProperSubloopOf(outer) {
+		t.Error("subloop relation wrong")
+	}
+	ih := blockAt(t, g, p, "inner")
+	oh := blockAt(t, g, p, "outer")
+	if inner.Header != ih || outer.Header != oh {
+		t.Errorf("headers: inner=%d outer=%d, want %d %d", inner.Header, outer.Header, ih, oh)
+	}
+}
+
+func TestJumpTableCFG(t *testing.T) {
+	p, g := build(t, `
+.jumptable disp: c0 c1 c2
+.proc main
+	li   $t0, 1
+	jtab $t0, disp
+c0:	li $v0, 10
+	j done
+c1:	li $v0, 11
+	j done
+c2:	li $v0, 12
+done:
+	halt
+.endproc
+`)
+	e := g.BlockOf(p.Symbols["main"])
+	if got := len(g.Blocks[e].Succs); got != 3 {
+		t.Fatalf("jtab block has %d succs, want 3", got)
+	}
+	if !g.IsBranchBlock(e) {
+		t.Error("jtab block should be a branch block")
+	}
+	for _, lab := range []string{"c0", "c1", "c2"} {
+		b := blockAt(t, g, p, lab)
+		if len(g.RDF[b]) != 1 || g.RDF[b][0] != e {
+			t.Errorf("RDF(%s) = %v, want [%d]", lab, g.RDF[b], e)
+		}
+	}
+	d := blockAt(t, g, p, "done")
+	if len(g.RDF[d]) != 0 {
+		t.Errorf("RDF(done) = %v, want empty", g.RDF[d])
+	}
+}
+
+func TestIfInsideLoopRDF(t *testing.T) {
+	// for (...) { if (c) x; y } z
+	// x depends on the if-branch; y and the if itself depend on the loop
+	// branch; z depends on nothing.
+	p, g := build(t, `
+.proc main
+	li   $t0, 0
+head:
+	li   $t9, 10
+	bge  $t0, $t9, exit
+ifc:
+	andi $t1, $t0, 1
+	beqz $t1, after
+thenb:
+	addi $t2, $t2, 1
+after:
+	addi $t0, $t0, 1
+	j    head
+exit:
+	halt
+.endproc
+`)
+	head := blockAt(t, g, p, "head")
+	ifc := blockAt(t, g, p, "ifc")
+	thenb := blockAt(t, g, p, "thenb")
+	after := blockAt(t, g, p, "after")
+	exit := blockAt(t, g, p, "exit")
+	want := map[int][]int{
+		ifc:   {head},
+		thenb: {ifc},
+		after: {head},
+		head:  {head},
+		exit:  {},
+	}
+	for b, rdf := range want {
+		got := sortedCopy(g.RDF[b])
+		exp := sortedCopy(rdf)
+		if len(got) != len(exp) {
+			t.Errorf("RDF(block %d) = %v, want %v", b, got, exp)
+			continue
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Errorf("RDF(block %d) = %v, want %v", b, got, exp)
+			}
+		}
+	}
+}
+
+func TestTerminator(t *testing.T) {
+	p, g := build(t, diamondSrc)
+	e := blockAt(t, g, p, "entry")
+	if p.Instrs[g.Terminator(e)].Op != isa.BEQ {
+		t.Errorf("terminator of entry = %v", p.Instrs[g.Terminator(e)].Op)
+	}
+}
+
+func TestNoExitError(t *testing.T) {
+	p, err := asm.Assemble(".proc main\nspin: j spin\n.endproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(p, p.Procs[0]); err == nil {
+		t.Error("infinite loop should fail postdominator construction")
+	}
+}
+
+func TestBranchToFallthrough(t *testing.T) {
+	// A conditional branch whose target equals its fallthrough must not
+	// create a duplicate edge.
+	_, g := build(t, `
+.proc main
+	li   $t0, 1
+	beqz $t0, next
+next:
+	halt
+.endproc
+`)
+	if len(g.Blocks[0].Succs) != 1 {
+		t.Errorf("succs = %v, want one edge", g.Blocks[0].Succs)
+	}
+}
+
+func TestMultiProcPrograms(t *testing.T) {
+	p, err := asm.Assemble(`
+.proc main
+	jal helper
+	halt
+.endproc
+.proc helper
+	li $t0, 1
+	beqz $t0, out
+	nop
+out:
+	ret
+.endproc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proc := range p.Procs {
+		g, err := Build(p, proc)
+		if err != nil {
+			t.Fatalf("%s: %v", proc.Name, err)
+		}
+		// jal must not split main's single block.
+		if proc.Name == "main" && len(g.Blocks) != 1 {
+			t.Errorf("main has %d blocks, want 1 (jal must not end a block)", len(g.Blocks))
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package cfg builds per-procedure control-flow graphs from object code and
+// computes the static analyses the limit study needs: dominators,
+// postdominators, the reverse dominance frontier (immediate control
+// dependence, paper §4.4.1) and natural loops (for the induction-variable
+// analysis of §4.2).
+package cfg
+
+import (
+	"fmt"
+
+	"ilplimit/internal/isa"
+)
+
+// Block is one basic block: instructions [Start, End) in the program.
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int
+	Preds []int
+}
+
+// Graph is the control-flow graph of one procedure plus its derived
+// analyses.  Block ids are local to the graph; the pseudo-exit node is
+// identified by VExit() and appears only in IPdom.
+type Graph struct {
+	Proc   isa.Proc
+	Blocks []Block
+	// Entry is the id of the entry block (the one containing Proc.Start).
+	Entry int
+	// IDom[b] is the immediate dominator of block b, -1 for the entry and
+	// for unreachable blocks.
+	IDom []int
+	// IPdom[b] is the immediate postdominator of b; VExit() for blocks whose
+	// postdominator is the pseudo-exit, -1 for blocks that cannot reach an
+	// exit.
+	IPdom []int
+	// RDF[b] lists the blocks in b's reverse dominance frontier: every
+	// instruction in b is immediately control dependent on the terminators
+	// of these blocks (all of which are branch blocks).
+	RDF [][]int
+	// Loops lists the natural loops, innermost last.
+	Loops []Loop
+
+	prog    *isa.Program
+	blockOf []int // instruction index - Proc.Start -> block id
+}
+
+// VExit returns the pseudo-exit node id used in IPdom.
+func (g *Graph) VExit() int { return len(g.Blocks) }
+
+// BlockOf maps an absolute instruction index to its block id.
+func (g *Graph) BlockOf(instr int) int {
+	return g.blockOf[instr-g.Proc.Start]
+}
+
+// Terminator returns the absolute index of block b's final instruction.
+func (g *Graph) Terminator(b int) int { return g.Blocks[b].End - 1 }
+
+// IsBranchBlock reports whether block b ends in a conditional branch or
+// computed jump.
+func (g *Graph) IsBranchBlock(b int) bool {
+	return g.prog.Instrs[g.Terminator(b)].Op.IsBranchConstraint()
+}
+
+// Build constructs the CFG of proc and computes all derived analyses.
+func Build(p *isa.Program, proc isa.Proc) (*Graph, error) {
+	g := &Graph{Proc: proc, prog: p}
+	if err := g.buildBlocks(); err != nil {
+		return nil, err
+	}
+	g.IDom = dominators(len(g.Blocks), g.Entry, func(b int) []int { return g.Blocks[b].Preds }, g.rpo(false))
+	if err := g.buildPostdoms(); err != nil {
+		return nil, err
+	}
+	g.buildRDF()
+	g.buildLoops()
+	return g, nil
+}
+
+// buildBlocks finds leaders and block boundaries and wires up edges.
+func (g *Graph) buildBlocks() error {
+	p, proc := g.prog, g.Proc
+	n := proc.End - proc.Start
+	if n <= 0 {
+		return fmt.Errorf("cfg: procedure %s is empty", proc.Name)
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	inRange := func(t int) bool { return t >= proc.Start && t < proc.End }
+	for i := proc.Start; i < proc.End; i++ {
+		in := &p.Instrs[i]
+		switch {
+		case in.Op.IsCondBranch(), in.Op == isa.J:
+			if !inRange(in.Target) {
+				return fmt.Errorf("cfg: %s: instr %d branches out of procedure", proc.Name, i)
+			}
+			leader[in.Target-proc.Start] = true
+			if i+1 < proc.End {
+				leader[i+1-proc.Start] = true
+			}
+		case in.Op == isa.JTAB:
+			for _, t := range p.Tables[in.Table] {
+				if !inRange(t) {
+					return fmt.Errorf("cfg: %s: jump table escapes procedure", proc.Name)
+				}
+				leader[t-proc.Start] = true
+			}
+			if i+1 < proc.End {
+				leader[i+1-proc.Start] = true
+			}
+		case in.Op == isa.JR, in.Op == isa.HALT:
+			if i+1 < proc.End {
+				leader[i+1-proc.Start] = true
+			}
+		}
+	}
+	g.blockOf = make([]int, n)
+	for rel := 0; rel < n; {
+		start := rel
+		id := len(g.Blocks)
+		for {
+			g.blockOf[rel] = id
+			op := p.Instrs[proc.Start+rel].Op
+			rel++
+			if rel >= n || leader[rel] || op.EndsBlock() {
+				break
+			}
+		}
+		g.Blocks = append(g.Blocks, Block{ID: id, Start: proc.Start + start, End: proc.Start + rel})
+	}
+	// Edges.
+	for b := range g.Blocks {
+		blk := &g.Blocks[b]
+		term := &p.Instrs[blk.End-1]
+		addEdge := func(target int) {
+			s := g.blockOf[target-proc.Start]
+			blk.Succs = append(blk.Succs, s)
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, b)
+		}
+		switch {
+		case term.Op.IsCondBranch():
+			addEdge(term.Target)
+			if blk.End < proc.End {
+				// Avoid duplicate edges when target == fallthrough.
+				ft := g.blockOf[blk.End-proc.Start]
+				if len(blk.Succs) == 0 || blk.Succs[0] != ft {
+					addEdge(blk.End)
+				}
+			}
+		case term.Op == isa.J:
+			addEdge(term.Target)
+		case term.Op == isa.JTAB:
+			seen := make(map[int]bool)
+			for _, t := range g.prog.Tables[term.Table] {
+				s := g.blockOf[t-proc.Start]
+				if !seen[s] {
+					seen[s] = true
+					addEdge(t)
+				}
+			}
+		case term.Op == isa.JR, term.Op == isa.HALT:
+			// exit block: no intraprocedural successors
+		default:
+			if blk.End < proc.End {
+				addEdge(blk.End)
+			}
+		}
+	}
+	g.Entry = g.blockOf[0]
+	return nil
+}
+
+// rpo computes a reverse postorder over the graph.  With reverse=false it
+// walks successor edges from the entry; with reverse=true it walks
+// predecessor edges from the pseudo-exit (whose preds are the exit blocks),
+// yielding an order suitable for postdominator computation.  The returned
+// slice contains block ids (and possibly VExit when reverse).
+func (g *Graph) rpo(reverse bool) []int {
+	n := len(g.Blocks)
+	total := n
+	if reverse {
+		total = n + 1
+	}
+	visited := make([]bool, total)
+	var order []int
+	var dfs func(b int)
+	dfs = func(b int) {
+		visited[b] = true
+		var next []int
+		if reverse {
+			if b == n {
+				for i := range g.Blocks {
+					if len(g.Blocks[i].Succs) == 0 {
+						next = append(next, i)
+					}
+				}
+			} else {
+				next = g.Blocks[b].Preds
+			}
+		} else {
+			next = g.Blocks[b].Succs
+		}
+		for _, s := range next {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	if reverse {
+		dfs(n)
+	} else {
+		dfs(g.Entry)
+	}
+	// Reverse in place: order currently is postorder.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+func (g *Graph) buildPostdoms() error {
+	n := len(g.Blocks)
+	hasExit := false
+	for i := range g.Blocks {
+		if len(g.Blocks[i].Succs) == 0 {
+			hasExit = true
+			break
+		}
+	}
+	if !hasExit {
+		return fmt.Errorf("cfg: procedure %s has no exit block (infinite loop?)", g.Proc.Name)
+	}
+	// Postdominators = dominators of the reverse graph rooted at the
+	// pseudo-exit node n.
+	preds := func(b int) []int {
+		if b == n {
+			return nil // pseudo-exit has no preds in the reverse graph
+		}
+		return g.Blocks[b].Succs
+	}
+	// In the reverse graph, preds of a node are its original successors,
+	// except exit blocks whose (only) reverse pred is the pseudo-exit.
+	revPreds := func(b int) []int {
+		if b == n {
+			return nil
+		}
+		s := preds(b)
+		if len(s) == 0 {
+			return []int{n}
+		}
+		return s
+	}
+	ipdom := dominators(n+1, n, revPreds, g.rpo(true))
+	g.IPdom = ipdom[:n]
+	return nil
+}
+
+// dominators implements the Cooper-Harvey-Kennedy iterative algorithm.
+// nodes is the node count, entry the root, preds the predecessor function,
+// and order a reverse postorder starting with entry.  The result maps each
+// node to its immediate dominator (-1 for the entry and unreachable nodes).
+func dominators(nodes, entry int, preds func(int) []int, order []int) []int {
+	idom := make([]int, nodes)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[entry] = entry
+	pos := make([]int, nodes) // node -> index in order
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, b := range order {
+		pos[b] = i
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for pos[a] > pos[b] {
+				a = idom[a]
+			}
+			for pos[b] > pos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds(b) {
+				if idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = -1
+	return idom
+}
+
+// buildRDF computes the reverse dominance frontier with the Cytron walk on
+// the postdominator tree: for every branch block X and every successor S of
+// X, walk S, ipdom(S), … up to (but excluding) ipdom(X), adding X to each
+// walked block's RDF.
+func (g *Graph) buildRDF() {
+	n := len(g.Blocks)
+	g.RDF = make([][]int, n)
+	ipdomOf := func(b int) int {
+		if b == g.VExit() {
+			return -1
+		}
+		return g.IPdom[b]
+	}
+	for x := range g.Blocks {
+		if len(g.Blocks[x].Succs) < 2 {
+			continue
+		}
+		stop := ipdomOf(x)
+		for _, s := range g.Blocks[x].Succs {
+			for runner := s; runner != stop && runner != -1 && runner != g.VExit(); runner = ipdomOf(runner) {
+				g.RDF[runner] = appendUnique(g.RDF[runner], x)
+			}
+		}
+	}
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

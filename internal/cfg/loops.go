@@ -1,0 +1,105 @@
+package cfg
+
+import "sort"
+
+// Loop is one natural loop.  Loops sharing a header are merged, as usual.
+type Loop struct {
+	// Header is the loop-header block id.
+	Header int
+	// Blocks lists the member block ids in ascending order (including the
+	// header).
+	Blocks []int
+	// Latches lists the back-edge source blocks.
+	Latches []int
+
+	member map[int]bool
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool { return l.member[b] }
+
+// IsProperSubloopOf reports whether l is strictly nested inside outer.
+func (l *Loop) IsProperSubloopOf(outer *Loop) bool {
+	if l == outer || len(l.Blocks) >= len(outer.Blocks) {
+		return false
+	}
+	for _, b := range l.Blocks {
+		if !outer.member[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildLoops finds natural loops from back edges (edge a->h where h
+// dominates a), merging loops with a common header.
+func (g *Graph) buildLoops() {
+	byHeader := make(map[int]*Loop)
+	var headers []int
+	for a := range g.Blocks {
+		for _, h := range g.Blocks[a].Succs {
+			if !g.dominates(h, a) {
+				continue
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, member: map[int]bool{h: true}}
+				byHeader[h] = l
+				headers = append(headers, h)
+			}
+			l.Latches = append(l.Latches, a)
+			// Collect the loop body: all blocks that reach a without
+			// passing through h.
+			stack := []int{a}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.member[b] {
+					continue
+				}
+				l.member[b] = true
+				stack = append(stack, g.Blocks[b].Preds...)
+			}
+		}
+	}
+	sort.Ints(headers)
+	for _, h := range headers {
+		l := byHeader[h]
+		for b := range l.member {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Ints(l.Blocks)
+		g.Loops = append(g.Loops, *l)
+	}
+	// Order outermost first (by decreasing size) for readability.
+	sort.SliceStable(g.Loops, func(i, j int) bool {
+		return len(g.Loops[i].Blocks) > len(g.Loops[j].Blocks)
+	})
+}
+
+// dominates reports whether block a dominates block b.
+func (g *Graph) dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = g.IDom[b]
+	}
+	return false
+}
+
+// Dominates reports whether block a dominates block b (exported for
+// clients such as the induction-variable analysis).
+func (g *Graph) Dominates(a, b int) bool { return g.dominates(a, b) }
+
+// Postdominates reports whether block a postdominates block b.
+func (g *Graph) Postdominates(a, b int) bool {
+	vexit := g.VExit()
+	for b != -1 && b != vexit {
+		if a == b {
+			return true
+		}
+		b = g.IPdom[b]
+	}
+	return false
+}

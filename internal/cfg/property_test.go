@@ -1,0 +1,302 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ilplimit/internal/asm"
+)
+
+// This file checks the dominator, postdominator and reverse-dominance-
+// frontier computations against brute-force definitions on randomly
+// generated structured programs.
+
+// genStructured emits a random single-procedure program built from
+// sequences, if/else, loops and early exits.
+func genStructured(rng *rand.Rand) string {
+	var b strings.Builder
+	labelN := 0
+	newLabel := func() string { labelN++; return fmt.Sprintf("L%d", labelN) }
+	emit := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+	emit(".proc main")
+	var gen func(depth int)
+	ops := func() {
+		for k := rng.Intn(3); k >= 0; k-- {
+			emit("\taddi $t%d, $t%d, %d", rng.Intn(5), rng.Intn(5), rng.Intn(9))
+		}
+	}
+	gen = func(depth int) {
+		n := 1 + rng.Intn(3)
+		for s := 0; s < n; s++ {
+			ops()
+			if depth <= 0 {
+				continue
+			}
+			switch rng.Intn(5) {
+			case 0: // if without else
+				end := newLabel()
+				emit("\tbeq $t0, $t1, %s", end)
+				gen(depth - 1)
+				emit("%s:", end)
+			case 1: // if/else
+				els, end := newLabel(), newLabel()
+				emit("\tbne $t0, $t1, %s", els)
+				gen(depth - 1)
+				emit("\tj %s", end)
+				emit("%s:", els)
+				gen(depth - 1)
+				emit("%s:", end)
+			case 2: // loop with conditional back edge
+				head := newLabel()
+				emit("%s:", head)
+				gen(depth - 1)
+				emit("\tblt $t0, $t1, %s", head)
+			case 3: // loop with conditional exit and unconditional back edge
+				head, exit := newLabel(), newLabel()
+				emit("%s:", head)
+				emit("\tbge $t2, $t3, %s", exit)
+				gen(depth - 1)
+				emit("\tj %s", head)
+				emit("%s:", exit)
+			case 4: // early return
+				skip := newLabel()
+				emit("\tbgt $t1, $t4, %s", skip)
+				emit("\tret")
+				emit("%s:", skip)
+			}
+		}
+	}
+	gen(3)
+	emit("\thalt")
+	emit(".endproc")
+	return b.String()
+}
+
+// reachableFrom computes reachability over succs, optionally skipping one
+// banned node — the brute-force dominator test.
+func reachableFrom(g *Graph, start, banned int) []bool {
+	seen := make([]bool, len(g.Blocks))
+	if start == banned {
+		return seen
+	}
+	stack := []int{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[b].Succs {
+			if s != banned && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// reachesExit computes, over preds of the exit set, which blocks reach an
+// exit while avoiding one banned node.
+func reachesExit(g *Graph, banned int) []bool {
+	seen := make([]bool, len(g.Blocks))
+	var stack []int
+	for b := range g.Blocks {
+		if b != banned && len(g.Blocks[b].Succs) == 0 {
+			seen[b] = true
+			stack = append(stack, b)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Blocks[b].Preds {
+			if p != banned && !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+func TestDominatorsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		src := genStructured(rng)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		g, err := Build(p, p.Procs[0])
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		baseReach := reachableFrom(g, g.Entry, -1)
+		baseExit := reachesExit(g, -1)
+
+		for b := range g.Blocks {
+			if !baseReach[b] {
+				if g.IDom[b] != -1 {
+					t.Errorf("trial %d: unreachable block %d has idom %d", trial, b, g.IDom[b])
+				}
+				continue
+			}
+			// Brute-force dominators: d dominates b iff removing d makes b
+			// unreachable.
+			var doms []int
+			for d := range g.Blocks {
+				if d == b {
+					continue
+				}
+				if baseReach[b] && !reachableFrom(g, g.Entry, d)[b] {
+					doms = append(doms, d)
+				}
+			}
+			for _, d := range doms {
+				if !g.Dominates(d, b) {
+					t.Errorf("trial %d: %d should dominate %d", trial, d, b)
+				}
+			}
+			for d := range g.Blocks {
+				if d == b || !baseReach[d] {
+					continue
+				}
+				if g.Dominates(d, b) != contains(doms, d) {
+					t.Errorf("trial %d: Dominates(%d,%d) = %v disagrees with brute force",
+						trial, d, b, g.Dominates(d, b))
+				}
+			}
+			// idom must be the dominator dominated by all other dominators.
+			if b != g.Entry && g.IDom[b] >= 0 {
+				id := g.IDom[b]
+				if !contains(doms, id) {
+					t.Errorf("trial %d: idom(%d)=%d is not a dominator", trial, b, id)
+				}
+				for _, d := range doms {
+					if d != id && !g.Dominates(d, id) {
+						t.Errorf("trial %d: dominator %d of %d does not dominate idom %d",
+							trial, d, b, id)
+					}
+				}
+			}
+
+			// Postdominators, dually: d postdominates b iff removing d cuts
+			// b off from every exit.
+			if baseExit[b] {
+				for d := range g.Blocks {
+					if d == b || !baseExit[d] {
+						continue
+					}
+					brute := !reachesExit(g, d)[b]
+					if g.Postdominates(d, b) != brute {
+						t.Errorf("trial %d: Postdominates(%d,%d) = %v disagrees with brute force",
+							trial, d, b, g.Postdominates(d, b))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRDFBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		src := genStructured(rng)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Build(p, p.Procs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach := reachableFrom(g, g.Entry, -1)
+		for b := range g.Blocks {
+			if !reach[b] {
+				continue
+			}
+			// Definition: x is in RDF(b) iff b postdominates a successor of
+			// x but does not strictly postdominate x itself.
+			for x := range g.Blocks {
+				if !reach[x] {
+					continue
+				}
+				want := false
+				if len(g.Blocks[x].Succs) >= 2 {
+					for _, s := range g.Blocks[x].Succs {
+						if g.Postdominates(b, s) {
+							want = true
+							break
+						}
+					}
+					if want && b != x && g.Postdominates(b, x) {
+						want = false
+					}
+				}
+				got := false
+				for _, v := range g.RDF[b] {
+					if v == x {
+						got = true
+						break
+					}
+				}
+				if got != want {
+					t.Errorf("trial %d: RDF(%d) contains %d = %v, brute force says %v",
+						trial, b, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLoopsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		src := genStructured(rng)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Build(p, p.Procs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range g.Loops {
+			for _, latch := range l.Latches {
+				if !g.Dominates(l.Header, latch) {
+					t.Errorf("trial %d: loop header %d does not dominate latch %d",
+						trial, l.Header, latch)
+				}
+				found := false
+				for _, s := range g.Blocks[latch].Succs {
+					if s == l.Header {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("trial %d: latch %d has no edge to header %d", trial, latch, l.Header)
+				}
+			}
+			for _, b := range l.Blocks {
+				if !l.Contains(b) {
+					t.Errorf("trial %d: Blocks/Contains disagree for %d", trial, b)
+				}
+				if !g.Dominates(l.Header, b) {
+					t.Errorf("trial %d: header %d does not dominate member %d", trial, l.Header, b)
+				}
+			}
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,202 @@
+// Package dataflow implements the induction-variable analysis of the
+// paper's §4.2: it identifies registers that are incremented by a constant
+// exactly once per loop iteration, comparisons of such registers with
+// loop-invariant values, and branches on the results of those comparisons.
+// The instructions it marks are the ones the "perfect loop unrolling"
+// transformation removes from the trace.
+package dataflow
+
+import (
+	"ilplimit/internal/cfg"
+	"ilplimit/internal/isa"
+)
+
+// UnrollMarks returns, for every instruction in the program, whether the
+// perfect-unrolling filter removes it.  graphs must contain one CFG per
+// procedure of the program.
+func UnrollMarks(p *isa.Program, graphs []*cfg.Graph) []bool {
+	marks := make([]bool, len(p.Instrs))
+	for _, g := range graphs {
+		for li := range g.Loops {
+			markLoop(p, g, &g.Loops[li], g.Loops, marks)
+		}
+	}
+	return marks
+}
+
+// loopInfo captures the per-loop register classification.
+type loopInfo struct {
+	defCount  [isa.NumRegs]int
+	defInstr  [isa.NumRegs]int // instruction index of the def when defCount==1
+	induction [isa.NumRegs]bool
+	memWrites bool
+}
+
+// markLoop classifies registers within one loop and marks removable
+// instructions.
+func markLoop(p *isa.Program, g *cfg.Graph, l *cfg.Loop, all []cfg.Loop, marks []bool) {
+	var info loopInfo
+	for i := range info.defInstr {
+		info.defInstr[i] = -1
+	}
+	// Pass 1: count register definitions inside the loop.
+	for _, b := range l.Blocks {
+		blk := &g.Blocks[b]
+		for i := blk.Start; i < blk.End; i++ {
+			in := &p.Instrs[i]
+			if d, ok := in.DestReg(); ok {
+				info.defCount[d]++
+				info.defInstr[d] = i
+			}
+			// Calls clobber the caller-saved registers and may modify any
+			// register via the callee; treat every register without a
+			// visible def conservatively only against in-loop defs, but a
+			// call means the argument/temp registers are not invariant.
+			if in.Op.IsCall() {
+				for r := isa.RV0; r <= isa.RT9; r++ {
+					info.defCount[r] += 2 // poison: neither invariant nor single-def
+				}
+				info.defCount[isa.RRA] += 2
+				for f := 0; f < 32; f++ {
+					info.defCount[isa.FReg(f)] += 2
+				}
+			}
+		}
+	}
+	// invariant: never defined in the loop, or materialized by a single
+	// constant load (the idiom compilers emit for "i < 100" bounds).
+	invariant := func(r isa.Reg) bool {
+		if r == isa.RZero || info.defCount[r] == 0 {
+			return true
+		}
+		if info.defCount[r] == 1 {
+			op := p.Instrs[info.defInstr[r]].Op
+			if op == isa.LI || op == isa.LA {
+				return true
+			}
+		}
+		return false
+	}
+
+	// invariantAt refines invariance with the local reaching definition:
+	// compilers reuse temporaries, so the bound register of "li $t0, 32;
+	// bge $i, $t0, exit" is redefined all over the loop, yet the value
+	// reaching this particular use is a constant.  Scan backward within
+	// the use's basic block for the nearest definition.
+	invariantAt := func(r isa.Reg, use int) bool {
+		if invariant(r) {
+			return true
+		}
+		blk := &g.Blocks[g.BlockOf(use)]
+		for i := use - 1; i >= blk.Start; i-- {
+			if d, ok := p.Instrs[i].DestReg(); ok && d == r {
+				op := p.Instrs[i].Op
+				return op == isa.LI || op == isa.LA
+			}
+		}
+		return false
+	}
+
+	// executesOncePerIteration: the block dominates every latch and is not
+	// inside a proper subloop (which would run it several times per
+	// iteration of l).
+	oncePer := func(b int) bool {
+		for _, latch := range l.Latches {
+			if !g.Dominates(b, latch) {
+				return false
+			}
+		}
+		for i := range all {
+			inner := &all[i]
+			if inner.IsProperSubloopOf(l) && inner.Contains(b) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Pass 2: induction registers — a single in-loop def of the form
+	// addi r, r, const whose block executes exactly once per iteration.
+	for r := 0; r < isa.NumRegs; r++ {
+		if info.defCount[r] != 1 {
+			continue
+		}
+		di := info.defInstr[r]
+		in := &p.Instrs[di]
+		if in.Op == isa.ADDI && in.Rd == isa.Reg(r) && in.Rs == isa.Reg(r) &&
+			oncePer(g.BlockOf(di)) {
+			info.induction[r] = true
+		}
+	}
+
+	// indOrInv: operand acceptable in a removable comparison/branch.
+	indOrInv := func(r isa.Reg, use int) bool { return info.induction[r] || invariantAt(r, use) }
+
+	// Pass 3: mark.  Removable values are the induction increments,
+	// compares over {induction, invariant} operands, and branches whose
+	// operands are induction/invariant registers or single-def registers
+	// produced by a removable compare.
+	removableCmp := [isa.NumRegs]bool{}
+	for _, b := range l.Blocks {
+		blk := &g.Blocks[b]
+		for i := blk.Start; i < blk.End; i++ {
+			in := &p.Instrs[i]
+			switch in.Op {
+			case isa.ADDI:
+				if info.induction[in.Rd] && info.defInstr[in.Rd] == i {
+					marks[i] = true
+				}
+			case isa.SLT, isa.SLE, isa.SEQ, isa.SNE:
+				if indOrInv(in.Rs, i) && indOrInv(in.Rt, i) && (info.induction[in.Rs] || info.induction[in.Rt]) {
+					marks[i] = true
+					if info.defCount[in.Rd] == 1 {
+						removableCmp[in.Rd] = true
+					}
+				}
+			case isa.SLTI:
+				if info.induction[in.Rs] {
+					marks[i] = true
+					if info.defCount[in.Rd] == 1 {
+						removableCmp[in.Rd] = true
+					}
+				}
+			}
+		}
+	}
+	// localCmp: the value of r reaching this use (nearest in-block def) was
+	// produced by a comparison already marked removable.
+	localCmp := func(r isa.Reg, use int) bool {
+		if removableCmp[r] {
+			return true
+		}
+		blk := &g.Blocks[g.BlockOf(use)]
+		for i := use - 1; i >= blk.Start; i-- {
+			if d, ok := p.Instrs[i].DestReg(); ok && d == r {
+				return marks[i] && isCompareOp(p.Instrs[i].Op)
+			}
+		}
+		return false
+	}
+	for _, b := range l.Blocks {
+		blk := &g.Blocks[b]
+		term := blk.End - 1
+		in := &p.Instrs[term]
+		if !in.Op.IsCondBranch() {
+			continue
+		}
+		okOperand := func(r isa.Reg) bool { return indOrInv(r, term) || localCmp(r, term) }
+		involvesInduction := info.induction[in.Rs] || info.induction[in.Rt] ||
+			localCmp(in.Rs, term) || localCmp(in.Rt, term)
+		if okOperand(in.Rs) && okOperand(in.Rt) && involvesInduction {
+			marks[term] = true
+		}
+	}
+}
+
+func isCompareOp(op isa.Op) bool {
+	switch op {
+	case isa.SLT, isa.SLE, isa.SEQ, isa.SNE, isa.SLTI:
+		return true
+	}
+	return false
+}

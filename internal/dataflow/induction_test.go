@@ -1,0 +1,309 @@
+package dataflow
+
+import (
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/cfg"
+	"ilplimit/internal/isa"
+)
+
+func marksFor(t *testing.T, src string) (*isa.Program, []bool) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphs []*cfg.Graph
+	for _, proc := range p.Procs {
+		g, err := cfg.Build(p, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	return p, UnrollMarks(p, graphs)
+}
+
+// markAt reports whether the instruction at the given label (plus offset)
+// is marked.
+func markAt(t *testing.T, p *isa.Program, marks []bool, label string, off int) bool {
+	t.Helper()
+	idx, ok := p.Symbols[label]
+	if !ok {
+		t.Fatalf("no label %q", label)
+	}
+	return marks[idx+off]
+}
+
+func TestCountedLoopDirectBranch(t *testing.T) {
+	p, marks := marksFor(t, `
+.proc main
+	li   $t0, 0
+	li   $t1, 10
+head:
+	bge  $t0, $t1, done
+body:
+	add  $s0, $s0, $t0
+incr:
+	addi $t0, $t0, 1
+	j    head
+done:
+	halt
+.endproc
+`)
+	if !markAt(t, p, marks, "incr", 0) {
+		t.Error("induction increment not marked")
+	}
+	if !markAt(t, p, marks, "head", 0) {
+		t.Error("loop-exit branch on induction vs invariant not marked")
+	}
+	if markAt(t, p, marks, "body", 0) {
+		t.Error("loop body work wrongly marked")
+	}
+}
+
+func TestCountedLoopCompareAndBranch(t *testing.T) {
+	p, marks := marksFor(t, `
+.proc main
+	li   $t0, 0
+	li   $t1, 10
+head:
+	slt  $t2, $t0, $t1
+	beqz $t2, done
+body:
+	add  $s0, $s0, $t0
+	addi $t0, $t0, 1
+	j    head
+done:
+	halt
+.endproc
+`)
+	if !markAt(t, p, marks, "head", 0) {
+		t.Error("slt of induction vs invariant not marked")
+	}
+	if !markAt(t, p, marks, "head", 1) {
+		t.Error("branch on induction comparison not marked")
+	}
+	if !markAt(t, p, marks, "body", 1) {
+		t.Error("increment not marked")
+	}
+	if markAt(t, p, marks, "body", 0) {
+		t.Error("body add wrongly marked")
+	}
+}
+
+func TestDataDependentLoopNotMarked(t *testing.T) {
+	// while (a[i] != 0) i++ — exit depends on memory, branch must stay.
+	p, marks := marksFor(t, `
+.data
+a: .word 1 2 3 0
+.proc main
+	la   $t0, a
+	li   $t1, 0
+head:
+	add  $t2, $t0, $t1
+	lw   $t3, 0($t2)
+	beqz $t3, done
+	addi $t1, $t1, 1
+	j    head
+done:
+	halt
+.endproc
+`)
+	if markAt(t, p, marks, "head", 2) {
+		t.Error("data-dependent exit branch wrongly marked")
+	}
+	// The i++ is still a once-per-iteration constant increment: marked.
+	if !markAt(t, p, marks, "head", 3) {
+		t.Error("induction increment should be marked even in while loops")
+	}
+	if markAt(t, p, marks, "head", 1) {
+		t.Error("load wrongly marked")
+	}
+}
+
+func TestConditionalIncrementNotInduction(t *testing.T) {
+	// if (x & 1) k++ inside the loop: k is not incremented exactly once
+	// per iteration, so neither the increment nor branches on k are marked.
+	p, marks := marksFor(t, `
+.proc main
+	li   $t0, 0
+	li   $t1, 10
+	li   $t2, 0
+head:
+	bge  $t0, $t1, done
+	andi $t3, $t0, 1
+	beqz $t3, skip
+kinc:
+	addi $t2, $t2, 1
+skip:
+	addi $t0, $t0, 1
+	j    head
+done:
+	halt
+.endproc
+`)
+	if markAt(t, p, marks, "kinc", 0) {
+		t.Error("conditional increment wrongly marked as induction")
+	}
+	if !markAt(t, p, marks, "skip", 0) {
+		t.Error("unconditional induction increment should be marked")
+	}
+	if !markAt(t, p, marks, "head", 0) {
+		t.Error("loop-exit branch should be marked")
+	}
+	if markAt(t, p, marks, "head", 2) {
+		t.Error("if-branch on data wrongly marked")
+	}
+}
+
+func TestNestedLoopInduction(t *testing.T) {
+	p, marks := marksFor(t, `
+.proc main
+	li $t0, 0
+outer:
+	li $t9, 5
+	bge $t0, $t9, done
+	li $t1, 0
+inner:
+	li $t8, 7
+	bge $t1, $t8, iout
+	add $s0, $s0, $t1
+	addi $t1, $t1, 1
+	j inner
+iout:
+	addi $t0, $t0, 1
+	j outer
+done:
+	halt
+.endproc
+`)
+	// Both increments and both exit branches are marked.
+	if !markAt(t, p, marks, "inner", 3) {
+		t.Error("inner increment not marked")
+	}
+	if !markAt(t, p, marks, "iout", 0) {
+		t.Error("outer increment not marked")
+	}
+	if !markAt(t, p, marks, "outer", 1) {
+		t.Error("outer exit branch not marked")
+	}
+	if !markAt(t, p, marks, "inner", 1) {
+		t.Error("inner exit branch not marked")
+	}
+	if markAt(t, p, marks, "inner", 2) {
+		t.Error("inner body add wrongly marked")
+	}
+}
+
+func TestCallInLoopPoisonsTemporaries(t *testing.T) {
+	// A call inside the loop may clobber $t and $a registers; comparisons
+	// against them must not be treated as loop invariant.  $s registers
+	// remain usable as induction variables.
+	p, marks := marksFor(t, `
+.proc main
+	li   $s0, 0
+	li   $s1, 10
+head:
+	bge  $s0, $s1, done
+	jal  helper
+	mov  $t5, $v0
+	addi $s0, $s0, 1
+	j    head
+done:
+	halt
+.endproc
+.proc helper
+	li   $v0, 3
+	ret
+.endproc
+`)
+	if !markAt(t, p, marks, "head", 3) {
+		t.Error("s-register induction increment not marked despite call")
+	}
+	if !markAt(t, p, marks, "head", 0) {
+		t.Error("exit branch on s-registers not marked")
+	}
+}
+
+func TestCallClobberedComparisonNotMarked(t *testing.T) {
+	// The bound lives in $t1, which a call may clobber: not invariant.
+	p, marks := marksFor(t, `
+.proc main
+	li   $s0, 0
+	li   $t1, 10
+head:
+	bge  $s0, $t1, done
+	jal  helper
+	addi $s0, $s0, 1
+	j    head
+done:
+	halt
+.endproc
+.proc helper
+	li   $v0, 3
+	ret
+.endproc
+`)
+	if markAt(t, p, marks, "head", 0) {
+		t.Error("branch against call-clobbered bound wrongly marked")
+	}
+}
+
+func TestNonConstantStrideNotInduction(t *testing.T) {
+	// i += j with j a register is not a constant increment.
+	p, marks := marksFor(t, `
+.proc main
+	li   $t0, 0
+	li   $t1, 100
+	li   $t2, 3
+head:
+	bge  $t0, $t1, done
+	add  $t0, $t0, $t2
+	j    head
+done:
+	halt
+.endproc
+`)
+	if markAt(t, p, marks, "head", 1) {
+		t.Error("add with register stride wrongly marked")
+	}
+	if markAt(t, p, marks, "head", 0) {
+		t.Error("branch on non-induction register wrongly marked")
+	}
+}
+
+func TestNoLoopNoMarks(t *testing.T) {
+	_, marks := marksFor(t, `
+.proc main
+	li   $t0, 1
+	addi $t0, $t0, 1
+	slt  $t1, $t0, $t0
+	halt
+.endproc
+`)
+	for i, m := range marks {
+		if m {
+			t.Errorf("instruction %d marked outside any loop", i)
+		}
+	}
+}
+
+func TestSLTIOnInduction(t *testing.T) {
+	p, marks := marksFor(t, `
+.proc main
+	li   $t0, 0
+head:
+	slti $t2, $t0, 10
+	beqz $t2, done
+	addi $t0, $t0, 1
+	j    head
+done:
+	halt
+.endproc
+`)
+	if !markAt(t, p, marks, "head", 0) || !markAt(t, p, marks, "head", 1) {
+		t.Error("slti/branch pair on induction not marked")
+	}
+}

@@ -1,0 +1,162 @@
+package dataflow
+
+import (
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/cfg"
+	"ilplimit/internal/isa"
+)
+
+func buildLiveness(t *testing.T, src string) (*isa.Program, *cfg.Graph, *Liveness) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(p, p.Procs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, g, ComputeLiveness(p, g)
+}
+
+func TestRegSetOps(t *testing.T) {
+	var s RegSet
+	s = s.Add(isa.RT0).Add(isa.F0)
+	if !s.Has(isa.RT0) || !s.Has(isa.F0) || s.Has(isa.RS0) {
+		t.Error("membership wrong")
+	}
+	s = s.Remove(isa.RT0)
+	if s.Has(isa.RT0) || !s.Has(isa.F0) {
+		t.Error("removal wrong")
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	p, g, lv := buildLiveness(t, `
+.proc main
+	li  $t0, 1
+	li  $t1, 2
+	add $t2, $t0, $t1
+	printi $t2
+	halt
+.endproc
+`)
+	after := lv.LiveAfter(p, g, 0)
+	// After "li $t0": t0 live (used by add).
+	if !after[0].Has(isa.RT0) {
+		t.Error("t0 should be live after its definition")
+	}
+	// After the add, t0 and t1 are dead, t2 live.
+	if after[2].Has(isa.RT0) || after[2].Has(isa.RT0+1) {
+		t.Error("t0/t1 should die at the add")
+	}
+	if !after[2].Has(isa.RT0 + 2) {
+		t.Error("t2 should be live before printi")
+	}
+	// After printi, t2 is dead.
+	if after[3].Has(isa.RT0 + 2) {
+		t.Error("t2 should die at printi")
+	}
+}
+
+func TestLivenessAcrossBranches(t *testing.T) {
+	p, g, lv := buildLiveness(t, `
+.proc main
+	li   $t0, 1
+	li   $t1, 2
+	beqz $t0, other
+	printi $t0
+	halt
+other:
+	printi $t1
+	halt
+.endproc
+`)
+	entry := g.BlockOf(p.Symbols["main"])
+	// Both t0 and t1 are live out of the entry block (each used on one arm).
+	if !lv.LiveOut[entry].Has(isa.RT0) || !lv.LiveOut[entry].Has(isa.RT0+1) {
+		t.Errorf("entry live-out = %b, want t0 and t1", lv.LiveOut[entry])
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	p, g, lv := buildLiveness(t, `
+.proc main
+	li   $t0, 10
+	li   $t1, 0
+loop:
+	add  $t1, $t1, $t0
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	printi $t1
+	halt
+.endproc
+`)
+	head := g.BlockOf(p.Symbols["loop"])
+	// The accumulator and counter are live around the back edge.
+	if !lv.LiveIn[head].Has(isa.RT0) || !lv.LiveIn[head].Has(isa.RT0+1) {
+		t.Errorf("loop live-in = %b, want t0 and t1", lv.LiveIn[head])
+	}
+}
+
+func TestLivenessCallClobbers(t *testing.T) {
+	p, g, lv := buildLiveness(t, `
+.proc main
+	li  $t0, 5
+	li  $s0, 6
+	jal helper
+	printi $s0
+	halt
+.endproc
+.proc helper
+	ret
+.endproc
+`)
+	after := lv.LiveAfter(p, g, g.BlockOf(p.Symbols["main"]))
+	// Before the call, t0 is dead (clobbered, never reloaded) while s0
+	// survives the call.
+	if after[1].Has(isa.RT0) {
+		t.Error("caller-saved t0 should be dead across the call")
+	}
+	if !after[1].Has(isa.RS0) {
+		t.Error("callee-saved s0 should be live across the call")
+	}
+}
+
+func TestLivenessExitSet(t *testing.T) {
+	p, g, lv := buildLiveness(t, `
+.proc f
+	li $v0, 7
+	li $t5, 9
+	ret
+.endproc
+`)
+	after := lv.LiveAfter(p, g, g.BlockOf(p.Symbols["f"]))
+	// The result register is live out of the procedure; a temp is not.
+	if !after[0].Has(isa.RV0) {
+		t.Error("v0 should be live at procedure exit")
+	}
+	if after[1].Has(isa.RT0 + 5) {
+		t.Error("t5 should be dead at procedure exit")
+	}
+}
+
+func TestLivenessGuardedMove(t *testing.T) {
+	p, g, lv := buildLiveness(t, `
+.proc main
+	li    $s0, 1
+	li    $t0, 2
+	li    $t1, 0
+	cmovn $s0, $t0, $t1
+	printi $s0
+	halt
+.endproc
+`)
+	after := lv.LiveAfter(p, g, g.BlockOf(p.Symbols["main"]))
+	// The cmov destination is also a source: s0 must be live after its li.
+	if !after[0].Has(isa.RS0) {
+		t.Error("guarded-move destination must keep its prior value live")
+	}
+}

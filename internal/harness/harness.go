@@ -1,0 +1,237 @@
+// Package harness runs the complete experimental pipeline of the paper for
+// one benchmark or the whole suite: compile the mini-C program, assemble
+// it, build the static analyses, collect the branch profile with the same
+// inputs, and schedule the trace under every machine model with and
+// without perfect loop unrolling.  Reports regenerating each table and
+// figure of the paper live in report.go.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/bench"
+	"ilplimit/internal/limits"
+	"ilplimit/internal/minic"
+	optimizer "ilplimit/internal/opt"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/trace"
+	"ilplimit/internal/vm"
+)
+
+// Options configure a run.
+type Options struct {
+	// Scale multiplies benchmark sizes (default 1).
+	Scale int
+	// MemWords sizes the VM and dependence-table memory (default 1<<20).
+	MemWords int
+	// Models restricts the analysis (default: all seven).
+	Models []limits.Model
+	// Optimize runs the post-codegen optimizer (internal/opt) before
+	// analysis, modelling a stronger compiler.
+	Optimize bool
+	// Jobs bounds how many benchmarks RunSuite analyzes concurrently
+	// (default: min(4, GOMAXPROCS); each job holds several dependence
+	// tables, so unbounded parallelism would be memory-hungry).
+	Jobs int
+	// Progress, when non-nil, receives one line per pipeline stage.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.MemWords == 0 {
+		o.MemWords = 1 << 20
+	}
+	if o.Models == nil {
+		o.Models = limits.AllModels()
+	}
+	if o.Jobs < 1 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+		if o.Jobs > 4 {
+			o.Jobs = 4
+		}
+	}
+	return o
+}
+
+// BenchResult holds everything the paper reports about one benchmark.
+type BenchResult struct {
+	Name        string
+	Language    string
+	Description string
+	Numeric     bool
+
+	// Branch statistics (Table 2).
+	PredictionRate     float64
+	InstrsPerBranch    float64
+	DynamicCondBr      int64
+	TraceInstructions  int64 // after perfect inlining, before unrolling
+	StaticInstructions int
+
+	// Parallelism per model with perfect unrolling (Table 3) and without
+	// (the baseline for Table 4).
+	Par         map[limits.Model]float64
+	ParNoUnroll map[limits.Model]float64
+
+	// SP-machine misprediction segments (Figures 6 and 7), from the
+	// unrolled configuration.
+	Segments map[int64]limits.SegAgg
+}
+
+// UnrollChangePercent returns Table 4's percent change in parallelism due
+// to perfect loop unrolling for one model.
+func (r *BenchResult) UnrollChangePercent(m limits.Model) float64 {
+	base := r.ParNoUnroll[m]
+	if base == 0 {
+		return 0
+	}
+	return 100 * (r.Par[m] - base) / base
+}
+
+// SuiteResult aggregates the whole suite.
+type SuiteResult struct {
+	Benchmarks []BenchResult
+	Models     []limits.Model
+}
+
+// NonNumeric returns the results for the paper's seven non-numeric
+// benchmarks.
+func (s *SuiteResult) NonNumeric() []BenchResult {
+	var out []BenchResult
+	for _, r := range s.Benchmarks {
+		if !r.Numeric {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RunBenchmark executes the full pipeline for one benchmark.
+func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
+	opt = opt.withDefaults()
+	logf := func(format string, args ...interface{}) {
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, format+"\n", args...)
+		}
+	}
+
+	logf("[%s] compiling (scale %d)", b.Name, opt.Scale)
+	asmText, err := minic.Compile(b.Source(opt.Scale))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if opt.Optimize {
+		logf("[%s] optimizing", b.Name)
+		or, err := optimizer.Optimize(prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		prog = or.Program
+	}
+
+	machine := vm.NewSized(prog, opt.MemWords)
+	machine.StepLimit = 1 << 32
+
+	// Profiling pass: branch statistics with the measurement inputs.
+	logf("[%s] profiling", b.Name)
+	prof := predict.NewProfile(prog)
+	filter := trace.NewFilter(prog, nil)
+	var traceInstrs, condBranches int64
+	err = machine.Run(func(ev vm.Event) {
+		prof.Record(ev)
+		if !filter.Ignored(ev.Idx) {
+			traceInstrs++
+			if prog.Instrs[ev.Idx].Op.IsCondBranch() {
+				condBranches++
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: profile run: %w", b.Name, err)
+	}
+
+	pred := prof.Predictor()
+	st, err := limits.NewStatic(prog, pred)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+
+	// Analysis pass: every model, with and without perfect unrolling, in a
+	// single replay of the trace.
+	logf("[%s] analyzing %d models x 2 unroll configs over %d instructions",
+		b.Name, len(opt.Models), machine.Steps)
+	machine.Reset()
+	unrolled := limits.NewGroup(st, len(machine.Mem), opt.Models, true)
+	plain := limits.NewGroup(st, len(machine.Mem), opt.Models, false)
+	uv, pv := unrolled.Visitor(), plain.Visitor()
+	if err := machine.Run(func(ev vm.Event) { uv(ev); pv(ev) }); err != nil {
+		return nil, fmt.Errorf("%s: analysis run: %w", b.Name, err)
+	}
+
+	res := &BenchResult{
+		Name:               b.Name,
+		Language:           b.Language,
+		Description:        b.Description,
+		Numeric:            b.Numeric,
+		DynamicCondBr:      condBranches,
+		TraceInstructions:  traceInstrs,
+		StaticInstructions: len(prog.Instrs),
+		Par:                make(map[limits.Model]float64),
+		ParNoUnroll:        make(map[limits.Model]float64),
+	}
+	ps := prof.Stats()
+	res.PredictionRate = ps.Rate()
+	if condBranches > 0 {
+		res.InstrsPerBranch = float64(traceInstrs) / float64(condBranches)
+	}
+	for _, r := range unrolled.Results() {
+		res.Par[r.Model] = r.Parallelism()
+		if r.Model == limits.SP {
+			res.Segments = r.Segments
+		}
+	}
+	for _, r := range plain.Results() {
+		res.ParNoUnroll[r.Model] = r.Parallelism()
+	}
+	return res, nil
+}
+
+// RunSuite executes the pipeline for every benchmark in the suite,
+// analyzing up to Options.Jobs benchmarks concurrently.  Results are
+// deterministic and reported in suite order regardless of scheduling.
+func RunSuite(opt Options) (*SuiteResult, error) {
+	opt = opt.withDefaults()
+	benches := bench.All()
+	results := make([]*BenchResult, len(benches))
+	errs := make([]error, len(benches))
+	sem := make(chan struct{}, opt.Jobs)
+	var wg sync.WaitGroup
+	for i := range benches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = RunBenchmark(benches[i], opt)
+		}(i)
+	}
+	wg.Wait()
+	out := &SuiteResult{Models: opt.Models}
+	for i := range benches {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out.Benchmarks = append(out.Benchmarks, *results[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ilplimit/internal/bench"
+	"ilplimit/internal/limits"
+	"ilplimit/internal/stats"
+)
+
+// Table1 renders the benchmark inventory (paper Table 1).
+func Table1() string {
+	t := &stats.Table{
+		Title:   "Table 1: Benchmark Programs",
+		Headers: []string{"Program", "Language", "Description"},
+	}
+	for _, b := range bench.All() {
+		t.AddRow(b.Name, b.Language, b.Description)
+	}
+	return t.Render()
+}
+
+// Table2 renders branch statistics (paper Table 2).
+func (s *SuiteResult) Table2() string {
+	t := &stats.Table{
+		Title:   "Table 2: Branch Statistics",
+		Headers: []string{"Program", "Prediction Rate", "Dyn. Instrs Between Branches"},
+	}
+	for _, r := range s.Benchmarks {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.2f", r.PredictionRate),
+			fmt.Sprintf("%.1f", r.InstrsPerBranch))
+	}
+	return t.Render()
+}
+
+func modelHeaders(models []limits.Model) []string {
+	h := []string{"Program"}
+	for _, m := range models {
+		h = append(h, m.String())
+	}
+	return h
+}
+
+// Table3 renders parallelism for each machine model (paper Table 3), with
+// the harmonic mean over the non-numeric benchmarks, numeric benchmarks
+// listed below it as in the paper.
+func (s *SuiteResult) Table3() string {
+	t := &stats.Table{
+		Title:   "Table 3: Parallelism for each Machine Model (perfect inlining + unrolling)",
+		Headers: modelHeaders(s.Models),
+	}
+	addRow := func(r BenchResult) {
+		row := []string{r.Name}
+		for _, m := range s.Models {
+			row = append(row, stats.FormatParallelism(r.Par[m]))
+		}
+		t.AddRow(row...)
+	}
+	for _, r := range s.Benchmarks {
+		if !r.Numeric {
+			addRow(r)
+		}
+	}
+	hm := []string{"Harmonic Mean"}
+	for _, m := range s.Models {
+		var xs []float64
+		for _, r := range s.NonNumeric() {
+			xs = append(xs, r.Par[m])
+		}
+		hm = append(hm, stats.FormatParallelism(stats.HarmonicMean(xs)))
+	}
+	t.AddRow(hm...)
+	for _, r := range s.Benchmarks {
+		if r.Numeric {
+			addRow(r)
+		}
+	}
+	return t.Render()
+}
+
+// Table4 renders the percent change in parallelism due to perfect loop
+// unrolling (paper Table 4).
+func (s *SuiteResult) Table4() string {
+	t := &stats.Table{
+		Title:   "Table 4: Percent Change in Parallelism due to Perfect Loop Unrolling",
+		Headers: modelHeaders(s.Models),
+	}
+	for _, r := range s.Benchmarks {
+		row := []string{r.Name}
+		for _, m := range s.Models {
+			row = append(row, fmt.Sprintf("%.0f", r.UnrollChangePercent(m)))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// barChart renders a horizontal text bar chart of value/reference ratios.
+func barChart(title string, rows []struct {
+	label string
+	bars  []struct {
+		name  string
+		value float64
+	}
+}) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	const maxBar = 50
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%s\n", row.label)
+		var peak float64
+		for _, bar := range row.bars {
+			if bar.value > peak {
+				peak = bar.value
+			}
+		}
+		for _, bar := range row.bars {
+			n := 0
+			if peak > 0 {
+				n = int(bar.value / peak * maxBar)
+			}
+			fmt.Fprintf(&b, "  %-9s %8.2f |%s\n", bar.name, bar.value, strings.Repeat("#", n))
+		}
+	}
+	return b.String()
+}
+
+type chartRow = struct {
+	label string
+	bars  []struct {
+		name  string
+		value float64
+	}
+}
+
+type chartBar = struct {
+	name  string
+	value float64
+}
+
+// Figure4 renders parallelism with control dependence analysis: BASE, CD
+// and CD-MF per non-numeric benchmark (paper Figure 4).
+func (s *SuiteResult) Figure4() string {
+	var rows []chartRow
+	for _, r := range s.NonNumeric() {
+		rows = append(rows, chartRow{label: r.Name, bars: []chartBar{
+			{"BASE", r.Par[limits.Base]},
+			{"CD", r.Par[limits.CD]},
+			{"CD-MF", r.Par[limits.CDMF]},
+		}})
+	}
+	return barChart("Figure 4: Parallelism with Control Dependence Analysis", rows)
+}
+
+// Figure5 renders parallelism with speculative execution: BASE, SP, SP-CD
+// and SP-CD-MF per non-numeric benchmark (paper Figure 5).
+func (s *SuiteResult) Figure5() string {
+	var rows []chartRow
+	for _, r := range s.NonNumeric() {
+		rows = append(rows, chartRow{label: r.Name, bars: []chartBar{
+			{"BASE", r.Par[limits.Base]},
+			{"SP", r.Par[limits.SP]},
+			{"SP-CD", r.Par[limits.SPCD]},
+			{"SP-CD-MF", r.Par[limits.SPCDMF]},
+		}})
+	}
+	return barChart("Figure 5: Parallelism with Speculative Execution", rows)
+}
+
+// Figure6 renders the cumulative distribution of misprediction distances
+// on the SP machine (paper Figure 6): the fraction of mispredictions whose
+// segment length is at most each threshold.
+func (s *SuiteResult) Figure6() string {
+	thresholds := []int64{10, 20, 50, 100, 200, 500, 1000, 10000}
+	t := &stats.Table{
+		Title:   "Figure 6: Cumulative Distribution of Misprediction Distances (SP machine)",
+		Headers: []string{"Program", "<=10", "<=20", "<=50", "<=100", "<=200", "<=500", "<=1000", "<=10000"},
+	}
+	for _, r := range s.Benchmarks {
+		hist := make(map[int64]int64, len(r.Segments))
+		for d, agg := range r.Segments {
+			hist[d] = agg.Count
+		}
+		cdf := stats.NewCDF(hist)
+		row := []string{r.Name}
+		for _, th := range thresholds {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*cdf.At(th)))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// Figure7 renders the harmonic-mean parallelism per misprediction distance
+// across all benchmarks, bucketed by powers of two (paper Figure 7).
+// Frequency column shows how much trace mass each bucket carries.
+func (s *SuiteResult) Figure7() string {
+	type agg struct {
+		count  int64
+		cycles int64
+		instrs int64
+	}
+	buckets := make(map[int]*agg)
+	for _, r := range s.Benchmarks {
+		for d, sa := range r.Segments {
+			b := bucketOf(d)
+			a := buckets[b]
+			if a == nil {
+				a = &agg{}
+				buckets[b] = a
+			}
+			a.count += sa.Count
+			a.cycles += sa.Cycles
+			a.instrs += d * sa.Count
+		}
+	}
+	var keys []int
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var totalSegs int64
+	for _, a := range buckets {
+		totalSegs += a.count
+	}
+	t := &stats.Table{
+		Title:   "Figure 7: Parallelism vs Misprediction Distance (all benchmarks, SP machine)",
+		Headers: []string{"Distance", "Segments", "Freq", "Harmonic Mean Parallelism"},
+	}
+	for _, k := range keys {
+		a := buckets[k]
+		par := 0.0
+		if a.cycles > 0 {
+			par = float64(a.instrs) / float64(a.cycles)
+		}
+		t.AddRow(bucketLabel(k),
+			fmt.Sprintf("%d", a.count),
+			fmt.Sprintf("%.1f%%", 100*float64(a.count)/float64(totalSegs)),
+			fmt.Sprintf("%.2f", par))
+	}
+	return t.Render()
+}
+
+// bucketOf maps a misprediction distance to its power-of-two bucket index.
+func bucketOf(d int64) int {
+	b := 0
+	for v := int64(1); v < d; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+func bucketLabel(b int) string {
+	if b == 0 {
+		return "1"
+	}
+	lo := int64(1)<<uint(b-1) + 1
+	hi := int64(1) << uint(b)
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// Report renders every table and figure.
+func (s *SuiteResult) Report() string {
+	parts := []string{
+		Table1(), s.Table2(), s.Table3(), s.Table4(),
+		s.Figure4(), s.Figure5(), s.Figure6(), s.Figure7(),
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"testing"
+
+	"ilplimit/internal/limits"
+	"ilplimit/internal/stats"
+)
+
+// TestPaperShape encodes the paper's headline findings as assertions over
+// the whole suite — the reproduction contract.  If a change to the
+// compiler, benchmarks or analyzer breaks one of the paper's qualitative
+// results, this test fails.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite-wide run")
+	}
+	s, err := RunSuite(Options{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hm := func(m limits.Model) float64 {
+		var xs []float64
+		for _, r := range s.NonNumeric() {
+			xs = append(xs, r.Par[m])
+		}
+		return stats.HarmonicMean(xs)
+	}
+	byName := map[string]BenchResult{}
+	for _, r := range s.Benchmarks {
+		byName[r.Name] = r
+	}
+
+	// §5: BASE has only a little parallelism (paper: 2.14).
+	if v := hm(limits.Base); v < 1.5 || v > 4 {
+		t.Errorf("BASE harmonic mean %.2f outside the paper's band", v)
+	}
+	// §5.1: CD alone barely helps — ordered branches are the bottleneck.
+	if r := hm(limits.CD) / hm(limits.Base); r < 1.0 || r > 2.0 {
+		t.Errorf("CD/BASE = %.2f; paper has a small ratio (1.12)", r)
+	}
+	// §5.1: removing the branch-ordering constraint multiplies parallelism.
+	if r := hm(limits.CDMF) / hm(limits.CD); r < 2 {
+		t.Errorf("CD-MF/CD = %.2f; paper has ~2.9", r)
+	}
+	// §5.2: SP is consistently moderate across non-numeric benchmarks.
+	for _, r := range s.NonNumeric() {
+		if r.Par[limits.SP] < 3 || r.Par[limits.SP] > 60 {
+			t.Errorf("%s: SP = %.2f outside the consistent moderate band", r.Name, r.Par[limits.SP])
+		}
+	}
+	// §5.2: control dependence roughly doubles SP.
+	if r := hm(limits.SPCD) / hm(limits.SP); r < 1.3 {
+		t.Errorf("SP-CD/SP = %.2f; paper has ~2", r)
+	}
+	// §5.2: multiple flows of control multiply it again.
+	if r := hm(limits.SPCDMF) / hm(limits.SPCD); r < 1.5 {
+		t.Errorf("SP-CD-MF/SP-CD = %.2f; paper has ~3", r)
+	}
+	// ORACLE dominates everything.
+	for _, r := range s.Benchmarks {
+		for _, m := range s.Models {
+			if r.Par[m] > r.Par[limits.Oracle]*1.0001 {
+				t.Errorf("%s: %s (%.2f) exceeds ORACLE (%.2f)", r.Name, m, r.Par[m], r.Par[limits.Oracle])
+			}
+		}
+	}
+	// §5.3: the data-independent numeric codes tower over the non-numeric
+	// suite, and CD-MF alone captures most of their ORACLE parallelism.
+	for _, name := range []string{"matrix300", "tomcatv"} {
+		r := byName[name]
+		if r.Par[limits.CDMF] < 10*hm(limits.CDMF) {
+			t.Errorf("%s CD-MF (%.0f) not far above the non-numeric mean (%.1f)",
+				name, r.Par[limits.CDMF], hm(limits.CDMF))
+		}
+		if r.Par[limits.CDMF] < 0.5*r.Par[limits.Oracle] {
+			t.Errorf("%s: CD-MF (%.0f) should capture most of ORACLE (%.0f)",
+				name, r.Par[limits.CDMF], r.Par[limits.Oracle])
+		}
+	}
+	// §5.3: spice2g6's data-dependent control flow makes it behave like a
+	// non-numeric program: far below the other FORTRAN codes on SP.
+	spice, matrix := byName["spice2g6"], byName["matrix300"]
+	if spice.Par[limits.SP] > matrix.Par[limits.SP]/10 {
+		t.Errorf("spice SP (%.1f) not clearly below matrix300 SP (%.0f)",
+			spice.Par[limits.SP], matrix.Par[limits.SP])
+	}
+	// Table 2 band: profile-based prediction rates in 75-100%.
+	for _, r := range s.Benchmarks {
+		if r.PredictionRate < 75 || r.PredictionRate > 100 {
+			t.Errorf("%s: prediction rate %.1f outside 75-100", r.Name, r.PredictionRate)
+		}
+	}
+	// Figure 6: most mispredictions fall within short distances for the
+	// non-numeric codes (paper: >80%% within 100).
+	within := func(r BenchResult, d int64) float64 {
+		var segs, short int64
+		for dist, agg := range r.Segments {
+			segs += agg.Count
+			if dist <= d {
+				short += agg.Count
+			}
+		}
+		if segs == 0 {
+			return 0
+		}
+		return float64(short) / float64(segs)
+	}
+	shortish := 0
+	for _, r := range s.NonNumeric() {
+		if within(r, 200) >= 0.5 {
+			shortish++
+		}
+	}
+	if shortish < 5 {
+		t.Errorf("only %d/7 non-numeric benchmarks have mostly short misprediction distances", shortish)
+	}
+}

@@ -1,0 +1,121 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Instr is one decoded instruction.  Branch and jump targets are resolved to
+// instruction indices at assembly time; TargetSym preserves the label for
+// disassembly.
+type Instr struct {
+	Op  Op
+	Rd  Reg // destination register
+	Rs  Reg // first source register
+	Rt  Reg // second source register
+	Imm int64
+	// FImm is the immediate for FLI.
+	FImm float64
+	// Target is the resolved instruction index for direct control transfers.
+	Target int
+	// Table indexes Program.Tables for JTAB.
+	Table int
+	// TargetSym is the label used in the source, for display only.
+	TargetSym string
+}
+
+// SrcRegs reports the registers the instruction reads, without allocating.
+// It returns up to three registers; n is the count of valid entries.
+// Reads of the hardwired zero register are reported like any other read;
+// callers that track dependences may skip r0 themselves (writes to r0 are
+// discarded, so its last-write time never advances).
+func (in *Instr) SrcRegs() (a, b, c Reg, n int) {
+	switch in.Op {
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLL, SRL, SRA,
+		SLT, SLE, SEQ, SNE,
+		FADD, FSUB, FMUL, FDIV, FSLT, FSLE, FSEQ, FSNE,
+		BEQ, BNE, BLT, BGE, BLE, BGT:
+		return in.Rs, in.Rt, 0, 2
+	case ADDI, MULI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+		MOV, FNEG, FABS, FSQRT, FMOV, CVTIF, CVTFI,
+		LW, FLW, JR, JALR, JTAB, PRINTI, PRINTF, PRINTC:
+		return in.Rs, 0, 0, 1
+	case SW, FSW:
+		// Stores read the base register and the value register.
+		return in.Rs, in.Rt, 0, 2
+	case CMOVN, CMOVZ, FCMOVN, FCMOVZ:
+		// A guarded move preserves the destination when the guard fails,
+		// so the prior destination value is a true dependence.
+		return in.Rs, in.Rt, in.Rd, 3
+	case NOP, LI, LA, FLI, J, JAL, HALT:
+		return 0, 0, 0, 0
+	}
+	return 0, 0, 0, 0
+}
+
+// DestReg reports the register the instruction writes, if any.  A write to
+// the hardwired zero register is reported as no write.
+func (in *Instr) DestReg() (Reg, bool) {
+	switch in.Op {
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLL, SRL, SRA,
+		SLT, SLE, SEQ, SNE,
+		ADDI, MULI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+		LI, LA, MOV, LW,
+		FSLT, FSLE, FSEQ, FSNE, CVTFI,
+		FLW, FADD, FSUB, FMUL, FDIV, FNEG, FABS, FSQRT, FMOV, FLI, CVTIF,
+		CMOVN, CMOVZ, FCMOVN, FCMOVZ:
+		// FP destinations are registers ≥ 32 in well-formed code; an Rd of
+		// r0 is malformed either way and reported as no write.
+		if in.Rd == RZero {
+			return 0, false
+		}
+		return in.Rd, true
+	case JAL, JALR:
+		return RRA, true
+	}
+	return 0, false
+}
+
+// String renders the instruction in assembly syntax.
+func (in *Instr) String() string {
+	tgt := in.TargetSym
+	if tgt == "" {
+		tgt = strconv.Itoa(in.Target)
+	}
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLL, SRL, SRA,
+		SLT, SLE, SEQ, SNE, FADD, FSUB, FMUL, FDIV,
+		FSLT, FSLE, FSEQ, FSNE, CMOVN, CMOVZ, FCMOVN, FCMOVZ:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	case ADDI, MULI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case LI:
+		return fmt.Sprintf("li %s, %d", in.Rd, in.Imm)
+	case LA:
+		if in.TargetSym != "" {
+			return fmt.Sprintf("la %s, %s", in.Rd, in.TargetSym)
+		}
+		return fmt.Sprintf("la %s, %d", in.Rd, in.Imm)
+	case FLI:
+		return fmt.Sprintf("fli %s, %g", in.Rd, in.FImm)
+	case MOV, FMOV, FNEG, FABS, FSQRT, CVTIF, CVTFI:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs)
+	case LW, FLW:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs)
+	case SW, FSW:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rt, in.Imm, in.Rs)
+	case BEQ, BNE, BLT, BGE, BLE, BGT:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rs, in.Rt, tgt)
+	case J, JAL:
+		return fmt.Sprintf("%s %s", in.Op, tgt)
+	case JR, JALR:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	case JTAB:
+		return fmt.Sprintf("jtab %s, T%d", in.Rs, in.Table)
+	case PRINTI, PRINTF, PRINTC:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	}
+	return in.Op.String()
+}

@@ -1,0 +1,175 @@
+package isa
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	NOP Op = iota
+
+	// Integer register-register arithmetic: rd <- rs op rt.
+	ADD
+	SUB
+	MUL
+	DIV // quotient; traps on zero divisor in the VM
+	REM // remainder
+	AND
+	OR
+	XOR
+	NOR
+	SLL // shift left logical by rt
+	SRL
+	SRA
+	SLT // rd <- (rs < rt) ? 1 : 0, signed
+	SLE
+	SEQ
+	SNE
+
+	// Integer register-immediate arithmetic: rd <- rs op imm.
+	ADDI
+	MULI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+
+	// LI loads a 64-bit immediate: rd <- imm.
+	LI
+	// LA loads the address of a data symbol: rd <- imm (resolved address).
+	LA
+	// MOV copies an integer register: rd <- rs.
+	MOV
+
+	// Memory. Effective address is R[rs] + imm, word addressed.
+	LW  // rd <- mem[R[rs]+imm]
+	SW  // mem[R[rs]+imm] <- R[rt]
+	FLW // fd <- mem[R[rs]+imm] (bits reinterpreted as float64)
+	FSW // mem[R[rs]+imm] <- F[rt]
+
+	// Floating point register-register: fd <- fs op ft.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG  // fd <- -fs
+	FABS  // fd <- |fs|
+	FSQRT // fd <- sqrt(fs)
+	FMOV  // fd <- fs
+	FLI   // fd <- fimm
+
+	// Floating point comparisons writing an integer register: rd <- fs op ft.
+	FSLT
+	FSLE
+	FSEQ
+	FSNE
+
+	// Conversions.
+	CVTIF // fd <- float64(R[rs])
+	CVTFI // rd <- int64(F[rs]) (truncating)
+
+	// Control transfer.
+	BEQ // if R[rs] == R[rt] goto target
+	BNE
+	BLT
+	BGE
+	BLE
+	BGT
+	J    // goto target
+	JAL  // ra <- return pc; goto target (procedure call)
+	JR   // goto R[rs] (procedure return in this toolchain)
+	JALR // ra <- return pc; goto R[rs] (indirect call)
+	JTAB // goto Tables[tbl][R[rs]] (computed jump, e.g. switch dispatch)
+
+	// Guarded (conditional-move) instructions, the §6 extension: the move
+	// commits only if the guard register holds the required value, so the
+	// destination's prior value is a true data dependence.
+	CMOVN  // if R[rt] != 0 then rd <- R[rs]
+	CMOVZ  // if R[rt] == 0 then rd <- R[rs]
+	FCMOVN // if R[rt] != 0 then fd <- F[rs]
+	FCMOVZ // if R[rt] == 0 then fd <- F[rs]
+
+	// Miscellaneous.
+	HALT   // stop execution
+	PRINTI // print R[rs] (decimal) to the VM's output
+	PRINTF // print F[rs] to the VM's output
+	PRINTC // print R[rs] as a character to the VM's output
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", NOR: "nor",
+	SLL: "sll", SRL: "srl", SRA: "sra",
+	SLT: "slt", SLE: "sle", SEQ: "seq", SNE: "sne",
+	ADDI: "addi", MULI: "muli", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti",
+	LI: "li", LA: "la", MOV: "mov",
+	LW: "lw", SW: "sw", FLW: "flw", FSW: "fsw",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+	FNEG: "fneg", FABS: "fabs", FSQRT: "fsqrt", FMOV: "fmov", FLI: "fli",
+	FSLT: "fslt", FSLE: "fsle", FSEQ: "fseq", FSNE: "fsne",
+	CVTIF: "cvtif", CVTFI: "cvtfi",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLE: "ble", BGT: "bgt",
+	J: "j", JAL: "jal", JR: "jr", JALR: "jalr", JTAB: "jtab",
+	CMOVN: "cmovn", CMOVZ: "cmovz", FCMOVN: "fcmovn", FCMOVZ: "fcmovz",
+	HALT:   "halt",
+	PRINTI: "printi", PRINTF: "printf", PRINTC: "printc",
+}
+
+// String returns the assembly mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// OpByName resolves an assembly mnemonic to its opcode.
+var OpByName = map[string]Op{}
+
+func init() {
+	for op, name := range opNames {
+		if name != "" {
+			OpByName[name] = Op(op)
+		}
+	}
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool { return o >= BEQ && o <= BGT }
+
+// IsComputedJump reports whether the opcode is a computed jump: an indirect
+// transfer whose target is data dependent. The paper does not predict these
+// (§4.4.2); the SP machines treat every computed jump as mispredicted.
+func (o Op) IsComputedJump() bool { return o == JTAB }
+
+// IsBranchConstraint reports whether the opcode acts as a "branch" for the
+// machine models' control-flow constraints: any block terminator with more
+// than one possible successor.  Direct jumps and calls do not qualify; their
+// targets are statically known.
+func (o Op) IsBranchConstraint() bool { return o.IsCondBranch() || o.IsComputedJump() }
+
+// IsCall reports whether the opcode is a procedure call.
+func (o Op) IsCall() bool { return o == JAL || o == JALR }
+
+// IsReturn reports whether the opcode is a procedure return.  The toolchain
+// uses JR exclusively for returns.
+func (o Op) IsReturn() bool { return o == JR }
+
+// IsLoad reports whether the opcode reads memory.
+func (o Op) IsLoad() bool { return o == LW || o == FLW }
+
+// IsStore reports whether the opcode writes memory.
+func (o Op) IsStore() bool { return o == SW || o == FSW }
+
+// EndsBlock reports whether the opcode terminates a basic block.
+// Calls (JAL, JALR) intentionally do not end a block: the paper computes
+// control dependence per procedure, with calls inlined conceptually, so
+// control returns to the instruction after the call.
+func (o Op) EndsBlock() bool {
+	return o.IsCondBranch() || o == J || o == JR || o == JTAB || o == HALT
+}

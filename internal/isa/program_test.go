@@ -1,0 +1,114 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstrStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: NOP}, "nop"},
+		{Instr{Op: HALT}, "halt"},
+		{Instr{Op: ADD, Rd: RT0, Rs: RA0, Rt: RA1}, "add $t0, $a0, $a1"},
+		{Instr{Op: ADDI, Rd: RT0, Rs: RT0, Imm: -3}, "addi $t0, $t0, -3"},
+		{Instr{Op: LI, Rd: RV0, Imm: 42}, "li $v0, 42"},
+		{Instr{Op: LA, Rd: RT0, TargetSym: "xs"}, "la $t0, xs"},
+		{Instr{Op: LA, Rd: RT0, Imm: 1024}, "la $t0, 1024"},
+		{Instr{Op: FLI, Rd: F0, FImm: 2.5}, "fli $f0, 2.5"},
+		{Instr{Op: MOV, Rd: RT0, Rs: RT9}, "mov $t0, $t9"},
+		{Instr{Op: FSQRT, Rd: F0, Rs: FReg(1)}, "fsqrt $f0, $f1"},
+		{Instr{Op: LW, Rd: RT0, Rs: RSP, Imm: 4}, "lw $t0, 4($sp)"},
+		{Instr{Op: SW, Rt: RT0, Rs: RSP, Imm: 4}, "sw $t0, 4($sp)"},
+		{Instr{Op: FLW, Rd: F0, Rs: RSP, Imm: 1}, "flw $f0, 1($sp)"},
+		{Instr{Op: FSW, Rt: F0, Rs: RSP, Imm: 1}, "fsw $f0, 1($sp)"},
+		{Instr{Op: BEQ, Rs: RT0, Rt: RZero, TargetSym: "loop"}, "beq $t0, $zero, loop"},
+		{Instr{Op: BNE, Rs: RT0, Rt: RZero, Target: 7}, "bne $t0, $zero, 7"},
+		{Instr{Op: J, TargetSym: "end"}, "j end"},
+		{Instr{Op: JAL, TargetSym: "f"}, "jal f"},
+		{Instr{Op: JR, Rs: RRA}, "jr $ra"},
+		{Instr{Op: JALR, Rs: RT0}, "jalr $t0"},
+		{Instr{Op: JTAB, Rs: RT0, Table: 2}, "jtab $t0, T2"},
+		{Instr{Op: PRINTI, Rs: RT0}, "printi $t0"},
+		{Instr{Op: PRINTF, Rs: F0}, "printf $f0"},
+		{Instr{Op: PRINTC, Rs: RT0}, "printc $t0"},
+		{Instr{Op: CMOVN, Rd: RS0, Rs: RT0, Rt: RT0 + 1}, "cmovn $s0, $t0, $t1"},
+		{Instr{Op: FCMOVZ, Rd: F0, Rs: FReg(1), Rt: RT0}, "fcmovz $f0, $f1, $t0"},
+		{Instr{Op: SLTI, Rd: RT0, Rs: RT0, Imm: 10}, "slti $t0, $t0, 10"},
+		{Instr{Op: CVTIF, Rd: F0, Rs: RT0}, "cvtif $f0, $t0"},
+		{Instr{Op: FSLT, Rd: RT0, Rs: F0, Rt: FReg(1)}, "fslt $t0, $f0, $f1"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDisassembleReassemblable(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			{Op: LI, Rd: RT0, Imm: 2},
+			{Op: JTAB, Rs: RT0, Table: 0},
+			{Op: LI, Rd: RS0, Imm: 10}, // c0
+			{Op: J, Target: 6},
+			{Op: LI, Rd: RS0, Imm: 11}, // c1 (no symbol: synthetic label)
+			{Op: NOP},
+			{Op: HALT}, // end
+		},
+		Procs:    []Proc{{Name: "main", Start: 0, End: 7}},
+		Tables:   [][]int{{2, 4}},
+		Symbols:  map[string]int{"main": 0, "c0": 2},
+		DataSyms: map[string]int64{"buf": DataBase},
+		Data:     make([]int64, 12),
+	}
+	p.Data[0] = 5
+	out := p.Disassemble()
+	for _, want := range []string{
+		".data", "buf:", ".word 5", ".space 11",
+		".jumptable T0: c0 L_4", ".proc main", "jtab $t0, T0",
+		"L_4:", "j L_6", ".endproc main",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateMoreCases(t *testing.T) {
+	// Entry out of range.
+	p := &Program{Instrs: []Instr{{Op: HALT}}, Entry: 5}
+	if err := p.Validate(); err == nil {
+		t.Error("bad entry accepted")
+	}
+	// Table entry out of range.
+	p = &Program{
+		Instrs: []Instr{{Op: JTAB, Table: 0}, {Op: HALT}},
+		Tables: [][]int{{99}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("bad table entry accepted")
+	}
+	// Empty procedure range.
+	p = &Program{
+		Instrs: []Instr{{Op: HALT}},
+		Procs:  []Proc{{Name: "x", Start: 0, End: 0}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("empty proc accepted")
+	}
+}
+
+func TestRegSpecials(t *testing.T) {
+	if Reg(200).String() == "" {
+		t.Error("out-of-range register should still stringify")
+	}
+	if !strings.Contains(Reg(200).String(), "?") {
+		t.Errorf("out-of-range register = %q", Reg(200).String())
+	}
+	if FReg(0) != F0 {
+		t.Error("FReg(0) != F0")
+	}
+}

@@ -1,0 +1,92 @@
+// Package isa defines the instruction set architecture used throughout the
+// limit study: a MIPS-like, word-addressed RISC with 32 integer and 32
+// floating-point registers.  The dependence analyzer, the assembler, the
+// mini-C code generator and the tracing VM all share these definitions.
+//
+// Memory is word addressed: each address names one 64-bit cell.  Byte
+// packing contributes nothing to a dependence study (the paper's analyzer
+// compares effective addresses, nothing more), so the ISA omits it.
+package isa
+
+import "fmt"
+
+// Reg identifies a register in the unified dependence-tracking space:
+// 0-31 are the integer registers, 32-63 the floating-point registers.
+type Reg uint8
+
+// NumRegs is the size of the unified register space.
+const NumRegs = 64
+
+// Integer register conventions (MIPS-flavoured).
+const (
+	RZero Reg = 0 // hardwired zero
+	RAT   Reg = 1 // assembler temporary
+	RV0   Reg = 2 // result register
+	RV1   Reg = 3 // second result register
+	RA0   Reg = 4 // first argument register; a0-a3 are r4-r7
+	RA1   Reg = 5
+	RA2   Reg = 6
+	RA3   Reg = 7
+	RT0   Reg = 8 // caller-saved temporaries t0-t9 are r8-r17
+	RT9   Reg = 17
+	RS0   Reg = 18 // callee-saved s0-s7 are r18-r25
+	RS7   Reg = 25
+	RGP   Reg = 28 // global pointer (unused by the mini-C compiler)
+	RSP   Reg = 29 // stack pointer
+	RFP   Reg = 30 // frame pointer
+	RRA   Reg = 31 // return address
+)
+
+// FReg returns the unified id of floating-point register fn.
+func FReg(n int) Reg { return Reg(32 + n) }
+
+// F0 is the first floating-point register; f0-f31 are ids 32-63.
+const F0 Reg = 32
+
+// IsFloat reports whether r names a floating-point register.
+func (r Reg) IsFloat() bool { return r >= 32 }
+
+var intRegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"t8", "t9", "s0", "s1", "s2", "s3", "s4", "s5",
+	"s6", "s7", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional assembly name of the register.
+func (r Reg) String() string {
+	if r < 32 {
+		return "$" + intRegNames[r]
+	}
+	if r < NumRegs {
+		return fmt.Sprintf("$f%d", r-32)
+	}
+	return fmt.Sprintf("$?%d", uint8(r))
+}
+
+// regByName maps every accepted spelling to a register id.  Both symbolic
+// ($sp, $t0) and numeric ($29, $f3) names are accepted by the assembler.
+var regByName = map[string]Reg{}
+
+func init() {
+	for i, n := range intRegNames {
+		regByName[n] = Reg(i)
+		regByName[fmt.Sprintf("r%d", i)] = Reg(i)
+		regByName[fmt.Sprintf("%d", i)] = Reg(i)
+	}
+	for i := 0; i < 32; i++ {
+		regByName[fmt.Sprintf("f%d", i)] = FReg(i)
+	}
+}
+
+// ParseReg resolves a register name with or without the leading '$'.
+// It accepts symbolic ("sp", "t3"), numeric ("29"), and FP ("f5") forms.
+func ParseReg(name string) (Reg, error) {
+	if len(name) > 0 && name[0] == '$' {
+		name = name[1:]
+	}
+	if r, ok := regByName[name]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", name)
+}

@@ -1,0 +1,470 @@
+package limits
+
+import (
+	"ilplimit/internal/isa"
+	"ilplimit/internal/vm"
+)
+
+// cdInfo identifies one dynamic branch instance acting as a control
+// dependence, together with the times the models constrain on.
+// The zero value means "no control dependence".
+type cdInfo struct {
+	// time is the execution cycle of the branch instance.
+	time int64
+	// mispredT is the execution cycle of the nearest mispredicted branch
+	// among the instance's control-dependence ancestors, including itself
+	// (0 when every ancestor was predicted correctly).
+	mispredT int64
+	// seq is the basic-block instance sequence number of the branch, used
+	// to pick the most recent candidate (paper §4.4.1).
+	seq int64
+}
+
+// blockRec is the per-static-block record of its most recent dynamic
+// instance whose terminator has executed.
+type blockRec struct {
+	seq      int64
+	termT    int64
+	mispredT int64
+	// procSeq is the sequence number at the start of the procedure
+	// invocation that executed the instance (recursion detection).
+	procSeq int64
+}
+
+// frame is one interprocedural control-dependence stack entry, saved at a
+// call and restored at the matching return.
+type frame struct {
+	savedCD       cdInfo
+	savedInherit  cdInfo
+	savedProcSeq  int64
+	savedBlockSeq int64
+}
+
+// Config extends an analysis beyond the paper's baseline assumptions,
+// enabling the ablation studies the paper argues about in §5:
+//
+//   - Window bounds the scheduling window.  The paper uses an unbounded
+//     window (Window == 0) and credits it for exposing global parallelism;
+//     a finite window W forbids an instruction from executing before the
+//     instruction W positions earlier in the trace has executed.
+//   - Latency assigns each opcode a latency in cycles (nil means the
+//     paper's unit latency).  Non-unit latencies consume parallelism to
+//     fill pipeline bubbles, which the paper notes makes speedups
+//     underestimate parallelism.
+type Config struct {
+	Model     Model
+	Unrolling bool
+	MemWords  int
+	Window    int
+	Latency   func(op isa.Op) int64
+	// TrackWidths records how many instructions issue in each cycle,
+	// populating Result.Widths — the machine width the limit implies.
+	TrackWidths bool
+}
+
+// DefaultLatencies is a realistic latency model in the spirit of the
+// R3000-era machines the paper contrasts against: unit ALU, 2-cycle loads,
+// multi-cycle multiply/divide and floating point.
+func DefaultLatencies(op isa.Op) int64 {
+	switch op {
+	case isa.LW, isa.FLW:
+		return 2
+	case isa.MUL, isa.MULI:
+		return 3
+	case isa.DIV, isa.REM:
+		return 12
+	case isa.FADD, isa.FSUB, isa.CVTIF, isa.CVTFI:
+		return 2
+	case isa.FMUL:
+		return 4
+	case isa.FDIV:
+		return 12
+	case isa.FSQRT:
+		return 14
+	default:
+		return 1
+	}
+}
+
+// Analyzer schedules one dynamic trace under one machine model.
+// Feed it every VM event via Step, then read Result.
+type Analyzer struct {
+	st        *Static
+	model     Model
+	unrolling bool
+	window    int
+	ring      []int64 // completion times of the last `window` instructions
+	ringPos   int
+	latency   func(op isa.Op) int64
+
+	// Greedy schedule state: last-write times.
+	regTime [isa.NumRegs]int64
+	memTime []int64
+
+	// Dynamic control-dependence state.
+	rec         []blockRec
+	seqCounter  int64
+	curBlockSeq int64
+	curProcSeq  int64
+	curCD       cdInfo // CD of the current basic-block instance
+	inheritCD   cdInfo // CD inherited by the current procedure invocation
+	stack       []frame
+
+	// Branch-ordering state.
+	lastBranchT  int64
+	lastMispredT int64
+
+	// Results.
+	count          int64
+	maxT           int64
+	recursionDrops int64
+	widths         []int32 // instructions issued per cycle (1-indexed by T)
+
+	// Segment statistics (SP model only).
+	trackSegments bool
+	segCount      int64
+	segMax        int64
+	segBase       int64
+	segments      map[int64]SegAgg
+
+	needCD bool
+	spec   bool
+
+	// OnSchedule, when set, is called with the static index and execution
+	// cycle of every scheduled instruction (removed instructions are not
+	// reported).  Used by the worked-example tooling to print schedules.
+	OnSchedule func(idx int32, cycle int64)
+}
+
+// NewAnalyzer creates an analyzer with the paper's baseline assumptions
+// (unbounded window, unit latency).  memWords must cover every address the
+// trace can touch (use the VM memory size).  Set unrolling to apply the
+// perfect-loop-unrolling filter.
+func NewAnalyzer(st *Static, model Model, unrolling bool, memWords int) *Analyzer {
+	return NewAnalyzerConfig(st, Config{Model: model, Unrolling: unrolling, MemWords: memWords})
+}
+
+// NewAnalyzerConfig creates an analyzer with explicit ablation settings.
+func NewAnalyzerConfig(st *Static, cfg Config) *Analyzer {
+	a := &Analyzer{
+		st:        st,
+		model:     cfg.Model,
+		unrolling: cfg.Unrolling,
+		window:    cfg.Window,
+		latency:   cfg.Latency,
+		memTime:   make([]int64, cfg.MemWords),
+		rec:       make([]blockRec, st.numBlocks),
+		needCD:    cfg.Model.usesCD(),
+		spec:      cfg.Model.usesSpec(),
+	}
+	if a.window > 0 {
+		a.ring = make([]int64, a.window)
+	}
+	if cfg.TrackWidths {
+		a.widths = make([]int32, 1024)
+	}
+	a.curProcSeq = 1
+	if cfg.Model == SP {
+		a.trackSegments = true
+		a.segments = make(map[int64]SegAgg)
+	}
+	if a.spec && st.Pred == nil {
+		panic("limits: speculative model requires a predictor")
+	}
+	return a
+}
+
+// Model returns the machine model this analyzer simulates.
+func (a *Analyzer) Model() Model { return a.model }
+
+// Step schedules one dynamic instruction.
+func (a *Analyzer) Step(ev vm.Event) {
+	st := a.st
+	idx := ev.Idx
+	in := &st.Prog.Instrs[idx]
+	op := in.Op
+
+	if a.needCD && st.isLeader[idx] {
+		a.enterBlock(st.blockOf[idx])
+	}
+
+	// Calls and returns never schedule (the inlining filter removes them)
+	// but they drive the interprocedural control-dependence stack.
+	if op.IsCall() {
+		if a.needCD {
+			a.stack = append(a.stack, frame{
+				savedCD:       a.curCD,
+				savedInherit:  a.inheritCD,
+				savedProcSeq:  a.curProcSeq,
+				savedBlockSeq: a.curBlockSeq,
+			})
+			a.inheritCD = a.curCD
+			a.curProcSeq = a.seqCounter + 1
+		}
+		return
+	}
+	if op.IsReturn() {
+		if a.needCD {
+			if n := len(a.stack); n > 0 {
+				f := a.stack[n-1]
+				a.stack = a.stack[:n-1]
+				a.curCD = f.savedCD
+				a.inheritCD = f.savedInherit
+				a.curProcSeq = f.savedProcSeq
+				a.curBlockSeq = f.savedBlockSeq
+			}
+		}
+		return
+	}
+
+	isBr := op.IsBranchConstraint()
+	if st.inline[idx] || (a.unrolling && st.unroll[idx]) {
+		if isBr && a.needCD {
+			// A loop branch removed by perfect unrolling is transparent:
+			// dependents inherit the branch's own control dependence
+			// instead of waiting for the branch.
+			a.rec[st.blockOf[idx]] = blockRec{
+				seq:      a.curBlockSeq,
+				termT:    a.curCD.time,
+				mispredT: a.curCD.mispredT,
+				procSeq:  a.curProcSeq,
+			}
+		}
+		return
+	}
+
+	// Data dependences: sources plus, for loads, the last write to the
+	// effective address.
+	var t int64
+	s1, s2, s3, n := in.SrcRegs()
+	if n > 0 {
+		if rt := a.regTime[s1]; rt > t {
+			t = rt
+		}
+		if n > 1 {
+			if rt := a.regTime[s2]; rt > t {
+				t = rt
+			}
+		}
+		if n > 2 {
+			if rt := a.regTime[s3]; rt > t {
+				t = rt
+			}
+		}
+	}
+	if op.IsLoad() {
+		if mt := a.memTime[ev.Addr]; mt > t {
+			t = mt
+		}
+	}
+
+	// Control-flow constraint.
+	mispred := false
+	if a.spec && isBr {
+		mispred = st.Pred.Mispredicted(ev)
+	}
+	var ctrl int64
+	switch a.model {
+	case Base:
+		ctrl = a.lastBranchT
+	case CD:
+		ctrl = a.curCD.time
+		if isBr && a.lastBranchT > ctrl {
+			ctrl = a.lastBranchT
+		}
+	case CDMF:
+		ctrl = a.curCD.time
+	case SP:
+		ctrl = a.lastMispredT
+	case SPCD:
+		ctrl = a.curCD.mispredT
+		if mispred && a.lastMispredT > ctrl {
+			ctrl = a.lastMispredT
+		}
+	case SPCDMF:
+		ctrl = a.curCD.mispredT
+	case Oracle:
+		ctrl = 0
+	}
+	if ctrl > t {
+		t = ctrl
+	}
+	// Finite scheduling window: wait for the instruction `window` trace
+	// positions earlier to have executed.
+	if a.window > 0 {
+		if w := a.ring[a.ringPos]; w > t {
+			t = w
+		}
+	}
+	T := t + 1
+	// Completion time under the latency model (equals T for unit latency).
+	C := T
+	if a.latency != nil {
+		C = T + a.latency(op) - 1
+	}
+	if a.window > 0 {
+		a.ring[a.ringPos] = C
+		a.ringPos++
+		if a.ringPos == a.window {
+			a.ringPos = 0
+		}
+	}
+
+	// Record the schedule.
+	if d, ok := in.DestReg(); ok {
+		a.regTime[d] = C
+	}
+	if op.IsStore() {
+		a.memTime[ev.Addr] = C
+	}
+	a.count++
+	if C > a.maxT {
+		a.maxT = C
+	}
+	if a.OnSchedule != nil {
+		a.OnSchedule(idx, C)
+	}
+	if a.widths != nil {
+		for int64(len(a.widths)) <= T {
+			a.widths = append(a.widths, make([]int32, len(a.widths))...)
+		}
+		a.widths[T]++
+	}
+	if a.trackSegments {
+		a.segCount++
+		if C > a.segMax {
+			a.segMax = C
+		}
+	}
+
+	if isBr {
+		a.lastBranchT = C
+		if a.needCD {
+			mt := a.curCD.mispredT
+			if mispred {
+				mt = C
+			}
+			a.rec[st.blockOf[idx]] = blockRec{
+				seq:      a.curBlockSeq,
+				termT:    C,
+				mispredT: mt,
+				procSeq:  a.curProcSeq,
+			}
+		}
+		if mispred {
+			a.lastMispredT = C
+			if a.trackSegments {
+				a.closeSegment()
+			}
+		}
+	}
+}
+
+// enterBlock starts a new dynamic instance of global block b and resolves
+// the instance's immediate control dependence: the most recent among the
+// latest instances of the blocks in b's reverse dominance frontier and the
+// control dependence inherited from the call site.  If any RDF instance
+// belongs to a procedure invocation newer than the current one, recursion
+// is detected and the control dependence is dropped for this instance,
+// yielding an upper bound exactly as the paper does (§4.4.1).
+func (a *Analyzer) enterBlock(b int32) {
+	a.seqCounter++
+	a.curBlockSeq = a.seqCounter
+	best := a.inheritCD
+	for _, x := range a.st.blockRDF[b] {
+		r := &a.rec[x]
+		if r.seq == 0 {
+			continue
+		}
+		if r.procSeq > a.curProcSeq {
+			a.recursionDrops++
+			a.curCD = cdInfo{}
+			return
+		}
+		if r.seq > best.seq {
+			best = cdInfo{time: r.termT, mispredT: r.mispredT, seq: r.seq}
+		}
+	}
+	a.curCD = best
+}
+
+// closeSegment finalizes the segment ending at the mispredicted branch just
+// scheduled.
+func (a *Analyzer) closeSegment() {
+	if a.segCount > 0 {
+		agg := a.segments[a.segCount]
+		agg.Count++
+		cycles := a.segMax - a.segBase
+		if cycles < 1 {
+			cycles = 1
+		}
+		agg.Cycles += cycles
+		a.segments[a.segCount] = agg
+	}
+	a.segCount = 0
+	a.segBase = a.lastMispredT
+	a.segMax = a.lastMispredT
+}
+
+// Result finalizes and reports the analysis.  The trailing segment (after
+// the last misprediction) is closed as a segment of its own.
+func (a *Analyzer) Result() Result {
+	if a.trackSegments && a.segCount > 0 {
+		agg := a.segments[a.segCount]
+		agg.Count++
+		cycles := a.segMax - a.segBase
+		if cycles < 1 {
+			cycles = 1
+		}
+		agg.Cycles += cycles
+		a.segments[a.segCount] = agg
+		a.segCount = 0
+	}
+	res := Result{
+		Model:          a.model,
+		Unrolled:       a.unrolling,
+		Instructions:   a.count,
+		Cycles:         a.maxT,
+		Segments:       a.segments,
+		RecursionDrops: a.recursionDrops,
+	}
+	if a.widths != nil {
+		res.Widths = make(map[int64]int64)
+		for t := int64(1); t <= a.maxT && t < int64(len(a.widths)); t++ {
+			res.Widths[int64(a.widths[t])]++
+		}
+	}
+	return res
+}
+
+// Group runs several analyzers over a single trace.
+type Group struct {
+	Analyzers []*Analyzer
+}
+
+// NewGroup creates analyzers for every given (model, unrolling) pair.
+func NewGroup(st *Static, memWords int, models []Model, unrolling bool) *Group {
+	g := &Group{}
+	for _, m := range models {
+		g.Analyzers = append(g.Analyzers, NewAnalyzer(st, m, unrolling, memWords))
+	}
+	return g
+}
+
+// Visitor returns a VM visitor that feeds every analyzer.
+func (g *Group) Visitor() func(vm.Event) {
+	return func(ev vm.Event) {
+		for _, a := range g.Analyzers {
+			a.Step(ev)
+		}
+	}
+}
+
+// Results collects the analyses in analyzer order.
+func (g *Group) Results() []Result {
+	rs := make([]Result, len(g.Analyzers))
+	for i, a := range g.Analyzers {
+		rs[i] = a.Result()
+	}
+	return rs
+}

@@ -1,0 +1,95 @@
+package limits
+
+import (
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/vm"
+)
+
+// benchProgram mixes loops, branches, memory traffic and a call — the
+// instruction mix the analyzer sees in real traces.
+const benchProgram = `
+.data
+buf: .space 256
+.proc main
+	li   $s0, 2000
+outer:
+	li   $a0, 0
+	jal  body
+	addi $s0, $s0, -1
+	bnez $s0, outer
+	halt
+.endproc
+.proc body
+	la   $t0, buf
+	li   $t1, 0
+loop:
+	andi $t2, $t1, 255
+	add  $t3, $t0, $t2
+	lw   $t4, 0($t3)
+	addi $t4, $t4, 1
+	sw   $t4, 0($t3)
+	addi $t1, $t1, 1
+	li   $t5, 16
+	blt  $t1, $t5, loop
+	ret
+.endproc
+`
+
+func benchAnalyzer(b *testing.B, model Model, unroll bool) {
+	p, err := asm.Assemble(benchProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	prof := predict.NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		b.Fatal(err)
+	}
+	st, err := NewStatic(p, prof.Predictor())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Capture the trace once so the benchmark isolates analyzer cost.
+	machine.Reset()
+	var events []vm.Event
+	if err := machine.Run(func(ev vm.Event) { events = append(events, ev) }); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnalyzer(st, model, unroll, len(machine.Mem))
+		for _, ev := range events {
+			a.Step(ev)
+		}
+		if r := a.Result(); r.Cycles == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	b.ReportMetric(float64(len(events)), "instrs/op")
+}
+
+func BenchmarkAnalyzerBase(b *testing.B)     { benchAnalyzer(b, Base, false) }
+func BenchmarkAnalyzerCD(b *testing.B)       { benchAnalyzer(b, CD, false) }
+func BenchmarkAnalyzerCDMF(b *testing.B)     { benchAnalyzer(b, CDMF, false) }
+func BenchmarkAnalyzerSP(b *testing.B)       { benchAnalyzer(b, SP, false) }
+func BenchmarkAnalyzerSPCD(b *testing.B)     { benchAnalyzer(b, SPCD, false) }
+func BenchmarkAnalyzerSPCDMF(b *testing.B)   { benchAnalyzer(b, SPCDMF, false) }
+func BenchmarkAnalyzerOracle(b *testing.B)   { benchAnalyzer(b, Oracle, false) }
+func BenchmarkAnalyzerUnrolled(b *testing.B) { benchAnalyzer(b, SPCDMF, true) }
+
+func BenchmarkStaticConstruction(b *testing.B) {
+	p, err := asm.Assemble(benchProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := predict.NewStaticPredictor(p, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewStatic(p, pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package limits
+
+import (
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/isa"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/vm"
+)
+
+func runConfig(t *testing.T, src string, cfg Config) Result {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	st, err := NewStatic(p, predict.NewStaticPredictor(p, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MemWords = len(machine.Mem)
+	a := NewAnalyzerConfig(st, cfg)
+	if err := machine.Run(func(ev vm.Event) { a.Step(ev) }); err != nil {
+		t.Fatal(err)
+	}
+	return a.Result()
+}
+
+const independentSrc = `
+.proc main
+	li $t0, 1
+	li $t1, 2
+	li $t2, 3
+	li $t3, 4
+	li $t4, 5
+	halt
+.endproc
+`
+
+func TestWindowOne(t *testing.T) {
+	// A window of 1 forces fully serial execution even for the Oracle.
+	r := runConfig(t, independentSrc, Config{Model: Oracle, Window: 1})
+	if r.Cycles != r.Instructions {
+		t.Errorf("window=1: %d cycles for %d instructions, want equal", r.Cycles, r.Instructions)
+	}
+}
+
+func TestWindowBoundsParallelism(t *testing.T) {
+	// With window W, at most W instructions can share a cycle.
+	r := runConfig(t, independentSrc, Config{Model: Oracle, Window: 2})
+	if r.Cycles != 3 {
+		t.Errorf("window=2: cycles = %d, want 3 (6 instrs, 2 per cycle)", r.Cycles)
+	}
+	unbounded := runConfig(t, independentSrc, Config{Model: Oracle})
+	if unbounded.Cycles != 1 {
+		t.Errorf("unbounded: cycles = %d, want 1", unbounded.Cycles)
+	}
+}
+
+func TestWindowMonotone(t *testing.T) {
+	src := `
+.proc main
+	li   $t0, 20
+loop:
+	addi $t1, $t1, 1
+	xori $t2, $t1, 3
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	halt
+.endproc
+`
+	prev := int64(-1)
+	for _, w := range []int{1, 2, 4, 16, 64, 0} {
+		r := runConfig(t, src, Config{Model: Oracle, Window: w})
+		if prev >= 0 && r.Cycles > prev {
+			t.Errorf("window %d: cycles %d exceed smaller-window %d", w, r.Cycles, prev)
+		}
+		prev = r.Cycles
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	src := `
+.proc main
+	li  $t0, 3
+	mul $t1, $t0, $t0
+	addi $t2, $t1, 1
+	halt
+.endproc
+`
+	lat := func(op isa.Op) int64 {
+		if op == isa.MUL {
+			return 3
+		}
+		return 1
+	}
+	r := runConfig(t, src, Config{Model: Oracle, Latency: lat})
+	// li completes at 1; mul issues at 2, completes at 4; addi at 5.
+	if r.Cycles != 5 {
+		t.Errorf("cycles = %d, want 5", r.Cycles)
+	}
+	unit := runConfig(t, src, Config{Model: Oracle})
+	if unit.Cycles != 3 {
+		t.Errorf("unit cycles = %d, want 3", unit.Cycles)
+	}
+}
+
+func TestDefaultLatenciesSane(t *testing.T) {
+	for op := isa.Op(0); op < isa.Op(80); op++ {
+		if l := DefaultLatencies(op); l < 1 || l > 20 {
+			t.Errorf("latency(%v) = %d out of range", op, l)
+		}
+	}
+	if DefaultLatencies(isa.LW) <= DefaultLatencies(isa.ADD) {
+		t.Error("loads should cost more than ALU ops")
+	}
+	if DefaultLatencies(isa.FDIV) <= DefaultLatencies(isa.FMUL) {
+		t.Error("fdiv should cost more than fmul")
+	}
+}
+
+func TestWidthTracking(t *testing.T) {
+	// Oracle schedule of: 4 independent li (cycle 1), an add of two of
+	// them (cycle 2), halt (cycle 1)  =>  widths: cycle1=5, cycle2=1.
+	src := `
+.proc main
+	li  $t0, 1
+	li  $t1, 2
+	li  $t2, 3
+	li  $t3, 4
+	add $t4, $t0, $t1
+	halt
+.endproc
+`
+	r := runConfig(t, src, Config{Model: Oracle, TrackWidths: true})
+	if r.Widths == nil {
+		t.Fatal("widths not tracked")
+	}
+	if r.Widths[5] != 1 || r.Widths[1] != 1 {
+		t.Errorf("widths = %v, want {5:1, 1:1}", r.Widths)
+	}
+	var instrs, cycles int64
+	for w, c := range r.Widths {
+		instrs += w * c
+		cycles += c
+	}
+	if instrs != r.Instructions || cycles != r.Cycles {
+		t.Errorf("width accounting: %d/%d vs %d/%d", instrs, cycles, r.Instructions, r.Cycles)
+	}
+	// Without the flag, no widths are reported.
+	r = runConfig(t, src, Config{Model: Oracle})
+	if r.Widths != nil {
+		t.Error("widths reported without TrackWidths")
+	}
+}
+
+func TestDynamicOutcomesInAnalyzer(t *testing.T) {
+	// An alternating branch defeats static majority prediction (50%) but a
+	// 2-bit counter also mispredicts it; a biased branch trains quickly.
+	src := `
+.proc main
+	li   $s0, 16
+loop:
+	andi $t0, $s0, 1
+	beqz $t0, skip
+	nop
+skip:
+	addi $s0, $s0, -1
+	bnez $s0, loop
+	halt
+.endproc
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	dyn := predict.NewDynamicProfile(p)
+	if err := machine.Run(dyn.Record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStatic(p, dyn.Outcomes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Reset()
+	a := NewAnalyzer(st, SP, false, len(machine.Mem))
+	if err := machine.Run(func(ev vm.Event) { a.Step(ev) }); err != nil {
+		t.Fatal(err)
+	}
+	r := a.Result()
+	if r.Cycles <= 0 || r.Instructions <= 0 {
+		t.Fatalf("bad result %+v", r)
+	}
+	// The alternating beqz defeats the 2-bit counter every time after
+	// training; the loop branch is almost always right.
+	s := dyn.Stats()
+	if s.Rate() < 40 || s.Rate() > 80 {
+		t.Errorf("dynamic rate %.1f implausible for alternating branch", s.Rate())
+	}
+}

@@ -1,0 +1,155 @@
+package limits
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/vm"
+)
+
+// The recursion approximation (§4.4.1): when a block's reverse dominance
+// frontier holds an instance from a *deeper* invocation of the same
+// procedure, the control dependence is dropped for that instance.  A block
+// entered after a recursive call whose RDF contains the function's entry
+// branch triggers exactly this.
+func TestRecursionDropsCounted(t *testing.T) {
+	recursive := `
+.proc main
+	li  $a0, 4
+	jal f
+	halt
+.endproc
+.proc f
+	beqz $a0, done
+	addi $sp, $sp, -1
+	sw   $ra, 0($sp)
+	addi $a0, $a0, -1
+	jal  f
+	li   $t1, 3
+	bgt  $t1, $a0, deep
+	nop
+deep:
+	lw   $ra, 0($sp)
+	addi $sp, $sp, 1
+done:
+	ret
+.endproc
+`
+	rs := analyze(t, recursive, false, nil)
+	// Every CD-using model must detect recursion at the post-call blocks.
+	for _, m := range []Model{CD, CDMF, SPCD, SPCDMF} {
+		if rs[m].RecursionDrops == 0 {
+			t.Errorf("%s: no recursion drops recorded", m)
+		}
+	}
+	// Models without control dependence never consult the records.
+	for _, m := range []Model{Base, SP, Oracle} {
+		if rs[m].RecursionDrops != 0 {
+			t.Errorf("%s: unexpected recursion drops %d", m, rs[m].RecursionDrops)
+		}
+	}
+	assertModelOrdering(t, rs)
+
+	// A non-recursive program with the same shape reports none.
+	flat := `
+.proc main
+	li  $a0, 4
+	jal f
+	halt
+.endproc
+.proc f
+	beqz $a0, done
+	addi $a0, $a0, -1
+	li   $t1, 3
+	bgt  $t1, $a0, deep
+	nop
+deep:
+	nop
+done:
+	ret
+.endproc
+`
+	rs = analyze(t, flat, false, nil)
+	for _, m := range AllModels() {
+		if rs[m].RecursionDrops != 0 {
+			t.Errorf("%s: drops on non-recursive program", m)
+		}
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	for _, m := range AllModels() {
+		b, err := json.Marshal(map[Model]float64{m: 1.5})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		var back map[Model]float64
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", m, err)
+		}
+		if back[m] != 1.5 {
+			t.Errorf("%s: round trip lost value: %s -> %v", m, b, back)
+		}
+	}
+	var m Model
+	if err := m.UnmarshalText([]byte("NOPE")); err == nil {
+		t.Error("unknown model name accepted")
+	}
+}
+
+// Combined ablations must preserve the provable model ordering.
+func TestAblationsPreserveOrdering(t *testing.T) {
+	for _, cfg := range []Config{
+		{Window: 64},
+		{Latency: DefaultLatencies},
+		{Window: 128, Latency: DefaultLatencies},
+	} {
+		results := map[Model]Result{}
+		for _, m := range AllModels() {
+			c := cfg
+			c.Model = m
+			results[m] = analyzeConfig(t, mixedWorkload, c)
+		}
+		le := func(a, b Model) {
+			if results[a].Cycles > results[b].Cycles {
+				t.Errorf("window=%d latency=%v: %s (%d) > %s (%d)",
+					cfg.Window, cfg.Latency != nil,
+					a, results[a].Cycles, b, results[b].Cycles)
+			}
+		}
+		le(Oracle, CDMF)
+		le(CDMF, CD)
+		le(CD, Base)
+		le(Oracle, SPCDMF)
+		le(SPCDMF, SPCD)
+		le(SPCD, SP)
+		le(SP, Base)
+	}
+}
+
+// analyzeConfig runs one model with an explicit Config over a source.
+func analyzeConfig(t *testing.T, src string, cfg Config) Result {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<16)
+	prof := predict.NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStatic(p, prof.Predictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Reset()
+	cfg.MemWords = len(machine.Mem)
+	a := NewAnalyzerConfig(st, cfg)
+	if err := machine.Run(func(ev vm.Event) { a.Step(ev) }); err != nil {
+		t.Fatal(err)
+	}
+	return a.Result()
+}

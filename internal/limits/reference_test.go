@@ -1,0 +1,210 @@
+package limits
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/isa"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/trace"
+	"ilplimit/internal/vm"
+)
+
+// This file cross-checks the one-pass analyzer against an independent
+// O(n²) reference scheduler for the models whose constraints do not need
+// the control-dependence machinery (BASE, SP, ORACLE), over randomly
+// generated programs.  The reference recomputes every dependence by
+// scanning the whole trace prefix, sharing nothing with the analyzer's
+// incremental state.
+
+// referenceSchedule schedules the events by brute force.
+func referenceSchedule(p *isa.Program, events []vm.Event, model Model,
+	pred predict.Oracle) (count, cycles int64) {
+
+	filter := trace.NewFilter(p, nil)
+	times := make([]int64, len(events))
+	for i, ev := range events {
+		in := &p.Instrs[ev.Idx]
+		if filter.Ignored(ev.Idx) {
+			times[i] = -1
+			continue
+		}
+		var t int64
+		// Data dependences: scan the whole prefix for the latest write to
+		// any source register and, for loads, to the address.
+		s1, s2, s3, n := in.SrcRegs()
+		srcs := []isa.Reg{}
+		if n > 0 && s1 != isa.RZero {
+			srcs = append(srcs, s1)
+		}
+		if n > 1 && s2 != isa.RZero {
+			srcs = append(srcs, s2)
+		}
+		if n > 2 && s3 != isa.RZero {
+			srcs = append(srcs, s3)
+		}
+		for j := i - 1; j >= 0 && len(srcs) > 0; j-- {
+			if times[j] < 0 {
+				continue
+			}
+			if d, ok := p.Instrs[events[j].Idx].DestReg(); ok && d != isa.RZero {
+				for k := 0; k < len(srcs); k++ {
+					if srcs[k] == d {
+						if times[j] > t {
+							t = times[j]
+						}
+						// Only the most recent write matters; drop the reg.
+						srcs = append(srcs[:k], srcs[k+1:]...)
+						k--
+					}
+				}
+			}
+		}
+		if in.Op.IsLoad() {
+			for j := i - 1; j >= 0; j-- {
+				if times[j] < 0 {
+					continue
+				}
+				if p.Instrs[events[j].Idx].Op.IsStore() && events[j].Addr == ev.Addr {
+					if times[j] > t {
+						t = times[j]
+					}
+					break
+				}
+			}
+		}
+		// Control constraint.
+		var ctrl int64
+		switch model {
+		case Base:
+			for j := i - 1; j >= 0; j-- {
+				if times[j] < 0 {
+					continue
+				}
+				if p.Instrs[events[j].Idx].Op.IsBranchConstraint() {
+					ctrl = times[j]
+					break
+				}
+			}
+		case SP:
+			for j := i - 1; j >= 0; j-- {
+				if times[j] < 0 {
+					continue
+				}
+				if p.Instrs[events[j].Idx].Op.IsBranchConstraint() &&
+					pred.Mispredicted(events[j]) {
+					ctrl = times[j]
+					break
+				}
+			}
+		case Oracle:
+			ctrl = 0
+		}
+		if ctrl > t {
+			t = ctrl
+		}
+		times[i] = t + 1
+		count++
+		if times[i] > cycles {
+			cycles = times[i]
+		}
+	}
+	return count, cycles
+}
+
+// genProgram emits a random but terminating assembly program: blocks of
+// random ALU/memory instructions separated by forward branches, plus an
+// optional countdown loop.
+func genProgram(rng *rand.Rand) string {
+	var b []byte
+	emit := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format+"\n", args...)...)
+	}
+	emit(".data")
+	emit("area: .space 64")
+	emit(".proc main")
+	regs := []string{"$t0", "$t1", "$t2", "$t3", "$t4", "$s0", "$s1"}
+	r := func() string { return regs[rng.Intn(len(regs))] }
+	for _, reg := range regs {
+		emit("\tli %s, %d", reg, rng.Intn(100))
+	}
+	nBlocks := 3 + rng.Intn(5)
+	for blk := 0; blk < nBlocks; blk++ {
+		emit("B%d:", blk)
+		for k := rng.Intn(6); k >= 0; k-- {
+			switch rng.Intn(8) {
+			case 0:
+				emit("\tadd %s, %s, %s", r(), r(), r())
+			case 1:
+				emit("\taddi %s, %s, %d", r(), r(), rng.Intn(20)-10)
+			case 2:
+				emit("\tmul %s, %s, %s", r(), r(), r())
+			case 3:
+				emit("\txor %s, %s, %s", r(), r(), r())
+			case 4:
+				emit("\tla $t9, area")
+				emit("\tlw %s, %d($t9)", r(), rng.Intn(64))
+			case 5:
+				emit("\tla $t9, area")
+				emit("\tsw %s, %d($t9)", r(), rng.Intn(64))
+			case 6:
+				emit("\tslt %s, %s, %s", r(), r(), r())
+			case 7:
+				emit("\tandi %s, %s, %d", r(), r(), rng.Intn(64))
+			}
+		}
+		// Forward branch to a later block (or fall through).
+		if blk+1 < nBlocks && rng.Intn(2) == 0 {
+			target := blk + 1 + rng.Intn(nBlocks-blk-1)
+			emit("\tbeq %s, %s, B%d", r(), r(), target)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		emit("\tli $s7, %d", 2+rng.Intn(5))
+		emit("Lloop:")
+		emit("\tadd %s, %s, %s", r(), r(), r())
+		emit("\taddi $s7, $s7, -1")
+		emit("\tbnez $s7, Lloop")
+	}
+	emit("\thalt")
+	emit(".endproc")
+	return string(b)
+}
+
+func TestAnalyzerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260705))
+	models := []Model{Base, SP, Oracle}
+	for trial := 0; trial < 60; trial++ {
+		src := genProgram(rng)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		machine := vm.NewSized(p, 1<<12)
+		machine.StepLimit = 5000
+		prof := predict.NewProfile(p)
+		var events []vm.Event
+		if err := machine.Run(func(ev vm.Event) { prof.Record(ev); events = append(events, ev) }); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		pred := prof.Predictor()
+		st, err := NewStatic(p, pred)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, m := range models {
+			a := NewAnalyzer(st, m, false, len(machine.Mem))
+			for _, ev := range events {
+				a.Step(ev)
+			}
+			got := a.Result()
+			wantCount, wantCycles := referenceSchedule(p, events, m, pred)
+			if got.Instructions != wantCount || got.Cycles != wantCycles {
+				t.Fatalf("trial %d model %s: analyzer (%d instrs, %d cycles) != reference (%d, %d)\n%s",
+					trial, m, got.Instructions, got.Cycles, wantCount, wantCycles, src)
+			}
+		}
+	}
+}

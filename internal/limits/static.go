@@ -1,0 +1,85 @@
+package limits
+
+import (
+	"fmt"
+
+	"ilplimit/internal/cfg"
+	"ilplimit/internal/dataflow"
+	"ilplimit/internal/isa"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/trace"
+)
+
+// Static bundles everything the analyzers need that does not change between
+// machine models: the program, its control-flow graphs and reverse
+// dominance frontiers (flattened to global block ids), the trace filters
+// and the branch predictor.
+type Static struct {
+	Prog   *isa.Program
+	Graphs []*cfg.Graph
+	Pred   predict.Oracle
+
+	// blockOf maps every instruction to a program-global basic-block id.
+	blockOf []int32
+	// isLeader marks the first instruction of every block.
+	isLeader []bool
+	// blockRDF lists, per global block id, the global ids of the blocks in
+	// its reverse dominance frontier (always branch blocks).
+	blockRDF  [][]int32
+	numBlocks int
+
+	inline []bool
+	unroll []bool
+}
+
+// NewStatic builds the static context: per-procedure CFGs, the flattened
+// control-dependence tables, both trace filters, and retains the supplied
+// predictor (which may be nil for runs restricted to non-speculative
+// models).
+func NewStatic(p *isa.Program, pred predict.Oracle) (*Static, error) {
+	st := &Static{
+		Prog:     p,
+		Pred:     pred,
+		blockOf:  make([]int32, len(p.Instrs)),
+		isLeader: make([]bool, len(p.Instrs)),
+		inline:   trace.InlineMarks(p),
+	}
+	for i := range st.blockOf {
+		st.blockOf[i] = -1
+	}
+	for _, proc := range p.Procs {
+		g, err := cfg.Build(p, proc)
+		if err != nil {
+			return nil, err
+		}
+		st.Graphs = append(st.Graphs, g)
+		base := st.numBlocks
+		for b := range g.Blocks {
+			blk := &g.Blocks[b]
+			st.isLeader[blk.Start] = true
+			for i := blk.Start; i < blk.End; i++ {
+				st.blockOf[i] = int32(base + b)
+			}
+			rdf := make([]int32, len(g.RDF[b]))
+			for k, x := range g.RDF[b] {
+				rdf[k] = int32(base + x)
+			}
+			st.blockRDF = append(st.blockRDF, rdf)
+		}
+		st.numBlocks += len(g.Blocks)
+	}
+	for i, b := range st.blockOf {
+		if b == -1 {
+			return nil, fmt.Errorf("limits: instruction %d (%s) outside every procedure",
+				i, p.Instrs[i].String())
+		}
+	}
+	st.unroll = dataflow.UnrollMarks(p, st.Graphs)
+	return st, nil
+}
+
+// UnrollMarks exposes the induction-instruction marks (useful for reports).
+func (st *Static) UnrollMarks() []bool { return st.unroll }
+
+// InlineMarks exposes the inlining-filter marks.
+func (st *Static) InlineMarks() []bool { return st.inline }

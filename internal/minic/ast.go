@@ -1,0 +1,241 @@
+package minic
+
+// Type describes a mini-C type.  Arrays carry their element kind and
+// dimensions; array-typed expressions decay to their base address.
+type Type struct {
+	Kind TypeKind
+	// Dims holds array dimensions: nil for scalars, one entry for vectors,
+	// two for matrices.  Dims[i] == -1 marks an unsized parameter dimension.
+	Dims []int
+}
+
+// TypeKind is the base kind of a mini-C type.
+type TypeKind int
+
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeFloat
+)
+
+// IsArray reports whether the type has array dimensions.
+func (t Type) IsArray() bool { return len(t.Dims) > 0 }
+
+// IsScalar reports whether the type is a non-void scalar.
+func (t Type) IsScalar() bool { return len(t.Dims) == 0 && t.Kind != TypeVoid }
+
+// IsFloat reports whether the type is the float scalar.
+func (t Type) IsFloat() bool { return t.Kind == TypeFloat && !t.IsArray() }
+
+// IsInt reports whether the type is the int scalar.
+func (t Type) IsInt() bool { return t.Kind == TypeInt && !t.IsArray() }
+
+// Words is the storage size of the type in memory words.
+func (t Type) Words() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// String renders the type in source syntax ("int", "float[3][4]", "int[]").
+func (t Type) String() string {
+	base := "void"
+	switch t.Kind {
+	case TypeInt:
+		base = "int"
+	case TypeFloat:
+		base = "float"
+	}
+	for _, d := range t.Dims {
+		if d < 0 {
+			base += "[]"
+		} else {
+			base += "[" + itoa(d) + "]"
+		}
+	}
+	return base
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// ---- Declarations ----
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Name string
+	Type Type
+	// Init is the constant initializer for global scalars (nil otherwise).
+	Init *Expr
+	Line int
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Locals []*VarDecl
+	Body   []Stmt
+	Line   int
+}
+
+// ---- Statements ----
+
+// Stmt is any mini-C statement node.
+type Stmt interface{ stmtNode() }
+
+// ExprStmt is an expression used as a statement: an assignment, a ++/--
+// or a call.
+type ExprStmt struct{ X *Expr }
+
+// IfStmt is an if statement with an optional else.
+type IfStmt struct {
+	Cond *Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond *Expr
+	Body []Stmt
+}
+
+// DoWhileStmt is a do-while loop (body runs at least once).
+type DoWhileStmt struct {
+	Body []Stmt
+	Cond *Expr
+}
+
+// ForStmt is a C-style for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init *Expr // may be nil; assignment or call expression
+	Cond *Expr // may be nil (infinite)
+	Post *Expr // may be nil
+	Body []Stmt
+}
+
+// SwitchStmt is a switch with integer-literal cases (C fallthrough
+// semantics; default emitted after the cases).
+type SwitchStmt struct {
+	Tag     *Expr
+	Cases   []SwitchCase
+	Default []Stmt // nil if absent
+	Line    int
+}
+
+// SwitchCase is one case label and its statements.
+type SwitchCase struct {
+	Value int64
+	Body  []Stmt
+}
+
+// BreakStmt exits the innermost loop or switch.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	X    *Expr // nil for void return
+	Line int
+}
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct{ Body []Stmt }
+
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BlockStmt) stmtNode()    {}
+
+// ---- Expressions ----
+
+// ExprKind discriminates the expression node variants.
+type ExprKind int
+
+const (
+	ExprIntLit ExprKind = iota
+	ExprFloatLit
+	ExprVar    // identifier reference
+	ExprIndex  // a[i] or m[i][j]
+	ExprUnary  // - ! ~
+	ExprBinary // arithmetic/logical/comparison
+	ExprAssign // lhs = rhs (also +=, -=, … normalized by the parser)
+	ExprCall   // f(args) or intrinsic
+	ExprIncDec // x++ / x-- statements (delta +1/-1)
+	ExprConv   // implicit or intrinsic int<->float conversion
+)
+
+// Expr is a parsed expression node, annotated with its type by sema.
+type Expr struct {
+	Kind ExprKind
+	Line int
+
+	Ival int64
+	Fval float64
+	Name string // variable or callee name
+	Op   string // operator for unary/binary/assign
+
+	X     *Expr   // operand / lhs / callee-less
+	Y     *Expr   // rhs / second operand
+	Idx   []*Expr // index expressions for ExprIndex
+	Args  []*Expr // call arguments
+	Delta int64   // +1/-1 for ExprIncDec
+
+	// Type is filled by semantic analysis.
+	Type Type
+	// Sym is the resolved symbol for ExprVar and indexed bases.
+	Sym *Symbol
+}
+
+// Symbol is a resolved variable: global, parameter or local.
+type Symbol struct {
+	Name   string
+	Type   Type
+	Global bool
+	// ParamIndex is the parameter position, or -1.
+	ParamIndex int
+	// Local storage decided by codegen (register or frame slot).
+}

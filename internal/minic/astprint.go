@@ -1,0 +1,188 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DumpAST renders a parsed program as an indented tree, for the compiler
+// driver's -ast mode and for debugging the frontend.
+func DumpAST(prog *Program) string {
+	d := &dumper{}
+	for _, g := range prog.Globals {
+		d.printf("global %s %s", g.Type, g.Name)
+		if g.Init != nil {
+			d.indented(func() { d.expr(g.Init) })
+		}
+	}
+	for _, fn := range prog.Funcs {
+		params := make([]string, len(fn.Params))
+		for i, p := range fn.Params {
+			params[i] = p.Type.String() + " " + p.Name
+		}
+		d.printf("func %s %s(%s)", fn.Ret, fn.Name, strings.Join(params, ", "))
+		d.indented(func() {
+			for _, l := range fn.Locals {
+				d.printf("local %s %s", l.Type, l.Name)
+			}
+			d.stmts(fn.Body)
+		})
+	}
+	return d.b.String()
+}
+
+type dumper struct {
+	b     strings.Builder
+	depth int
+}
+
+func (d *dumper) printf(format string, args ...interface{}) {
+	d.b.WriteString(strings.Repeat("  ", d.depth))
+	fmt.Fprintf(&d.b, format, args...)
+	d.b.WriteByte('\n')
+}
+
+func (d *dumper) indented(f func()) {
+	d.depth++
+	f()
+	d.depth--
+}
+
+func (d *dumper) stmts(list []Stmt) {
+	for _, s := range list {
+		d.stmt(s)
+	}
+}
+
+func (d *dumper) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *ExprStmt:
+		d.printf("expr")
+		d.indented(func() { d.expr(st.X) })
+	case *BlockStmt:
+		d.printf("block")
+		d.indented(func() { d.stmts(st.Body) })
+	case *IfStmt:
+		d.printf("if")
+		d.indented(func() {
+			d.expr(st.Cond)
+			d.printf("then")
+			d.indented(func() { d.stmts(st.Then) })
+			if len(st.Else) > 0 {
+				d.printf("else")
+				d.indented(func() { d.stmts(st.Else) })
+			}
+		})
+	case *WhileStmt:
+		d.printf("while")
+		d.indented(func() {
+			d.expr(st.Cond)
+			d.stmts(st.Body)
+		})
+	case *DoWhileStmt:
+		d.printf("do-while")
+		d.indented(func() {
+			d.stmts(st.Body)
+			d.expr(st.Cond)
+		})
+	case *ForStmt:
+		d.printf("for")
+		d.indented(func() {
+			if st.Init != nil {
+				d.printf("init")
+				d.indented(func() { d.expr(st.Init) })
+			}
+			if st.Cond != nil {
+				d.printf("cond")
+				d.indented(func() { d.expr(st.Cond) })
+			}
+			if st.Post != nil {
+				d.printf("post")
+				d.indented(func() { d.expr(st.Post) })
+			}
+			d.printf("body")
+			d.indented(func() { d.stmts(st.Body) })
+		})
+	case *SwitchStmt:
+		d.printf("switch")
+		d.indented(func() {
+			d.expr(st.Tag)
+			for _, c := range st.Cases {
+				d.printf("case %d", c.Value)
+				d.indented(func() { d.stmts(c.Body) })
+			}
+			if st.Default != nil {
+				d.printf("default")
+				d.indented(func() { d.stmts(st.Default) })
+			}
+		})
+	case *BreakStmt:
+		d.printf("break")
+	case *ContinueStmt:
+		d.printf("continue")
+	case *ReturnStmt:
+		d.printf("return")
+		if st.X != nil {
+			d.indented(func() { d.expr(st.X) })
+		}
+	default:
+		d.printf("?stmt %T", s)
+	}
+}
+
+func (d *dumper) expr(e *Expr) {
+	if e == nil {
+		d.printf("<nil>")
+		return
+	}
+	switch e.Kind {
+	case ExprIntLit:
+		d.printf("int %d", e.Ival)
+	case ExprFloatLit:
+		d.printf("float %s", strconv.FormatFloat(e.Fval, 'g', -1, 64))
+	case ExprVar:
+		d.printf("var %s", e.Name)
+	case ExprIndex:
+		d.printf("index %s", e.Name)
+		d.indented(func() {
+			for _, ix := range e.Idx {
+				d.expr(ix)
+			}
+		})
+	case ExprUnary:
+		d.printf("unary %s", e.Op)
+		d.indented(func() { d.expr(e.X) })
+	case ExprBinary:
+		d.printf("binary %s", e.Op)
+		d.indented(func() {
+			d.expr(e.X)
+			d.expr(e.Y)
+		})
+	case ExprAssign:
+		d.printf("assign")
+		d.indented(func() {
+			d.expr(e.X)
+			d.expr(e.Y)
+		})
+	case ExprCall:
+		d.printf("call %s", e.Name)
+		d.indented(func() {
+			for _, a := range e.Args {
+				d.expr(a)
+			}
+		})
+	case ExprIncDec:
+		if e.Delta > 0 {
+			d.printf("inc")
+		} else {
+			d.printf("dec")
+		}
+		d.indented(func() { d.expr(e.X) })
+	case ExprConv:
+		d.printf("conv -> %s", e.Type)
+		d.indented(func() { d.expr(e.X) })
+	default:
+		d.printf("?expr %d", e.Kind)
+	}
+}

@@ -1,0 +1,72 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpAST(t *testing.T) {
+	prog, err := Parse(`
+int g = 3;
+float m[2][2];
+int f(int x, int v[]) {
+	int i;
+	float s;
+	s = 0.5;
+	for (i = 0; i < x; i++) {
+		if (v[i] > 0 && i != 3) s = s + itof(v[i]);
+		else s = s - 1.0;
+	}
+	switch (x) {
+	case 1: return 1;
+	default: break;
+	}
+	while (x > 0) { x--; if (x == 5) continue; }
+	do { x++; } while (x < 0);
+	return ftoi(-s) % 7;
+}
+int main() { print(f(3, m)); return 0; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DumpAST(prog)
+	for _, want := range []string{
+		"global int g",
+		"global float[2][2] m",
+		"func int f(int x, int[] v)",
+		"local int i",
+		"local float s",
+		"for", "init", "cond", "post", "body",
+		"if", "then", "else",
+		"binary &&", "binary >", "binary !=",
+		"index v", "call itof",
+		"switch", "case 1", "default", "break",
+		"while", "do-while", "continue",
+		"inc", "dec",
+		"unary -", "binary %",
+		"return", "call print", "call f",
+		"assign", "var s", "float 0.5", "int 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("AST dump missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation reflects nesting: the for body's statements sit deeper
+	// than the for itself.
+	forLine := strings.Index(out, "\n  for")
+	if forLine < 0 {
+		t.Fatalf("for not at function depth:\n%s", out)
+	}
+}
+
+func TestDumpASTSanityOnSuite(t *testing.T) {
+	// The dumper must handle every construct the benchmarks use.
+	prog, err := Parse(donorProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := DumpAST(prog); len(out) < 100 {
+		t.Errorf("suspiciously short dump:\n%s", out)
+	}
+}

@@ -1,0 +1,612 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ilplimit/internal/isa"
+)
+
+// Options control code generation.
+type Options struct {
+	// IfConvert enables guarded-instruction if-conversion (the paper's §6
+	// extension): simple conditional assignments compile to conditional
+	// moves instead of branches, lengthening the distance between
+	// mispredicted branches at the cost of executing both arms.
+	IfConvert bool
+}
+
+// Compile translates mini-C source to assembly text for internal/asm with
+// default options (no if-conversion: the paper's baseline).
+func Compile(src string) (string, error) { return CompileOpts(src, Options{}) }
+
+// CompileOpts translates mini-C source with explicit code generation
+// options.
+func CompileOpts(src string, opts Options) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	unit, err := Analyze(prog)
+	if err != nil {
+		return "", err
+	}
+	return generate(unit, opts)
+}
+
+// storage describes where a scalar symbol lives during its function.
+type storage struct {
+	inReg bool
+	reg   isa.Reg
+	// off is the sp-relative frame offset for frame-resident scalars and
+	// the base offset of local arrays.
+	off int
+	// globalLabel names the .data symbol for globals.
+	globalLabel string
+	isArray     bool
+}
+
+// Callee-saved register pools for promoted scalars.
+var intHomes = []isa.Reg{isa.RS0, isa.RS0 + 1, isa.RS0 + 2, isa.RS0 + 3,
+	isa.RS0 + 4, isa.RS0 + 5, isa.RS0 + 6, isa.RS7}
+
+var fltHomes = []isa.Reg{isa.FReg(20), isa.FReg(21), isa.FReg(22), isa.FReg(23),
+	isa.FReg(24), isa.FReg(25), isa.FReg(26), isa.FReg(27),
+	isa.FReg(28), isa.FReg(29), isa.FReg(30), isa.FReg(31)}
+
+// Caller-saved temporaries for expression evaluation.
+var intTempPool = []isa.Reg{isa.RT0, isa.RT0 + 1, isa.RT0 + 2, isa.RT0 + 3,
+	isa.RT0 + 4, isa.RT0 + 5, isa.RT0 + 6, isa.RT0 + 7, isa.RT0 + 8, isa.RT9}
+
+var fltTempPool = []isa.Reg{isa.FReg(4), isa.FReg(5), isa.FReg(6), isa.FReg(7),
+	isa.FReg(8), isa.FReg(9), isa.FReg(10), isa.FReg(11)}
+
+// Argument registers by position.
+var intArgRegs = []isa.Reg{isa.RA0, isa.RA1, isa.RA2, isa.RA3}
+var fltArgRegs = []isa.Reg{isa.FReg(12), isa.FReg(13), isa.FReg(14), isa.FReg(15)}
+
+// Leaf-function pools: a function that makes no calls keeps its parameters
+// in the argument registers and its scalar locals in caller-saved
+// temporaries, so it saves and restores nothing — the leaf-procedure
+// optimization every real compiler performs.  Without it, every pair of
+// consecutive calls would be serialized by the callee-saved save/restore
+// chain (the epilogue reload writes $sN, the next prologue store reads it).
+var leafIntHomes = []isa.Reg{isa.RT9, isa.RT9 - 1, isa.RT9 - 2, isa.RT9 - 3, isa.RT9 - 4}
+var leafFltHomes = []isa.Reg{isa.FReg(16), isa.FReg(17), isa.FReg(18), isa.FReg(19)}
+var leafIntTemps = []isa.Reg{isa.RT0, isa.RT0 + 1, isa.RT0 + 2, isa.RT0 + 3, isa.RT0 + 4}
+
+type gen struct {
+	unit *Unit
+	opts Options
+	out  strings.Builder
+
+	fn      *FuncDecl
+	store   map[*Symbol]*storage
+	intPool []isa.Reg
+	fltPool []isa.Reg
+	intBusy []bool
+	fltBusy []bool
+
+	frameSize  int
+	scratchOff int // base of the temp-save area
+	makesCalls bool
+
+	labelN   int
+	retLabel string
+	breaks   []string
+	conts    []string
+
+	usedHomes []isa.Reg // callee-saved registers to save/restore
+	homeSlot  map[isa.Reg]int
+
+	tables []string // emitted .jumptable directives
+}
+
+// Generate emits assembly for a checked unit with default options.
+func Generate(unit *Unit) (string, error) { return generate(unit, Options{}) }
+
+func generate(unit *Unit, opts Options) (asmText string, err error) {
+	g := &gen{unit: unit, opts: opts}
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(compileError); ok {
+				err = error(ce.err)
+				return
+			}
+			panic(r)
+		}
+	}()
+	g.emitData()
+	g.line(".proc _start")
+	g.line("\tjal main")
+	g.line("\thalt")
+	g.line(".endproc")
+	for _, fn := range unit.Prog.Funcs {
+		g.function(fn)
+	}
+	for _, t := range g.tables {
+		g.line(t)
+	}
+	return g.out.String(), nil
+}
+
+type compileError struct{ err error }
+
+func (g *gen) failf(line int, format string, args ...interface{}) {
+	panic(compileError{fmt.Errorf("minic: line %d: %s", line, fmt.Sprintf(format, args...))})
+}
+
+func (g *gen) line(s string) { g.out.WriteString(s); g.out.WriteByte('\n') }
+
+func (g *gen) emitf(format string, args ...interface{}) {
+	g.out.WriteByte('\t')
+	fmt.Fprintf(&g.out, format, args...)
+	g.out.WriteByte('\n')
+}
+
+func (g *gen) label(l string) { g.out.WriteString(l); g.out.WriteString(":\n") }
+
+func (g *gen) newLabel(hint string) string {
+	g.labelN++
+	return fmt.Sprintf("L%s_%s_%d", g.fn.Name, hint, g.labelN)
+}
+
+func floatLit(f float64) string { return strconv.FormatFloat(f, 'e', 17, 64) }
+
+func (g *gen) emitData() {
+	if len(g.unit.Prog.Globals) == 0 {
+		return
+	}
+	g.line(".data")
+	for _, gv := range g.unit.Prog.Globals {
+		if gv.Type.IsArray() {
+			g.line(fmt.Sprintf("%s: .space %d", gv.Name, gv.Type.Words()))
+			continue
+		}
+		switch {
+		case gv.Init == nil && gv.Type.Kind == TypeFloat:
+			g.line(fmt.Sprintf("%s: .word %s", gv.Name, floatLit(0)))
+		case gv.Init == nil:
+			g.line(fmt.Sprintf("%s: .word 0", gv.Name))
+		case gv.Type.Kind == TypeFloat && gv.Init.Kind == ExprIntLit:
+			g.line(fmt.Sprintf("%s: .word %s", gv.Name, floatLit(float64(gv.Init.Ival))))
+		case gv.Type.Kind == TypeFloat:
+			g.line(fmt.Sprintf("%s: .word %s", gv.Name, floatLit(gv.Init.Fval)))
+		default:
+			g.line(fmt.Sprintf("%s: .word %d", gv.Name, gv.Init.Ival))
+		}
+	}
+	g.line(".text")
+}
+
+// scanCalls reports whether any statement in the function performs a
+// non-intrinsic call, and the maximum number of stack-passed arguments.
+func scanCalls(fn *FuncDecl) (makesCalls bool, maxStackArgs int) {
+	var visitExpr func(e *Expr)
+	var visitStmts func([]Stmt)
+	visitExpr = func(e *Expr) {
+		if e == nil {
+			return
+		}
+		if e.Kind == ExprCall {
+			if _, isIntr := intrinsics[e.Name]; !isIntr {
+				makesCalls = true
+				if n := len(e.Args) - len(intArgRegs); n > maxStackArgs {
+					maxStackArgs = n
+				}
+			}
+		}
+		visitExpr(e.X)
+		visitExpr(e.Y)
+		for _, ix := range e.Idx {
+			visitExpr(ix)
+		}
+		for _, a := range e.Args {
+			visitExpr(a)
+		}
+	}
+	visitStmts = func(list []Stmt) {
+		for _, s := range list {
+			switch st := s.(type) {
+			case *ExprStmt:
+				visitExpr(st.X)
+			case *BlockStmt:
+				visitStmts(st.Body)
+			case *IfStmt:
+				visitExpr(st.Cond)
+				visitStmts(st.Then)
+				visitStmts(st.Else)
+			case *WhileStmt:
+				visitExpr(st.Cond)
+				visitStmts(st.Body)
+			case *DoWhileStmt:
+				visitStmts(st.Body)
+				visitExpr(st.Cond)
+			case *ForStmt:
+				visitExpr(st.Init)
+				visitExpr(st.Cond)
+				visitExpr(st.Post)
+				visitStmts(st.Body)
+			case *SwitchStmt:
+				visitExpr(st.Tag)
+				for _, cs := range st.Cases {
+					visitStmts(cs.Body)
+				}
+				visitStmts(st.Default)
+			case *ReturnStmt:
+				visitExpr(st.X)
+			}
+		}
+	}
+	visitStmts(fn.Body)
+	return
+}
+
+// function generates one procedure: storage assignment, frame layout,
+// prologue, body, epilogue.
+func (g *gen) function(fn *FuncDecl) {
+	g.fn = fn
+	g.store = make(map[*Symbol]*storage)
+	g.usedHomes = nil
+	g.homeSlot = make(map[isa.Reg]int)
+	g.breaks, g.conts = nil, nil
+	g.retLabel = ""
+
+	syms := g.unit.FuncSyms[fn.Name]
+	makesCalls, maxStackArgs := scanCalls(fn)
+	g.makesCalls = makesCalls
+	leaf := !makesCalls
+
+	intHomePool, fltHomePool := intHomes, fltHomes
+	g.intPool, g.fltPool = intTempPool, fltTempPool
+	if leaf {
+		intHomePool, fltHomePool = leafIntHomes, leafFltHomes
+		g.intPool = leafIntTemps
+	}
+	g.intBusy = make([]bool, len(g.intPool))
+	g.fltBusy = make([]bool, len(g.fltPool))
+
+	// Frame layout (offsets from sp after the prologue adjustment):
+	//   [0, maxStackArgs)            outgoing stack arguments
+	//   [scratchOff, +18)            temp saves across calls
+	//   local arrays, spilled scalars
+	//   callee-saved register slots, ra
+	off := maxStackArgs
+	g.scratchOff = off
+	if makesCalls {
+		off += len(intTempPool) + len(fltTempPool)
+	}
+
+	// Promote scalars to register homes: parameters first (they are the
+	// likeliest loop bounds and induction variables), then locals.  In a
+	// leaf function the first four parameters simply stay in their argument
+	// registers.
+	nextInt, nextFlt := 0, 0
+	assign := func(sym *Symbol) {
+		st := &storage{}
+		if leaf && sym.ParamIndex >= 0 && sym.ParamIndex < len(intArgRegs) && !sym.Type.IsArray() &&
+			sym.Type.Kind == TypeFloat {
+			st.inReg, st.reg = true, fltArgRegs[sym.ParamIndex]
+			g.store[sym] = st
+			return
+		}
+		if leaf && sym.ParamIndex >= 0 && sym.ParamIndex < len(intArgRegs) &&
+			(sym.Type.IsArray() || sym.Type.Kind == TypeInt) {
+			st.inReg, st.reg = true, intArgRegs[sym.ParamIndex]
+			g.store[sym] = st
+			return
+		}
+		switch {
+		case sym.Type.IsArray() && sym.ParamIndex >= 0:
+			// Array parameter: an address, lives like an int scalar.
+			if nextInt < len(intHomePool) {
+				st.inReg, st.reg = true, intHomePool[nextInt]
+				nextInt++
+			} else {
+				st.off = off
+				off++
+			}
+		case sym.Type.IsArray():
+			st.isArray = true
+			st.off = off
+			off += sym.Type.Words()
+		case sym.Type.Kind == TypeFloat:
+			if nextFlt < len(fltHomePool) {
+				st.inReg, st.reg = true, fltHomePool[nextFlt]
+				nextFlt++
+			} else {
+				st.off = off
+				off++
+			}
+		default:
+			if nextInt < len(intHomePool) {
+				st.inReg, st.reg = true, intHomePool[nextInt]
+				nextInt++
+			} else {
+				st.off = off
+				off++
+			}
+		}
+		if st.inReg && !leaf {
+			g.usedHomes = append(g.usedHomes, st.reg)
+		}
+		g.store[sym] = st
+	}
+	for i := range fn.Params {
+		assign(syms[fn.Params[i].Name])
+	}
+	for _, l := range fn.Locals {
+		assign(syms[l.Name])
+	}
+
+	// Callee-saved slots and ra (leaf functions save nothing).
+	for _, r := range g.usedHomes {
+		g.homeSlot[r] = off
+		off++
+	}
+	raSlot := -1
+	if makesCalls {
+		raSlot = off
+		off++
+	}
+	g.frameSize = off
+
+	// Prologue.
+	g.line(fmt.Sprintf(".proc %s", fn.Name))
+	if g.frameSize > 0 {
+		g.emitf("addi $sp, $sp, -%d", g.frameSize)
+	}
+	if raSlot >= 0 {
+		g.emitf("sw $ra, %d($sp)", raSlot)
+	}
+	for _, r := range g.usedHomes {
+		if r.IsFloat() {
+			g.emitf("fsw %s, %d($sp)", r, g.homeSlot[r])
+		} else {
+			g.emitf("sw %s, %d($sp)", r, g.homeSlot[r])
+		}
+	}
+	// Move incoming arguments to their homes (leaf parameters already live
+	// in their argument registers).
+	for i, p := range fn.Params {
+		st := g.store[syms[p.Name]]
+		switch {
+		case i < len(intArgRegs) && p.Type.Kind == TypeFloat && !p.Type.IsArray():
+			if st.inReg && st.reg != fltArgRegs[i] {
+				g.emitf("fmov %s, %s", st.reg, fltArgRegs[i])
+			} else if !st.inReg {
+				g.emitf("fsw %s, %d($sp)", fltArgRegs[i], st.off)
+			}
+		case i < len(intArgRegs):
+			if st.inReg && st.reg != intArgRegs[i] {
+				g.emitf("mov %s, %s", st.reg, intArgRegs[i])
+			} else if !st.inReg {
+				g.emitf("sw %s, %d($sp)", intArgRegs[i], st.off)
+			}
+		default:
+			// Stack-passed: the incoming slot (above our frame) is the home.
+			st.inReg = false
+			st.off = g.frameSize + (i - len(intArgRegs))
+		}
+	}
+
+	g.retLabel = g.newLabel("ret")
+	g.stmts(fn.Body)
+
+	// Epilogue.
+	g.label(g.retLabel)
+	for _, r := range g.usedHomes {
+		if r.IsFloat() {
+			g.emitf("flw %s, %d($sp)", r, g.homeSlot[r])
+		} else {
+			g.emitf("lw %s, %d($sp)", r, g.homeSlot[r])
+		}
+	}
+	if raSlot >= 0 {
+		g.emitf("lw $ra, %d($sp)", raSlot)
+	}
+	if g.frameSize > 0 {
+		g.emitf("addi $sp, $sp, %d", g.frameSize)
+	}
+	g.emitf("ret")
+	g.line(fmt.Sprintf(".endproc %s", fn.Name))
+
+	// All temporaries must be free between statements.
+	for i, b := range g.intBusy {
+		if b {
+			g.failf(fn.Line, "internal: int temp %s leaked in %s", g.intPool[i], fn.Name)
+		}
+	}
+	for i, b := range g.fltBusy {
+		if b {
+			g.failf(fn.Line, "internal: float temp %s leaked in %s", g.fltPool[i], fn.Name)
+		}
+	}
+}
+
+func (g *gen) stmts(list []Stmt) {
+	for _, s := range list {
+		g.stmt(s)
+	}
+}
+
+func (g *gen) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *ExprStmt:
+		g.exprStmt(st.X)
+	case *BlockStmt:
+		g.stmts(st.Body)
+	case *IfStmt:
+		if g.opts.IfConvert && g.tryIfConvert(st) {
+			return
+		}
+		elseL := g.newLabel("else")
+		endL := elseL
+		if len(st.Else) > 0 {
+			endL = g.newLabel("endif")
+		}
+		g.branch(st.Cond, elseL, false)
+		g.stmts(st.Then)
+		if len(st.Else) > 0 {
+			g.emitf("j %s", endL)
+			g.label(elseL)
+			g.stmts(st.Else)
+		}
+		g.label(endL)
+	case *WhileStmt:
+		head := g.newLabel("while")
+		exit := g.newLabel("wend")
+		g.label(head)
+		g.branch(st.Cond, exit, false)
+		g.pushLoop(exit, head)
+		g.stmts(st.Body)
+		g.popLoop()
+		g.emitf("j %s", head)
+		g.label(exit)
+	case *DoWhileStmt:
+		head := g.newLabel("do")
+		cont := g.newLabel("docond")
+		exit := g.newLabel("dend")
+		g.label(head)
+		g.pushLoop(exit, cont)
+		g.stmts(st.Body)
+		g.popLoop()
+		g.label(cont)
+		g.branch(st.Cond, head, true)
+		g.label(exit)
+	case *ForStmt:
+		if st.Init != nil {
+			g.exprStmt(st.Init)
+		}
+		head := g.newLabel("for")
+		cont := g.newLabel("fpost")
+		exit := g.newLabel("fend")
+		g.label(head)
+		if st.Cond != nil {
+			g.branch(st.Cond, exit, false)
+		}
+		g.pushLoop(exit, cont)
+		g.stmts(st.Body)
+		g.popLoop()
+		g.label(cont)
+		if st.Post != nil {
+			g.exprStmt(st.Post)
+		}
+		g.emitf("j %s", head)
+		g.label(exit)
+	case *SwitchStmt:
+		g.switchStmt(st)
+	case *BreakStmt:
+		if len(g.breaks) == 0 {
+			g.failf(st.Line, "break outside loop")
+		}
+		g.emitf("j %s", g.breaks[len(g.breaks)-1])
+	case *ContinueStmt:
+		if len(g.conts) == 0 {
+			g.failf(st.Line, "continue outside loop")
+		}
+		g.emitf("j %s", g.conts[len(g.conts)-1])
+	case *ReturnStmt:
+		if st.X != nil {
+			if st.X.Type.IsFloat() {
+				g.exprInto(st.X, isa.F0)
+			} else {
+				g.exprInto(st.X, isa.RV0)
+			}
+		}
+		g.emitf("j %s", g.retLabel)
+	default:
+		g.failf(0, "unknown statement %T", s)
+	}
+}
+
+func (g *gen) pushLoop(brk, cont string) {
+	g.breaks = append(g.breaks, brk)
+	g.conts = append(g.conts, cont)
+}
+
+func (g *gen) popLoop() {
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.conts = g.conts[:len(g.conts)-1]
+}
+
+// pushBreak enters a switch: break jumps to its end, continue passes
+// through to any enclosing loop.
+func (g *gen) pushBreak(brk string) { g.breaks = append(g.breaks, brk) }
+func (g *gen) popBreak()            { g.breaks = g.breaks[:len(g.breaks)-1] }
+
+// switchStmt emits either a jump table (dense cases) or a compare chain.
+func (g *gen) switchStmt(st *SwitchStmt) {
+	end := g.newLabel("swend")
+	defaultL := end
+	if st.Default != nil {
+		defaultL = g.newLabel("swdef")
+	}
+	tag := g.expr(st.Tag)
+	tagReg := g.forceInt(tag, st.Tag.Line)
+
+	caseLabels := make([]string, len(st.Cases))
+	for i := range st.Cases {
+		caseLabels[i] = g.newLabel(fmt.Sprintf("case%d", i))
+	}
+
+	minV, maxV := int64(0), int64(0)
+	for i, cs := range st.Cases {
+		if i == 0 || cs.Value < minV {
+			minV = cs.Value
+		}
+		if i == 0 || cs.Value > maxV {
+			maxV = cs.Value
+		}
+	}
+	span := maxV - minV + 1
+	dense := len(st.Cases) > 2 && span <= 3*int64(len(st.Cases))+8 && span <= 512
+
+	if dense {
+		idx := g.allocInt(st.Line)
+		if minV != 0 {
+			g.emitf("addi %s, %s, %d", idx, tagReg, -minV)
+		} else {
+			g.emitf("mov %s, %s", idx, tagReg)
+		}
+		g.freeVal(tag)
+		g.emitf("bltz %s, %s", idx, defaultL)
+		bound := g.allocInt(st.Line)
+		g.emitf("li %s, %d", bound, span)
+		g.emitf("bge %s, %s, %s", idx, bound, defaultL)
+		g.freeReg(bound)
+		tname := fmt.Sprintf("T%s_%d", g.fn.Name, g.labelN)
+		entries := make([]string, span)
+		for i := range entries {
+			entries[i] = defaultL
+		}
+		for i, cs := range st.Cases {
+			entries[cs.Value-minV] = caseLabels[i]
+		}
+		g.tables = append(g.tables, fmt.Sprintf(".jumptable %s: %s", tname, strings.Join(entries, " ")))
+		g.emitf("jtab %s, %s", idx, tname)
+		g.freeReg(idx)
+	} else {
+		cv := g.allocInt(st.Line)
+		for i, cs := range st.Cases {
+			g.emitf("li %s, %d", cv, cs.Value)
+			g.emitf("beq %s, %s, %s", tagReg, cv, caseLabels[i])
+		}
+		g.freeReg(cv)
+		g.freeVal(tag)
+		g.emitf("j %s", defaultL)
+	}
+
+	g.pushBreak(end)
+	for i, cs := range st.Cases {
+		g.label(caseLabels[i])
+		g.stmts(cs.Body) // fallthrough into the next case, as in C
+	}
+	if st.Default != nil {
+		g.label(defaultL)
+		g.stmts(st.Default)
+	}
+	g.popBreak()
+	g.label(end)
+}

@@ -1,0 +1,240 @@
+package minic
+
+import "ilplimit/internal/isa"
+
+// call generates a function call or intrinsic, returning the result value
+// (an empty val for void).
+func (g *gen) call(e *Expr, dest isa.Reg) val {
+	if _, ok := intrinsics[e.Name]; ok {
+		return g.intrinsicCall(e, dest)
+	}
+	fn := g.unit.Funcs[e.Name]
+
+	// Evaluate every argument first (an argument expression may itself
+	// contain calls that would clobber the argument registers).
+	argVals := make([]val, len(e.Args))
+	for i, arg := range e.Args {
+		argVals[i] = g.expr(arg)
+	}
+	// Stack-passed arguments go to the outgoing area at the frame bottom.
+	for i := len(intArgRegs); i < len(argVals); i++ {
+		slot := i - len(intArgRegs)
+		if e.Args[i].Type.IsFloat() {
+			g.emitf("fsw %s, %d($sp)", argVals[i].reg, slot)
+		} else {
+			g.emitf("sw %s, %d($sp)", argVals[i].reg, slot)
+		}
+	}
+	// Register-passed arguments.
+	for i := 0; i < len(argVals) && i < len(intArgRegs); i++ {
+		if e.Args[i].Type.IsFloat() {
+			g.emitf("fmov %s, %s", fltArgRegs[i], argVals[i].reg)
+		} else {
+			g.emitf("mov %s, %s", intArgRegs[i], argVals[i].reg)
+		}
+	}
+	for _, v := range argVals {
+		g.freeVal(v)
+	}
+
+	// Save live caller-saved temporaries across the call.
+	type saved struct {
+		reg  isa.Reg
+		slot int
+	}
+	var saves []saved
+	for i, busy := range g.intBusy {
+		if busy {
+			saves = append(saves, saved{g.intPool[i], g.scratchOff + i})
+		}
+	}
+	for i, busy := range g.fltBusy {
+		if busy {
+			saves = append(saves, saved{g.fltPool[i], g.scratchOff + len(intTempPool) + i})
+		}
+	}
+	for _, s := range saves {
+		if s.reg.IsFloat() {
+			g.emitf("fsw %s, %d($sp)", s.reg, s.slot)
+		} else {
+			g.emitf("sw %s, %d($sp)", s.reg, s.slot)
+		}
+	}
+
+	g.emitf("jal %s", e.Name)
+
+	for _, s := range saves {
+		if s.reg.IsFloat() {
+			g.emitf("flw %s, %d($sp)", s.reg, s.slot)
+		} else {
+			g.emitf("lw %s, %d($sp)", s.reg, s.slot)
+		}
+	}
+
+	switch fn.Ret.Kind {
+	case TypeVoid:
+		return val{}
+	case TypeFloat:
+		d := g.target(dest, true, e.Line)
+		g.emitf("fmov %s, %s", d.reg, isa.F0)
+		return d
+	default:
+		d := g.target(dest, false, e.Line)
+		g.emitf("mov %s, %s", d.reg, isa.RV0)
+		return d
+	}
+}
+
+func (g *gen) intrinsicCall(e *Expr, dest isa.Reg) val {
+	switch e.Name {
+	case "print":
+		v := g.expr(e.Args[0])
+		if e.Args[0].Type.IsFloat() {
+			g.emitf("printf %s", v.reg)
+		} else {
+			g.emitf("printi %s", v.reg)
+		}
+		g.freeVal(v)
+		t := g.allocInt(e.Line)
+		g.emitf("li %s, 10", t)
+		g.emitf("printc %s", t)
+		g.freeReg(t)
+		return val{}
+	case "printc":
+		v := g.expr(e.Args[0])
+		g.emitf("printc %s", v.reg)
+		g.freeVal(v)
+		return val{}
+	case "sqrt", "fabs":
+		v := g.expr(e.Args[0])
+		d := g.target(dest, true, e.Line)
+		if e.Name == "sqrt" {
+			g.emitf("fsqrt %s, %s", d.reg, v.reg)
+		} else {
+			g.emitf("fabs %s, %s", d.reg, v.reg)
+		}
+		g.freeVal(v)
+		return d
+	case "abs":
+		v := g.expr(e.Args[0])
+		d := g.target(dest, false, e.Line)
+		t := g.allocInt(e.Line)
+		g.emitf("srai %s, %s, 63", t, v.reg)
+		g.emitf("xor %s, %s, %s", d.reg, v.reg, t)
+		g.emitf("sub %s, %s, %s", d.reg, d.reg, t)
+		g.freeReg(t)
+		g.freeVal(v)
+		return d
+	case "itof":
+		v := g.expr(e.Args[0])
+		d := g.target(dest, true, e.Line)
+		g.emitf("cvtif %s, %s", d.reg, v.reg)
+		g.freeVal(v)
+		return d
+	case "ftoi":
+		v := g.expr(e.Args[0])
+		d := g.target(dest, false, e.Line)
+		g.emitf("cvtfi %s, %s", d.reg, v.reg)
+		g.freeVal(v)
+		return d
+	}
+	g.failf(e.Line, "unknown intrinsic %s", e.Name)
+	return val{}
+}
+
+// Branch mnemonics for integer comparisons, by operator and sense.
+var condBranch = map[string][2]string{
+	// op: {branch-if-false, branch-if-true}
+	"<":  {"bge", "blt"},
+	"<=": {"bgt", "ble"},
+	">":  {"ble", "bgt"},
+	">=": {"blt", "bge"},
+	"==": {"bne", "beq"},
+	"!=": {"beq", "bne"},
+}
+
+// branch emits a conditional jump to label taken exactly when the truth of
+// e equals whenTrue.  Comparisons fuse into a single compare-and-branch;
+// && and || short-circuit without materializing a boolean.
+func (g *gen) branch(e *Expr, label string, whenTrue bool) {
+	switch e.Kind {
+	case ExprIntLit:
+		if (e.Ival != 0) == whenTrue {
+			g.emitf("j %s", label)
+		}
+		return
+
+	case ExprUnary:
+		if e.Op == "!" {
+			g.branch(e.X, label, !whenTrue)
+			return
+		}
+
+	case ExprBinary:
+		switch e.Op {
+		case "&&":
+			if whenTrue {
+				skip := g.newLabel("and")
+				g.branch(e.X, skip, false)
+				g.branch(e.Y, label, true)
+				g.label(skip)
+			} else {
+				g.branch(e.X, label, false)
+				g.branch(e.Y, label, false)
+			}
+			return
+		case "||":
+			if whenTrue {
+				g.branch(e.X, label, true)
+				g.branch(e.Y, label, true)
+			} else {
+				skip := g.newLabel("or")
+				g.branch(e.X, skip, true)
+				g.branch(e.Y, label, false)
+				g.label(skip)
+			}
+			return
+		}
+		if mn, ok := condBranch[e.Op]; ok {
+			sense := 0
+			if whenTrue {
+				sense = 1
+			}
+			if e.X.Type.IsFloat() || e.Y.Type.IsFloat() {
+				// Compute the comparison, then branch on the boolean.
+				v := g.binaryTo(e, 0)
+				if whenTrue {
+					g.emitf("bnez %s, %s", v.reg, label)
+				} else {
+					g.emitf("beqz %s, %s", v.reg, label)
+				}
+				g.freeVal(v)
+				return
+			}
+			x := g.condOperand(e.X)
+			y := g.condOperand(e.Y)
+			g.emitf("%s %s, %s, %s", mn[sense], x.reg, y.reg, label)
+			g.freeVal(x)
+			g.freeVal(y)
+			return
+		}
+	}
+
+	// General case: evaluate to a register and test against zero.
+	v := g.expr(e)
+	if whenTrue {
+		g.emitf("bnez %s, %s", v.reg, label)
+	} else {
+		g.emitf("beqz %s, %s", v.reg, label)
+	}
+	g.freeVal(v)
+}
+
+// condOperand evaluates a comparison operand, mapping literal zero to the
+// hardwired zero register so loop exits compare against $zero directly.
+func (g *gen) condOperand(e *Expr) val {
+	if e.Kind == ExprIntLit && e.Ival == 0 {
+		return val{reg: isa.RZero}
+	}
+	return g.expr(e)
+}

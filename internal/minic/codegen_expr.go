@@ -1,0 +1,534 @@
+package minic
+
+import "ilplimit/internal/isa"
+
+// val is a value held in a register.  Owned temporaries must be released
+// with freeVal; references to register homes are not owned.
+type val struct {
+	reg   isa.Reg
+	owned bool
+}
+
+func (g *gen) allocInt(line int) isa.Reg {
+	for i, busy := range g.intBusy {
+		if !busy {
+			g.intBusy[i] = true
+			return g.intPool[i]
+		}
+	}
+	g.failf(line, "expression too complex: out of integer temporaries")
+	return 0
+}
+
+func (g *gen) allocFlt(line int) isa.Reg {
+	for i, busy := range g.fltBusy {
+		if !busy {
+			g.fltBusy[i] = true
+			return g.fltPool[i]
+		}
+	}
+	g.failf(line, "expression too complex: out of float temporaries")
+	return 0
+}
+
+func (g *gen) freeReg(r isa.Reg) {
+	for i, t := range g.intPool {
+		if t == r {
+			g.intBusy[i] = false
+			return
+		}
+	}
+	for i, t := range g.fltPool {
+		if t == r {
+			g.fltBusy[i] = false
+			return
+		}
+	}
+}
+
+func (g *gen) freeVal(v val) {
+	if v.owned {
+		g.freeReg(v.reg)
+	}
+}
+
+// target returns the destination register for a computed value: the caller
+// preference when given, otherwise a fresh temporary.
+func (g *gen) target(dest isa.Reg, float bool, line int) val {
+	if dest != 0 {
+		return val{reg: dest}
+	}
+	if float {
+		return val{reg: g.allocFlt(line), owned: true}
+	}
+	return val{reg: g.allocInt(line), owned: true}
+}
+
+func (g *gen) forceInt(v val, line int) isa.Reg {
+	if v.reg.IsFloat() {
+		g.failf(line, "internal: expected int value")
+	}
+	return v.reg
+}
+
+// expr evaluates e into some register.
+func (g *gen) expr(e *Expr) val { return g.exprTo(e, 0) }
+
+// exprInto evaluates e and guarantees the result lands in dest.
+func (g *gen) exprInto(e *Expr, dest isa.Reg) {
+	v := g.exprTo(e, dest)
+	if v.reg != dest {
+		if dest.IsFloat() {
+			g.emitf("fmov %s, %s", dest, v.reg)
+		} else {
+			g.emitf("mov %s, %s", dest, v.reg)
+		}
+	}
+	g.freeVal(v)
+}
+
+// exprTo evaluates e, preferring (but not guaranteeing) dest as the result
+// register when dest != 0.
+func (g *gen) exprTo(e *Expr, dest isa.Reg) val {
+	switch e.Kind {
+	case ExprIntLit:
+		d := g.target(dest, false, e.Line)
+		g.emitf("li %s, %d", d.reg, e.Ival)
+		return d
+
+	case ExprFloatLit:
+		d := g.target(dest, true, e.Line)
+		g.emitf("fli %s, %s", d.reg, floatLit(e.Fval))
+		return d
+
+	case ExprVar:
+		st := g.store[e.Sym]
+		if st == nil {
+			// Global symbol.
+			if e.Sym.Type.IsArray() {
+				d := g.target(dest, false, e.Line)
+				g.emitf("la %s, %s", d.reg, e.Name)
+				return d
+			}
+			if e.Sym.Type.IsFloat() {
+				d := g.target(dest, true, e.Line)
+				g.emitf("flw %s, %s($zero)", d.reg, e.Name)
+				return d
+			}
+			d := g.target(dest, false, e.Line)
+			g.emitf("lw %s, %s($zero)", d.reg, e.Name)
+			return d
+		}
+		if st.isArray {
+			// Local array decays to its frame address.
+			d := g.target(dest, false, e.Line)
+			g.emitf("addi %s, $sp, %d", d.reg, st.off)
+			return d
+		}
+		if st.inReg {
+			return val{reg: st.reg}
+		}
+		if e.Sym.Type.IsFloat() {
+			d := g.target(dest, true, e.Line)
+			g.emitf("flw %s, %d($sp)", d.reg, st.off)
+			return d
+		}
+		d := g.target(dest, false, e.Line)
+		g.emitf("lw %s, %d($sp)", d.reg, st.off)
+		return d
+
+	case ExprIndex:
+		addr, off := g.elemAddr(e)
+		float := e.Type.IsFloat()
+		d := g.target(dest, float, e.Line)
+		if float {
+			g.emitf("flw %s, %d(%s)", d.reg, off, addr.reg)
+		} else {
+			g.emitf("lw %s, %d(%s)", d.reg, off, addr.reg)
+		}
+		g.freeVal(addr)
+		return d
+
+	case ExprUnary:
+		x := g.expr(e.X)
+		float := e.X.Type.IsFloat()
+		d := g.target(dest, float && e.Op == "-", e.Line)
+		switch {
+		case e.Op == "-" && float:
+			g.emitf("fneg %s, %s", d.reg, x.reg)
+		case e.Op == "-":
+			g.emitf("sub %s, $zero, %s", d.reg, x.reg)
+		case e.Op == "!":
+			g.emitf("seq %s, %s, $zero", d.reg, x.reg)
+		case e.Op == "~":
+			g.emitf("nor %s, %s, $zero", d.reg, x.reg)
+		default:
+			g.failf(e.Line, "unknown unary %s", e.Op)
+		}
+		g.freeVal(x)
+		return d
+
+	case ExprConv:
+		x := g.expr(e.X)
+		if e.Type.IsFloat() {
+			d := g.target(dest, true, e.Line)
+			g.emitf("cvtif %s, %s", d.reg, x.reg)
+			g.freeVal(x)
+			return d
+		}
+		d := g.target(dest, false, e.Line)
+		g.emitf("cvtfi %s, %s", d.reg, x.reg)
+		g.freeVal(x)
+		return d
+
+	case ExprBinary:
+		return g.binaryTo(e, dest)
+
+	case ExprCall:
+		return g.call(e, dest)
+	}
+	g.failf(e.Line, "cannot evaluate expression kind %d", e.Kind)
+	return val{}
+}
+
+// immOp maps an int binary operator to its immediate-form mnemonic.
+var immOp = map[string]string{
+	"+": "addi", "*": "muli", "&": "andi", "|": "ori", "^": "xori",
+	"<<": "slli", ">>": "srai", "<": "slti",
+}
+
+// regOp maps an int binary operator to its three-register mnemonic.
+var regOp = map[string]string{
+	"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+	"&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra",
+}
+
+var fltOp = map[string]string{"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+// cmpInfo: operator -> (mnemonic stem, swap operands).
+var intCmp = map[string]struct {
+	mnem string
+	swap bool
+}{
+	"<": {"slt", false}, "<=": {"sle", false}, ">": {"slt", true},
+	">=": {"sle", true}, "==": {"seq", false}, "!=": {"sne", false},
+}
+
+var fltCmp = map[string]struct {
+	mnem string
+	swap bool
+}{
+	"<": {"fslt", false}, "<=": {"fsle", false}, ">": {"fslt", true},
+	">=": {"fsle", true}, "==": {"fseq", false}, "!=": {"fsne", false},
+}
+
+func (g *gen) binaryTo(e *Expr, dest isa.Reg) val {
+	op := e.Op
+
+	// Short-circuit boolean value.
+	if op == "&&" || op == "||" {
+		d := g.target(dest, false, e.Line)
+		zero := g.newLabel("bfalse")
+		end := g.newLabel("bend")
+		g.branch(e, zero, false)
+		g.emitf("li %s, 1", d.reg)
+		g.emitf("j %s", end)
+		g.label(zero)
+		g.emitf("li %s, 0", d.reg)
+		g.label(end)
+		return d
+	}
+
+	// Comparisons producing 0/1.
+	if c, ok := intCmp[op]; ok {
+		if e.X.Type.IsFloat() {
+			fc := fltCmp[op]
+			x := g.expr(e.X)
+			y := g.expr(e.Y)
+			d := g.target(dest, false, e.Line)
+			a, b := x.reg, y.reg
+			if fc.swap {
+				a, b = b, a
+			}
+			g.emitf("%s %s, %s, %s", fc.mnem, d.reg, a, b)
+			g.freeVal(x)
+			g.freeVal(y)
+			return d
+		}
+		// slti fast path: x < literal.
+		if op == "<" && e.Y.Kind == ExprIntLit {
+			x := g.expr(e.X)
+			d := g.target(dest, false, e.Line)
+			g.emitf("slti %s, %s, %d", d.reg, x.reg, e.Y.Ival)
+			g.freeVal(x)
+			return d
+		}
+		x := g.expr(e.X)
+		y := g.expr(e.Y)
+		d := g.target(dest, false, e.Line)
+		a, b := x.reg, y.reg
+		if c.swap {
+			a, b = b, a
+		}
+		g.emitf("%s %s, %s, %s", c.mnem, d.reg, a, b)
+		g.freeVal(x)
+		g.freeVal(y)
+		return d
+	}
+
+	// Float arithmetic.
+	if e.Type.IsFloat() {
+		x := g.expr(e.X)
+		y := g.expr(e.Y)
+		d := g.target(dest, true, e.Line)
+		g.emitf("%s %s, %s, %s", fltOp[op], d.reg, x.reg, y.reg)
+		g.freeVal(x)
+		g.freeVal(y)
+		return d
+	}
+
+	// Integer arithmetic with constant folding and immediate forms.
+	if e.X.Kind == ExprIntLit && e.Y.Kind == ExprIntLit {
+		d := g.target(dest, false, e.Line)
+		g.emitf("li %s, %d", d.reg, foldInt(op, e.X.Ival, e.Y.Ival))
+		return d
+	}
+	if e.Y.Kind == ExprIntLit {
+		if mnem, ok := immOp[op]; ok {
+			x := g.expr(e.X)
+			d := g.target(dest, false, e.Line)
+			g.emitf("%s %s, %s, %d", mnem, d.reg, x.reg, e.Y.Ival)
+			g.freeVal(x)
+			return d
+		}
+		if op == "-" {
+			x := g.expr(e.X)
+			d := g.target(dest, false, e.Line)
+			g.emitf("addi %s, %s, %d", d.reg, x.reg, -e.Y.Ival)
+			g.freeVal(x)
+			return d
+		}
+	}
+	if e.X.Kind == ExprIntLit && (op == "+" || op == "*" || op == "&" || op == "|" || op == "^") {
+		if mnem, ok := immOp[op]; ok {
+			y := g.expr(e.Y)
+			d := g.target(dest, false, e.Line)
+			g.emitf("%s %s, %s, %d", mnem, d.reg, y.reg, e.X.Ival)
+			g.freeVal(y)
+			return d
+		}
+	}
+	x := g.expr(e.X)
+	y := g.expr(e.Y)
+	d := g.target(dest, false, e.Line)
+	mnem, ok := regOp[op]
+	if !ok {
+		g.failf(e.Line, "unknown binary operator %s", op)
+	}
+	g.emitf("%s %s, %s, %s", mnem, d.reg, x.reg, y.reg)
+	g.freeVal(x)
+	g.freeVal(y)
+	return d
+}
+
+func foldInt(op string, a, b int64) int64 {
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case "%":
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case "&":
+		return a & b
+	case "|":
+		return a | b
+	case "^":
+		return a ^ b
+	case "<<":
+		return a << uint(b&63)
+	case ">>":
+		return a >> uint(b&63)
+	}
+	return 0
+}
+
+// elemAddr computes the address of an array element, returning a base
+// register value and a constant word offset such that the operand is
+// "off(base)".
+func (g *gen) elemAddr(e *Expr) (val, int64) {
+	sym := e.Sym
+	st := g.store[sym]
+
+	// Resolve the base address.
+	var base val
+	switch {
+	case st == nil: // global array
+		r := g.allocInt(e.Line)
+		g.emitf("la %s, %s", r, e.Name)
+		base = val{reg: r, owned: true}
+	case st.isArray: // local array
+		r := g.allocInt(e.Line)
+		g.emitf("addi %s, $sp, %d", r, st.off)
+		base = val{reg: r, owned: true}
+	case st.inReg: // array parameter
+		base = val{reg: st.reg}
+	default:
+		r := g.allocInt(e.Line)
+		g.emitf("lw %s, %d($sp)", r, st.off)
+		base = val{reg: r, owned: true}
+	}
+
+	var constOff int64
+	var idxReg val // zero reg means "no register part yet"
+
+	addPart := func(ix *Expr, scale int64) {
+		if ix.Kind == ExprIntLit {
+			constOff += ix.Ival * scale
+			return
+		}
+		v := g.expr(ix)
+		part := v
+		if scale != 1 {
+			d := g.allocInt(ix.Line)
+			g.emitf("muli %s, %s, %d", d, v.reg, scale)
+			g.freeVal(v)
+			part = val{reg: d, owned: true}
+		}
+		if idxReg.reg == 0 {
+			idxReg = part
+			return
+		}
+		if !idxReg.owned {
+			d := g.allocInt(ix.Line)
+			g.emitf("add %s, %s, %s", d, idxReg.reg, part.reg)
+			g.freeVal(part)
+			idxReg = val{reg: d, owned: true}
+			return
+		}
+		g.emitf("add %s, %s, %s", idxReg.reg, idxReg.reg, part.reg)
+		g.freeVal(part)
+	}
+
+	dims := sym.Type.Dims
+	if len(dims) == 2 {
+		addPart(e.Idx[0], int64(dims[1]))
+		addPart(e.Idx[1], 1)
+	} else {
+		addPart(e.Idx[0], 1)
+	}
+
+	if idxReg.reg == 0 {
+		return base, constOff
+	}
+	// Combine base + index register.
+	if idxReg.owned {
+		g.emitf("add %s, %s, %s", idxReg.reg, base.reg, idxReg.reg)
+		g.freeVal(base)
+		return idxReg, constOff
+	}
+	d := g.allocInt(e.Line)
+	g.emitf("add %s, %s, %s", d, base.reg, idxReg.reg)
+	g.freeVal(base)
+	return val{reg: d, owned: true}, constOff
+}
+
+// exprStmt generates an expression statement: assignment, ++/--, or call.
+func (g *gen) exprStmt(e *Expr) {
+	switch e.Kind {
+	case ExprAssign:
+		g.assign(e)
+	case ExprIncDec:
+		g.incDec(e)
+	case ExprCall:
+		v := g.call(e, 0)
+		g.freeVal(v)
+	default:
+		// Sema guarantees this cannot happen.
+		g.failf(e.Line, "expression statement has no effect")
+	}
+}
+
+func (g *gen) assign(e *Expr) {
+	lhs := e.X
+	switch lhs.Kind {
+	case ExprVar:
+		st := g.store[lhs.Sym]
+		switch {
+		case st == nil: // global scalar
+			v := g.expr(e.Y)
+			if lhs.Type.IsFloat() {
+				g.emitf("fsw %s, %s($zero)", v.reg, lhs.Name)
+			} else {
+				g.emitf("sw %s, %s($zero)", v.reg, lhs.Name)
+			}
+			g.freeVal(v)
+		case st.inReg:
+			g.exprInto(e.Y, st.reg)
+		default: // frame scalar
+			v := g.expr(e.Y)
+			if lhs.Type.IsFloat() {
+				g.emitf("fsw %s, %d($sp)", v.reg, st.off)
+			} else {
+				g.emitf("sw %s, %d($sp)", v.reg, st.off)
+			}
+			g.freeVal(v)
+		}
+	case ExprIndex:
+		v := g.expr(e.Y)
+		addr, off := g.elemAddr(lhs)
+		if lhs.Type.IsFloat() {
+			g.emitf("fsw %s, %d(%s)", v.reg, off, addr.reg)
+		} else {
+			g.emitf("sw %s, %d(%s)", v.reg, off, addr.reg)
+		}
+		g.freeVal(addr)
+		g.freeVal(v)
+	default:
+		g.failf(e.Line, "bad assignment target")
+	}
+}
+
+func (g *gen) incDec(e *Expr) {
+	lhs := e.X
+	switch lhs.Kind {
+	case ExprVar:
+		st := g.store[lhs.Sym]
+		switch {
+		case st == nil:
+			t := g.allocInt(e.Line)
+			g.emitf("lw %s, %s($zero)", t, lhs.Name)
+			g.emitf("addi %s, %s, %d", t, t, e.Delta)
+			g.emitf("sw %s, %s($zero)", t, lhs.Name)
+			g.freeReg(t)
+		case st.inReg:
+			g.emitf("addi %s, %s, %d", st.reg, st.reg, e.Delta)
+		default:
+			t := g.allocInt(e.Line)
+			g.emitf("lw %s, %d($sp)", t, st.off)
+			g.emitf("addi %s, %s, %d", t, t, e.Delta)
+			g.emitf("sw %s, %d($sp)", t, st.off)
+			g.freeReg(t)
+		}
+	case ExprIndex:
+		addr, off := g.elemAddr(lhs)
+		t := g.allocInt(e.Line)
+		g.emitf("lw %s, %d(%s)", t, off, addr.reg)
+		g.emitf("addi %s, %s, %d", t, t, e.Delta)
+		g.emitf("sw %s, %d(%s)", t, off, addr.reg)
+		g.freeReg(t)
+		g.freeVal(addr)
+	default:
+		g.failf(e.Line, "bad ++/-- target")
+	}
+}

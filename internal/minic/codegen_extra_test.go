@@ -1,0 +1,204 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstantFolding(t *testing.T) {
+	// Two-literal operations fold at compile time for every operator.
+	wantOutput(t, `
+int main() {
+	print(2 + 3);
+	print(2 - 3);
+	print(2 * 3);
+	print(7 / 2);
+	print(7 % 2);
+	print(6 & 3);
+	print(6 | 3);
+	print(6 ^ 3);
+	print(1 << 4);
+	print(-16 >> 2);
+	return 0;
+}
+`, "5\n-1\n6\n3\n1\n2\n7\n5\n16\n-4\n")
+	// The emitted assembly must contain the folded constants, not the ops.
+	asmText, err := Compile("int main() { print(6 * 7); return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asmText, "li $t0, 42") {
+		t.Errorf("6*7 not folded:\n%s", asmText)
+	}
+	if strings.Contains(asmText, "mul") {
+		t.Errorf("mul survived folding:\n%s", asmText)
+	}
+}
+
+func TestFoldDivModByZeroDeferred(t *testing.T) {
+	// Literal division by zero folds to 0 instead of crashing the
+	// compiler; the (nonsensical) program still compiles.
+	for _, src := range []string{
+		"int main() { print(5 / 0); return 0; }",
+		"int main() { print(5 % 0); return 0; }",
+	} {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("literal div/mod by zero should fold, got %v", err)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[string]Type{
+		"int":         {Kind: TypeInt},
+		"float":       {Kind: TypeFloat},
+		"void":        {Kind: TypeVoid},
+		"int[10]":     {Kind: TypeInt, Dims: []int{10}},
+		"float[3][4]": {Kind: TypeFloat, Dims: []int{3, 4}},
+		"int[]":       {Kind: TypeInt, Dims: []int{-1}},
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if (Type{Kind: TypeInt, Dims: []int{3, 4}}).Words() != 12 {
+		t.Error("Words() wrong for 2-D array")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for n, want := range map[int]string{0: "0", 7: "7", -13: "-13", 1200: "1200"} {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestGenerateWrapper(t *testing.T) {
+	prog, err := Parse("int main() { print(1); return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ".proc main") {
+		t.Errorf("Generate output missing main:\n%s", out)
+	}
+}
+
+func TestTooComplexExpression(t *testing.T) {
+	// A balanced tree deep enough to exhaust the ten integer temporaries.
+	leafs := make([]string, 0, 1<<11)
+	for i := 0; i < 1<<11; i++ {
+		leafs = append(leafs, "a")
+	}
+	expr := buildTree(leafs)
+	src := "int main() { int a, r; a = 1; r = " + expr + "; print(r); return 0; }"
+	if _, err := Compile(src); err == nil {
+		t.Error("temp exhaustion should be a compile error")
+	} else if !strings.Contains(err.Error(), "too complex") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func buildTree(xs []string) string {
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	mid := len(xs) / 2
+	return "(" + buildTree(xs[:mid]) + " + " + buildTree(xs[mid:]) + ")"
+}
+
+func TestXorSwapAndShifts(t *testing.T) {
+	wantOutput(t, `
+int main() {
+	int a, b, n;
+	a = 13; b = 29;
+	a ^= b; b ^= a; a ^= b;
+	print(a);
+	print(b);
+	n = 1;
+	n <<= 10;
+	print(n >> 3);
+	return 0;
+}
+`, "29\n13\n128\n")
+}
+
+func TestGlobalFloatZeroInit(t *testing.T) {
+	wantOutput(t, `
+float g;
+int main() {
+	print(g);
+	g = g + 0.5;
+	print(g);
+	return 0;
+}
+`, "0\n0.5\n")
+}
+
+func TestRegisterSpillToFrame(t *testing.T) {
+	// More scalar locals than callee-saved homes: the overflow spills to
+	// the frame and everything still computes correctly.
+	wantOutput(t, `
+int f(int x) { return x + 1; }
+int main() {
+	int a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11;
+	a0 = f(0); a1 = f(a0); a2 = f(a1); a3 = f(a2);
+	a4 = f(a3); a5 = f(a4); a6 = f(a5); a7 = f(a6);
+	a8 = f(a7); a9 = f(a8); a10 = f(a9); a11 = f(a10);
+	print(a0 + a11);
+	a11 += 5;
+	print(a11);
+	a11++;
+	print(a11);
+	return 0;
+}
+`, "13\n17\n18\n")
+}
+
+func TestFloatSpillToFrame(t *testing.T) {
+	// More float locals than float homes (12) in a non-leaf function.
+	var decls, uses strings.Builder
+	decls.WriteString("float x0;\n")
+	uses.WriteString("x0 = 1.0;\n")
+	for i := 1; i < 15; i++ {
+		decls.WriteString("float x" + itoa(i) + ";\n")
+		uses.WriteString("x" + itoa(i) + " = x" + itoa(i-1) + " + 1.0;\n")
+	}
+	src := `
+void nop_() {}
+int main() {
+	` + decls.String() + uses.String() + `
+	nop_();
+	print(x14);
+	return 0;
+}
+`
+	wantOutput(t, src, "15\n")
+}
+
+func TestManyGlobalsAndComments(t *testing.T) {
+	wantOutput(t, `
+// every global form
+int gi = -7;
+float gf = 1.25;
+int garr[4];
+float gmat[2][2];
+int main() {
+	garr[2] = gi;
+	gmat[1][1] = gf;
+	print(garr[2]);
+	print(gmat[1][1]);
+	print(garr[0]);      /* zero initialized */
+	return 0;
+}
+`, "-7\n1.25\n0\n")
+}

@@ -1,0 +1,35 @@
+package minic_test
+
+import (
+	"fmt"
+	"log"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/vm"
+)
+
+// ExampleCompile compiles and runs a mini-C program.
+func ExampleCompile() {
+	asmText, err := minic.Compile(`
+int square(int x) { return x * x; }
+int main() {
+	print(square(12));
+	return 0;
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := vm.NewSized(prog, 1<<12)
+	if err := machine.Run(nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(machine.Output())
+	// Output:
+	// 144
+}

@@ -1,0 +1,31 @@
+package minic
+
+import "testing"
+
+// FuzzCompile checks the no-panic contract on arbitrary input.  The seed
+// corpus alone runs as part of every normal `go test`; use
+// `go test -fuzz=FuzzCompile ./internal/minic` for open-ended fuzzing.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		donorProgram,
+		"int a[3]; float f(float x) { return x * 2.0; } int main() { return ftoi(f(1.5)); }",
+		"int main() { switch (1) { case 0: break; default: break; } return 0; }",
+		"int main() { for (;;) break; return 0; }",
+		"int main() { int x = 'a'; printc(x); return 0; }",
+		"/* unterminated",
+		"int main() { return 0x; }",
+		"int main() { return (((((1))))); }",
+		"int main() { do ; while (0); return 0; }",
+		"void v() {} int main() { v(); return 0; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must never panic; errors are fine.
+		_, _ = Compile(src)
+		_, _ = CompileOpts(src, Options{IfConvert: true})
+	})
+}

@@ -1,0 +1,92 @@
+package minic
+
+// Guarded-instruction if-conversion (paper §6): a simple conditional
+// assignment to a register-resident scalar compiles to a conditional move
+// instead of a branch.  Both arms execute unconditionally, so every
+// expression involved must be safe to speculate: no calls (side effects),
+// no indexed memory accesses (computed addresses can trap), no division
+// (traps on zero), and no short-circuit operators (they need branches).
+
+// safeToSpeculate reports whether e can be evaluated unconditionally.
+func (g *gen) safeToSpeculate(e *Expr) bool {
+	switch e.Kind {
+	case ExprIntLit, ExprFloatLit:
+		return true
+	case ExprVar:
+		// Scalar reads are safe wherever they live: register, frame slot or
+		// global — all are fixed, valid addresses.
+		return e.Type.IsScalar()
+	case ExprUnary:
+		return g.safeToSpeculate(e.X)
+	case ExprConv:
+		return g.safeToSpeculate(e.X)
+	case ExprBinary:
+		switch e.Op {
+		case "/", "%", "&&", "||":
+			return false
+		}
+		return g.safeToSpeculate(e.X) && g.safeToSpeculate(e.Y)
+	}
+	return false
+}
+
+// regAssign matches a body of exactly one assignment to a register-resident
+// scalar with a speculation-safe right-hand side, returning the assignment.
+func (g *gen) regAssign(body []Stmt) *Expr {
+	if len(body) != 1 {
+		return nil
+	}
+	es, ok := body[0].(*ExprStmt)
+	if !ok || es.X.Kind != ExprAssign || es.X.X.Kind != ExprVar {
+		return nil
+	}
+	st := g.store[es.X.X.Sym]
+	if st == nil || !st.inReg {
+		return nil
+	}
+	if !g.safeToSpeculate(es.X.Y) {
+		return nil
+	}
+	return es.X
+}
+
+// tryIfConvert emits a guarded-move sequence for an if statement when the
+// pattern allows it, reporting whether it did.
+func (g *gen) tryIfConvert(st *IfStmt) bool {
+	if !g.safeToSpeculate(st.Cond) {
+		return false
+	}
+	thenA := g.regAssign(st.Then)
+	if thenA == nil {
+		return false
+	}
+	var elseA *Expr
+	if len(st.Else) > 0 {
+		elseA = g.regAssign(st.Else)
+		if elseA == nil || elseA.X.Sym != thenA.X.Sym {
+			return false
+		}
+	}
+
+	home := g.store[thenA.X.Sym].reg
+	cond := g.expr(st.Cond)
+	// Both arm values are computed before either move commits: the second
+	// arm may read the destination's old value.
+	v1 := g.expr(thenA.Y)
+	var v2 val
+	if elseA != nil {
+		v2 = g.expr(elseA.Y)
+	}
+	mv, mvz := "cmovn", "cmovz"
+	if home.IsFloat() {
+		mv, mvz = "fcmovn", "fcmovz"
+	}
+	g.emitf("%s %s, %s, %s", mv, home, v1.reg, cond.reg)
+	g.freeVal(v1)
+	if elseA != nil {
+		g.emitf("%s %s, %s, %s", mvz, home, v2.reg, cond.reg)
+		g.freeVal(v2)
+	}
+	g.freeVal(cond)
+	return true
+}

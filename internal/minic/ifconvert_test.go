@@ -1,0 +1,255 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/vm"
+)
+
+// runOpts compiles with the given options and returns the program output.
+func runOpts(t *testing.T, src string, opts Options) (string, string) {
+	t.Helper()
+	asmText, err := CompileOpts(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, asmText)
+	}
+	machine := vm.NewSized(prog, 1<<18)
+	machine.StepLimit = 50_000_000
+	if err := machine.Run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return machine.Output(), asmText
+}
+
+// ifConvertParity checks both compilations produce identical output and
+// reports whether the converted build contains guarded moves.
+func ifConvertParity(t *testing.T, src string) (hasCmov bool) {
+	t.Helper()
+	plain, _ := runOpts(t, src, Options{})
+	converted, asmText := runOpts(t, src, Options{IfConvert: true})
+	if plain != converted {
+		t.Errorf("if-conversion changed behaviour: %q vs %q", plain, converted)
+	}
+	return strings.Contains(asmText, "cmov")
+}
+
+func TestIfConvertSimple(t *testing.T) {
+	src := `
+int main() {
+	int i, v, m;
+	m = 0;
+	for (i = 0; i < 100; i++) {
+		v = (i * 37) & 255;
+		if (v > m) m = v;
+	}
+	print(m);
+	return 0;
+}
+`
+	if !ifConvertParity(t, src) {
+		t.Error("max loop should if-convert")
+	}
+}
+
+func TestIfConvertBothArms(t *testing.T) {
+	src := `
+int main() {
+	int i, v, s;
+	s = 0;
+	for (i = 0; i < 64; i++) {
+		v = i & 7;
+		if (v < 4) s = s + v; else s = s - 1;
+	}
+	print(s);
+	return 0;
+}
+`
+	if !ifConvertParity(t, src) {
+		t.Error("two-arm conditional assignment should if-convert")
+	}
+}
+
+func TestIfConvertFloat(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	float best, x;
+	best = 0.0;
+	for (i = 0; i < 50; i++) {
+		x = itof(i * 13 & 31);
+		if (x > best) best = x;
+	}
+	print(best);
+	return 0;
+}
+`
+	if !ifConvertParity(t, src) {
+		t.Error("float max should if-convert via fcmovn")
+	}
+}
+
+func TestIfConvertSecondArmReadsOldValue(t *testing.T) {
+	// The else arm reads the destination: conversion must use the value
+	// from before the then-arm's move.
+	src := `
+int main() {
+	int i, x, c;
+	x = 10;
+	for (i = 0; i < 8; i++) {
+		c = i & 1;
+		if (c) x = i; else x = x + 100;
+	}
+	print(x);
+	return 0;
+}
+`
+	ifConvertParity(t, src)
+}
+
+func TestIfConvertRefusesUnsafe(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"call in arm", `
+int f(int v) { return v + 1; }
+int main() {
+	int i, x;
+	x = 0;
+	for (i = 0; i < 10; i++) {
+		if (i & 1) x = f(i);
+	}
+	print(x);
+	return 0;
+}
+`},
+		{"load in arm", `
+int a[8];
+int main() {
+	int i, x;
+	x = 0;
+	a[3] = 7;
+	for (i = 0; i < 10; i++) {
+		if (i < 8) x = a[i];
+	}
+	print(x);
+	return 0;
+}
+`},
+		{"division in arm", `
+int main() {
+	int i, x;
+	x = 100;
+	for (i = 0; i < 10; i++) {
+		if (i > 0) x = x / i;
+	}
+	print(x);
+	return 0;
+}
+`},
+		{"store target", `
+int a[8];
+int main() {
+	int i;
+	for (i = 0; i < 8; i++) {
+		if (i & 1) a[i] = i;
+	}
+	print(a[3]);
+	return 0;
+}
+`},
+		{"multi-statement arm", `
+int main() {
+	int i, x, y;
+	x = 0; y = 0;
+	for (i = 0; i < 10; i++) {
+		if (i & 1) { x = i; y = i; }
+	}
+	print(x + y);
+	return 0;
+}
+`},
+		{"short-circuit cond", `
+int z;
+int check(int v) { z++; return v; }
+int main() {
+	int i, x;
+	x = 0;
+	for (i = 0; i < 10; i++) {
+		if (i > 2 && check(i) > 4) x = i;
+	}
+	print(x);
+	print(z);
+	return 0;
+}
+`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Parity must hold; whether cmov appears elsewhere is not
+			// asserted, only that behaviour is preserved.
+			ifConvertParity(t, c.src)
+		})
+	}
+}
+
+func TestIfConvertKeepsBranchyCode(t *testing.T) {
+	// An unsafe arm means the branch must survive in the generated code.
+	src := `
+int f(int v) { return v * 2; }
+int main() {
+	int i, x;
+	x = 0;
+	for (i = 0; i < 4; i++) {
+		if (i & 1) x = f(i);
+	}
+	print(x);
+	return 0;
+}
+`
+	_, asmText := runOpts(t, src, Options{IfConvert: true})
+	if !strings.Contains(asmText, "beq") && !strings.Contains(asmText, "bne") {
+		t.Error("unsafe conditional should keep its branch")
+	}
+}
+
+func TestCmovDirect(t *testing.T) {
+	// Direct assembly check of guarded-move semantics.
+	src := `
+.proc main
+	li    $t0, 5
+	li    $t1, 9
+	li    $t2, 1
+	li    $t3, 0
+	mov   $s0, $t0
+	cmovn $s0, $t1, $t2   # guard true: s0 = 9
+	mov   $s1, $t0
+	cmovn $s1, $t1, $t3   # guard false: s1 stays 5
+	mov   $s2, $t0
+	cmovz $s2, $t1, $t3   # guard zero: s2 = 9
+	fli    $f0, 1.5
+	fli    $f1, 2.5
+	fcmovn $f0, $f1, $t2  # f0 = 2.5
+	fcmovz $f0, $f1, $t2  # unchanged
+	printi $s0
+	printi $s1
+	printi $s2
+	printf $f0
+	halt
+.endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(prog, 1<<12)
+	if err := machine.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := machine.Output(); got != "9592.5" {
+		t.Errorf("output = %q, want 9592.5", got)
+	}
+}

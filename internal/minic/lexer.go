@@ -1,0 +1,187 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenizes the whole source up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("minic: line %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance(2)
+			for {
+				if l.pos+1 >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	c := l.src[l.pos]
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentStart(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.advance(1)
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
+
+	case isDigit(c):
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '.' {
+			isFloat = true
+			l.advance(1)
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.advance(1)
+			}
+		}
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			isFloat = true
+			l.advance(1)
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.advance(1)
+			}
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.advance(1)
+			}
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return token{}, l.errf("bad float literal %q", text)
+			}
+			return token{kind: tokFloatLit, text: text, fval: f, line: startLine, col: startCol}, nil
+		}
+		// Hexadecimal.
+		if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+			return token{}, l.errf("bad literal %q", text)
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, l.errf("bad int literal %q", text)
+		}
+		return token{kind: tokIntLit, text: text, ival: v, line: startLine, col: startCol}, nil
+
+	case c == '\'':
+		// Character literal => int.
+		if l.pos+2 < len(l.src) && l.src[l.pos+1] == '\\' {
+			var v int64
+			switch l.src[l.pos+2] {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return token{}, l.errf("unknown escape '\\%c'", l.src[l.pos+2])
+			}
+			if l.pos+3 >= len(l.src) || l.src[l.pos+3] != '\'' {
+				return token{}, l.errf("unterminated character literal")
+			}
+			l.advance(4)
+			return token{kind: tokIntLit, ival: v, line: startLine, col: startCol}, nil
+		}
+		if l.pos+2 < len(l.src) && l.src[l.pos+2] == '\'' {
+			v := int64(l.src[l.pos+1])
+			l.advance(3)
+			return token{kind: tokIntLit, ival: v, line: startLine, col: startCol}, nil
+		}
+		return token{}, l.errf("bad character literal")
+
+	default:
+		for _, p := range punctuators {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.advance(len(p))
+				return token{kind: tokPunct, text: p, line: startLine, col: startCol}, nil
+			}
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}

@@ -1,0 +1,60 @@
+package minic
+
+import (
+	"testing"
+
+	"ilplimit/internal/asm"
+)
+
+const benchSource = `
+int a[64][64];
+int reduce(int v[], int n) {
+	int i, s;
+	s = 0;
+	for (i = 0; i < n; i++) s += v[i];
+	return s;
+}
+int main() {
+	int i, j, s;
+	float f;
+	for (i = 0; i < 64; i++)
+		for (j = 0; j < 64; j++)
+			a[i][j] = (i * 17 + j * 31) & 1023;
+	s = 0;
+	for (i = 0; i < 64; i++) {
+		if (a[i][i] > 512) s += a[i][i];
+		else s -= a[i][0];
+	}
+	f = itof(s) / 3.0;
+	print(f);
+	return 0;
+}
+`
+
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(benchSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileAndAssemble(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		text, err := Compile(benchSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := asm.Assemble(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

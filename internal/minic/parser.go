@@ -1,0 +1,518 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+	// curFn receives hoisted block-level declarations while parsing a
+	// function body.
+	curFn *FuncDecl
+}
+
+// Parse builds the AST for a translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		if err := p.topLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return fmt.Errorf("minic: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if p.cur().kind != tokIdent {
+		return token{}, p.errf("expected identifier, got %q", p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) typeKeyword() (TypeKind, bool) {
+	switch {
+	case p.isKeyword("int"):
+		return TypeInt, true
+	case p.isKeyword("float"):
+		return TypeFloat, true
+	case p.isKeyword("void"):
+		return TypeVoid, true
+	}
+	return TypeVoid, false
+}
+
+// topLevel parses one global variable declaration or function definition.
+func (p *parser) topLevel(prog *Program) error {
+	kind, ok := p.typeKeyword()
+	if !ok {
+		return p.errf("expected declaration, got %q", p.cur().text)
+	}
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.isPunct("(") {
+		fn, err := p.funcRest(kind, name)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	}
+	if kind == TypeVoid {
+		return p.errf("void variable %q", name.text)
+	}
+	// Global variable(s), comma separated.
+	for {
+		decl, err := p.varRest(kind, name, true)
+		if err != nil {
+			return err
+		}
+		prog.Globals = append(prog.Globals, decl)
+		if !p.acceptPunct(",") {
+			break
+		}
+		name, err = p.expectIdent()
+		if err != nil {
+			return err
+		}
+	}
+	return p.expectPunct(";")
+}
+
+// varRest parses the dimensions and optional initializer after a name.
+func (p *parser) varRest(kind TypeKind, name token, global bool) (*VarDecl, error) {
+	d := &VarDecl{Name: name.text, Type: Type{Kind: kind}, Line: name.line}
+	for p.acceptPunct("[") {
+		if len(d.Type.Dims) == 2 {
+			return nil, p.errf("more than two array dimensions")
+		}
+		if p.cur().kind != tokIntLit {
+			return nil, p.errf("array dimension must be an integer literal")
+		}
+		n := p.advance().ival
+		if n <= 0 {
+			return nil, p.errf("array dimension must be positive")
+		}
+		d.Type.Dims = append(d.Type.Dims, int(n))
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptPunct("=") {
+		if !global {
+			// Local initializers are sugar for an assignment; the caller
+			// handles them by synthesizing a statement, so parse the
+			// expression and attach it.
+		}
+		if d.Type.IsArray() {
+			return nil, p.errf("array initializers are not supported")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+func (p *parser) funcRest(ret TypeKind, name token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.text, Ret: Type{Kind: ret}, Line: name.line}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.acceptPunct(")") {
+		for {
+			kind, ok := p.typeKeyword()
+			if !ok {
+				return nil, p.errf("expected parameter type")
+			}
+			p.advance()
+			if kind == TypeVoid {
+				return nil, p.errf("void parameter")
+			}
+			pname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			pt := Type{Kind: kind}
+			if p.acceptPunct("[") {
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+				pt.Dims = []int{-1}
+			}
+			fn.Params = append(fn.Params, Param{Name: pname.text, Type: pt})
+			if p.acceptPunct(")") {
+				break
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	p.curFn = fn
+	body, err := p.stmtsUntil("}")
+	p.curFn = nil
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = append(fn.Body, body...)
+	return fn, nil
+}
+
+// localDecl parses "type name dims? (= init)? (, …)* ;" inside a function
+// body.  Declarations hoist to function scope (names must be unique within
+// the function); initializers become in-place assignment statements.
+func (p *parser) localDecl(kind TypeKind) (Stmt, error) {
+	if kind == TypeVoid {
+		return nil, p.errf("void variable")
+	}
+	var inits []Stmt
+	for {
+		lname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.varRest(kind, lname, false)
+		if err != nil {
+			return nil, err
+		}
+		p.curFn.Locals = append(p.curFn.Locals, d)
+		if d.Init != nil {
+			inits = append(inits, &ExprStmt{X: &Expr{
+				Kind: ExprAssign, Op: "=", Line: d.Line,
+				X: &Expr{Kind: ExprVar, Name: d.Name, Line: d.Line},
+				Y: d.Init,
+			}})
+			d.Init = nil
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if len(inits) == 0 {
+		return nil, nil
+	}
+	if len(inits) == 1 {
+		return inits[0], nil
+	}
+	return &BlockStmt{Body: inits}, nil
+}
+
+func (p *parser) stmtsUntil(end string) ([]Stmt, error) {
+	var out []Stmt
+	for !p.isPunct(end) {
+		if p.atEOF() {
+			return nil, p.errf("unexpected end of input, expected %q", end)
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	p.advance() // consume end
+	return out, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if p.acceptPunct("{") {
+		return p.stmtsUntil("}")
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	if kind, ok := p.typeKeyword(); ok && p.curFn != nil {
+		p.advance()
+		return p.localDecl(kind)
+	}
+	switch {
+	case p.acceptPunct(";"):
+		return nil, nil
+
+	case p.isPunct("{"):
+		p.advance()
+		body, err := p.stmtsUntil("}")
+		if err != nil {
+			return nil, err
+		}
+		return &BlockStmt{Body: body}, nil
+
+	case p.isKeyword("if"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.isKeyword("else") {
+			p.advance()
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+
+	case p.isKeyword("while"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.isKeyword("do"):
+		p.advance()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("while") {
+			return nil, p.errf("expected while after do body")
+		}
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond}, nil
+
+	case p.isKeyword("for"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var init, cond, post *Expr
+		var err error
+		if !p.isPunct(";") {
+			if init, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if err = p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(";") {
+			if cond, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if err = p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			if post, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if err = p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body}, nil
+
+	case p.isKeyword("switch"):
+		line := p.cur().line
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		tag, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		sw := &SwitchStmt{Tag: tag, Line: line}
+		for !p.acceptPunct("}") {
+			switch {
+			case p.isKeyword("case"):
+				p.advance()
+				neg := p.acceptPunct("-")
+				if p.cur().kind != tokIntLit {
+					return nil, p.errf("case value must be an integer literal")
+				}
+				v := p.advance().ival
+				if neg {
+					v = -v
+				}
+				if err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				body, err := p.caseBody()
+				if err != nil {
+					return nil, err
+				}
+				sw.Cases = append(sw.Cases, SwitchCase{Value: v, Body: body})
+			case p.isKeyword("default"):
+				p.advance()
+				if err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				body, err := p.caseBody()
+				if err != nil {
+					return nil, err
+				}
+				if sw.Default != nil {
+					return nil, p.errf("duplicate default")
+				}
+				if body == nil {
+					body = []Stmt{}
+				}
+				sw.Default = body
+			default:
+				return nil, p.errf("expected case or default in switch")
+			}
+		}
+		return sw, nil
+
+	case p.isKeyword("break"):
+		line := p.cur().line
+		p.advance()
+		return &BreakStmt{Line: line}, p.expectPunct(";")
+
+	case p.isKeyword("continue"):
+		line := p.cur().line
+		p.advance()
+		return &ContinueStmt{Line: line}, p.expectPunct(";")
+
+	case p.isKeyword("return"):
+		line := p.cur().line
+		p.advance()
+		var x *Expr
+		var err error
+		if !p.isPunct(";") {
+			if x, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		return &ReturnStmt{X: x, Line: line}, p.expectPunct(";")
+
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x}, p.expectPunct(";")
+	}
+}
+
+// caseBody parses statements until the next case/default label or the
+// closing brace, without consuming it.
+func (p *parser) caseBody() ([]Stmt, error) {
+	var out []Stmt
+	for !p.isKeyword("case") && !p.isKeyword("default") && !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf("unexpected end of input in switch")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

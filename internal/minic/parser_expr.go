@@ -1,0 +1,210 @@
+package minic
+
+// Binary operator precedence, higher binds tighter.  Assignment is handled
+// separately (right associative, lowest).
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var assignOps = map[string]string{
+	"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+// parseExpr parses a full expression including assignment.
+func (p *parser) parseExpr() (*Expr, error) {
+	lhs, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		if base, ok := assignOps[t.text]; ok {
+			line := t.line
+			p.advance()
+			rhs, err := p.parseExpr() // right associative
+			if err != nil {
+				return nil, err
+			}
+			if base != "" {
+				// x op= e  =>  x = x op e (the lvalue is duplicated; sema
+				// and codegen treat the two references independently, which
+				// matches what a simple compiler emits).
+				rhs = &Expr{Kind: ExprBinary, Op: base, X: cloneExpr(lhs), Y: rhs, Line: line}
+			}
+			return &Expr{Kind: ExprAssign, Op: "=", X: lhs, Y: rhs, Line: line}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func cloneExpr(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.X = cloneExpr(e.X)
+	c.Y = cloneExpr(e.Y)
+	if e.Idx != nil {
+		c.Idx = make([]*Expr, len(e.Idx))
+		for i, ix := range e.Idx {
+			c.Idx[i] = cloneExpr(ix)
+		}
+	}
+	if e.Args != nil {
+		c.Args = make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = cloneExpr(a)
+		}
+	}
+	return &c
+}
+
+func (p *parser) parseBinary(minPrec int) (*Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := t.text
+		line := t.line
+		p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: ExprBinary, Op: op, X: lhs, Y: rhs, Line: line}
+	}
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "~":
+			p.advance()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			// Fold negation of literals immediately.
+			if t.text == "-" {
+				if x.Kind == ExprIntLit {
+					x.Ival = -x.Ival
+					return x, nil
+				}
+				if x.Kind == ExprFloatLit {
+					x.Fval = -x.Fval
+					return x, nil
+				}
+			}
+			return &Expr{Kind: ExprUnary, Op: t.text, X: x, Line: t.line}, nil
+		case "+":
+			p.advance()
+			return p.parseUnary()
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return x, nil
+		}
+		switch t.text {
+		case "[":
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			if x.Kind == ExprIndex && len(x.Idx) == 1 {
+				x.Idx = append(x.Idx, idx)
+			} else if x.Kind == ExprVar {
+				x = &Expr{Kind: ExprIndex, Name: x.Name, Idx: []*Expr{idx}, Line: t.line}
+			} else {
+				return nil, p.errf("cannot index this expression")
+			}
+		case "++", "--":
+			p.advance()
+			delta := int64(1)
+			if t.text == "--" {
+				delta = -1
+			}
+			return &Expr{Kind: ExprIncDec, X: x, Delta: delta, Line: t.line}, nil
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIntLit:
+		p.advance()
+		return &Expr{Kind: ExprIntLit, Ival: t.ival, Line: t.line}, nil
+	case tokFloatLit:
+		p.advance()
+		return &Expr{Kind: ExprFloatLit, Fval: t.fval, Line: t.line}, nil
+	case tokIdent:
+		p.advance()
+		if p.isPunct("(") {
+			p.advance()
+			call := &Expr{Kind: ExprCall, Name: t.text, Line: t.line}
+			if !p.acceptPunct(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.acceptPunct(")") {
+						break
+					}
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		return &Expr{Kind: ExprVar, Name: t.text, Line: t.line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return x, p.expectPunct(")")
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}

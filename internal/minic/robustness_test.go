@@ -1,0 +1,113 @@
+package minic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The compiler must never panic: every input yields either assembly or an
+// error.  These tests throw garbage, truncations and mutations at it.
+
+const donorProgram = `
+int g = 3;
+float eps;
+int a[10];
+int f(int x, float y, int v[]) {
+	int i;
+	float s;
+	s = y;
+	for (i = 0; i < x; i++) {
+		if (v[i] > 0 && i != 3) s = s + itof(v[i]);
+		else s = s - 1.0;
+	}
+	switch (x) {
+	case 1: return 1;
+	case 2: return 2;
+	default: break;
+	}
+	while (x > 0) { x--; if (x == 5) continue; }
+	do { x++; } while (x < 0);
+	return ftoi(s) % 7;
+}
+int main() {
+	print(f(10, 1.5, a));
+	printc('x');
+	return 0;
+}
+`
+
+func compileNoPanic(t *testing.T, src string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("compiler panicked on %q: %v", truncateStr(src, 120), r)
+		}
+	}()
+	_, _ = Compile(src)
+	_, _ = CompileOpts(src, Options{IfConvert: true})
+}
+
+func truncateStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func TestCompileRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := []byte("abcxyz0123456789 \t\n(){}[];,+-*/%&|^~!<>='\"._")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		compileNoPanic(t, string(buf))
+	}
+}
+
+func TestCompileTruncations(t *testing.T) {
+	for i := 0; i <= len(donorProgram); i += 7 {
+		compileNoPanic(t, donorProgram[:i])
+	}
+}
+
+func TestCompileMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		buf := []byte(donorProgram)
+		for k := 1 + rng.Intn(4); k > 0; k-- {
+			switch rng.Intn(3) {
+			case 0: // delete a byte
+				i := rng.Intn(len(buf))
+				buf = append(buf[:i], buf[i+1:]...)
+			case 1: // duplicate a byte
+				i := rng.Intn(len(buf))
+				buf = append(buf[:i+1], buf[i:]...)
+			case 2: // swap two bytes
+				i, j := rng.Intn(len(buf)), rng.Intn(len(buf))
+				buf[i], buf[j] = buf[j], buf[i]
+			}
+		}
+		compileNoPanic(t, string(buf))
+	}
+}
+
+func TestAssemblerRobustOnCompilerOutput(t *testing.T) {
+	// Valid source must always produce assembly the assembler accepts;
+	// sweep a few structured variants.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		src := donorProgram
+		// Randomly toggle if-conversion and recompile; both must assemble.
+		opts := Options{IfConvert: rng.Intn(2) == 0}
+		asmText, err := CompileOpts(src, opts)
+		if err != nil {
+			t.Fatalf("valid program rejected: %v", err)
+		}
+		if asmText == "" {
+			t.Fatal("empty assembly")
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package minic
+
+import "fmt"
+
+// intrinsic signatures: name -> (param kinds, variadic-by-type print, ret).
+type intrinsic struct {
+	params []TypeKind // TypeVoid entry means "int or float"
+	ret    TypeKind
+}
+
+var intrinsics = map[string]intrinsic{
+	"print":  {params: []TypeKind{TypeVoid}, ret: TypeVoid},
+	"printc": {params: []TypeKind{TypeInt}, ret: TypeVoid},
+	"sqrt":   {params: []TypeKind{TypeFloat}, ret: TypeFloat},
+	"fabs":   {params: []TypeKind{TypeFloat}, ret: TypeFloat},
+	"abs":    {params: []TypeKind{TypeInt}, ret: TypeInt},
+	"itof":   {params: []TypeKind{TypeInt}, ret: TypeFloat},
+	"ftoi":   {params: []TypeKind{TypeFloat}, ret: TypeInt},
+}
+
+// Unit is a semantically analyzed program ready for code generation.
+type Unit struct {
+	Prog    *Program
+	Globals map[string]*Symbol
+	Funcs   map[string]*FuncDecl
+	// FuncSyms maps a function to its parameter+local symbols by name.
+	FuncSyms map[string]map[string]*Symbol
+}
+
+type checker struct {
+	unit *Unit
+	fn   *FuncDecl
+	syms map[string]*Symbol
+	// loopDepth counts enclosing loops (continue targets).
+	loopDepth int
+	// breakDepth counts enclosing loops+switches (break targets).
+	breakDepth int
+}
+
+func errAt(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("minic: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// Analyze resolves names, checks types, and inserts implicit conversions.
+func Analyze(prog *Program) (*Unit, error) {
+	u := &Unit{
+		Prog:     prog,
+		Globals:  make(map[string]*Symbol),
+		Funcs:    make(map[string]*FuncDecl),
+		FuncSyms: make(map[string]map[string]*Symbol),
+	}
+	for _, g := range prog.Globals {
+		if _, dup := u.Globals[g.Name]; dup {
+			return nil, errAt(g.Line, "duplicate global %q", g.Name)
+		}
+		if g.Init != nil {
+			if g.Init.Kind != ExprIntLit && g.Init.Kind != ExprFloatLit {
+				return nil, errAt(g.Line, "global initializer for %q must be a literal", g.Name)
+			}
+			if g.Init.Kind == ExprFloatLit && g.Type.Kind == TypeInt {
+				return nil, errAt(g.Line, "cannot initialize int %q with a float literal", g.Name)
+			}
+		}
+		u.Globals[g.Name] = &Symbol{Name: g.Name, Type: g.Type, Global: true, ParamIndex: -1}
+	}
+	for _, fn := range prog.Funcs {
+		if _, dup := u.Funcs[fn.Name]; dup {
+			return nil, errAt(fn.Line, "duplicate function %q", fn.Name)
+		}
+		if _, isIntr := intrinsics[fn.Name]; isIntr {
+			return nil, errAt(fn.Line, "%q is a builtin and cannot be redefined", fn.Name)
+		}
+		u.Funcs[fn.Name] = fn
+	}
+	if _, ok := u.Funcs["main"]; !ok {
+		return nil, fmt.Errorf("minic: no main function")
+	}
+	for _, fn := range prog.Funcs {
+		c := &checker{unit: u, fn: fn, syms: make(map[string]*Symbol)}
+		for i, p := range fn.Params {
+			if _, dup := c.syms[p.Name]; dup {
+				return nil, errAt(fn.Line, "duplicate parameter %q", p.Name)
+			}
+			c.syms[p.Name] = &Symbol{Name: p.Name, Type: p.Type, ParamIndex: i}
+		}
+		for _, l := range fn.Locals {
+			if _, dup := c.syms[l.Name]; dup {
+				return nil, errAt(l.Line, "duplicate local %q in %s", l.Name, fn.Name)
+			}
+			c.syms[l.Name] = &Symbol{Name: l.Name, Type: l.Type, ParamIndex: -1}
+		}
+		u.FuncSyms[fn.Name] = c.syms
+		if err := c.stmts(fn.Body); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	if s, ok := c.syms[name]; ok {
+		return s
+	}
+	return c.unit.Globals[name]
+}
+
+func (c *checker) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *ExprStmt:
+		return c.exprStmt(st.X)
+	case *BlockStmt:
+		return c.stmts(st.Body)
+	case *IfStmt:
+		if err := c.cond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.stmts(st.Then); err != nil {
+			return err
+		}
+		return c.stmts(st.Else)
+	case *WhileStmt:
+		if err := c.cond(st.Cond); err != nil {
+			return err
+		}
+		return c.inLoop(st.Body)
+	case *DoWhileStmt:
+		if err := c.inLoop(st.Body); err != nil {
+			return err
+		}
+		return c.cond(st.Cond)
+	case *ForStmt:
+		if st.Init != nil {
+			if err := c.exprStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.cond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.exprStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		return c.inLoop(st.Body)
+	case *SwitchStmt:
+		if err := c.expr(st.Tag); err != nil {
+			return err
+		}
+		if !st.Tag.Type.IsInt() {
+			return errAt(st.Line, "switch tag must be int, got %s", st.Tag.Type)
+		}
+		seen := make(map[int64]bool)
+		for _, cs := range st.Cases {
+			if seen[cs.Value] {
+				return errAt(st.Line, "duplicate case %d", cs.Value)
+			}
+			seen[cs.Value] = true
+		}
+		c.breakDepth++
+		defer func() { c.breakDepth-- }()
+		for _, cs := range st.Cases {
+			if err := c.stmts(cs.Body); err != nil {
+				return err
+			}
+		}
+		if st.Default != nil {
+			return c.stmts(st.Default)
+		}
+		return nil
+	case *BreakStmt:
+		if c.breakDepth == 0 {
+			return errAt(st.Line, "break outside loop or switch")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errAt(st.Line, "continue outside loop")
+		}
+		return nil
+	case *ReturnStmt:
+		if st.X == nil {
+			if c.fn.Ret.Kind != TypeVoid {
+				return errAt(st.Line, "%s must return a value", c.fn.Name)
+			}
+			return nil
+		}
+		if c.fn.Ret.Kind == TypeVoid {
+			return errAt(st.Line, "void function %s returns a value", c.fn.Name)
+		}
+		if err := c.expr(st.X); err != nil {
+			return err
+		}
+		if !st.X.Type.IsScalar() {
+			return errAt(st.Line, "cannot return %s", st.X.Type)
+		}
+		st.X = convert(st.X, c.fn.Ret.Kind)
+		return nil
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (c *checker) inLoop(body []Stmt) error {
+	c.loopDepth++
+	c.breakDepth++
+	err := c.stmts(body)
+	c.loopDepth--
+	c.breakDepth--
+	return err
+}
+
+// cond checks a boolean-context expression: must be a scalar int.
+func (c *checker) cond(e *Expr) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	if !e.Type.IsInt() {
+		return errAt(e.Line, "condition must be int, got %s (compare floats explicitly)", e.Type)
+	}
+	return nil
+}
+
+// exprStmt checks an expression used as a statement: assignments,
+// increments and calls are allowed; anything else is a computed value with
+// no effect.
+func (c *checker) exprStmt(e *Expr) error {
+	switch e.Kind {
+	case ExprAssign:
+		if err := c.lvalue(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		if !e.Y.Type.IsScalar() {
+			return errAt(e.Line, "cannot assign %s", e.Y.Type)
+		}
+		e.Y = convert(e.Y, e.X.Type.Kind)
+		e.Type = e.X.Type
+		return nil
+	case ExprIncDec:
+		if err := c.lvalue(e.X); err != nil {
+			return err
+		}
+		if !e.X.Type.IsInt() {
+			return errAt(e.Line, "++/-- needs an int lvalue, got %s", e.X.Type)
+		}
+		e.Type = e.X.Type
+		return nil
+	case ExprCall:
+		return c.expr(e)
+	}
+	return errAt(e.Line, "expression statement has no effect")
+}
+
+// lvalue checks an assignable expression: a scalar variable or an array
+// element, and annotates its type.
+func (c *checker) lvalue(e *Expr) error {
+	switch e.Kind {
+	case ExprVar:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return errAt(e.Line, "undefined variable %q", e.Name)
+		}
+		if sym.Type.IsArray() {
+			return errAt(e.Line, "cannot assign to array %q", e.Name)
+		}
+		e.Sym = sym
+		e.Type = sym.Type
+		return nil
+	case ExprIndex:
+		return c.index(e)
+	}
+	return errAt(e.Line, "not an lvalue")
+}
+
+// index checks a[i] / m[i][j] and annotates the element type.
+func (c *checker) index(e *Expr) error {
+	sym := c.lookup(e.Name)
+	if sym == nil {
+		return errAt(e.Line, "undefined variable %q", e.Name)
+	}
+	if !sym.Type.IsArray() {
+		return errAt(e.Line, "%q is not an array", e.Name)
+	}
+	if len(e.Idx) != len(sym.Type.Dims) {
+		return errAt(e.Line, "%q needs %d indices, got %d", e.Name, len(sym.Type.Dims), len(e.Idx))
+	}
+	for _, ix := range e.Idx {
+		if err := c.expr(ix); err != nil {
+			return err
+		}
+		if !ix.Type.IsInt() {
+			return errAt(ix.Line, "array index must be int, got %s", ix.Type)
+		}
+	}
+	e.Sym = sym
+	e.Type = Type{Kind: sym.Type.Kind}
+	return nil
+}
+
+// expr type checks a value-context expression.
+func (c *checker) expr(e *Expr) error {
+	switch e.Kind {
+	case ExprIntLit:
+		e.Type = Type{Kind: TypeInt}
+		return nil
+	case ExprFloatLit:
+		e.Type = Type{Kind: TypeFloat}
+		return nil
+	case ExprVar:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return errAt(e.Line, "undefined variable %q", e.Name)
+		}
+		e.Sym = sym
+		e.Type = sym.Type // arrays decay at use sites (call args)
+		return nil
+	case ExprIndex:
+		return c.index(e)
+	case ExprUnary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "-":
+			if !e.X.Type.IsScalar() {
+				return errAt(e.Line, "cannot negate %s", e.X.Type)
+			}
+			e.Type = e.X.Type
+		case "!", "~":
+			if !e.X.Type.IsInt() {
+				return errAt(e.Line, "%s needs int, got %s", e.Op, e.X.Type)
+			}
+			e.Type = Type{Kind: TypeInt}
+		}
+		return nil
+	case ExprBinary:
+		return c.binary(e)
+	case ExprCall:
+		return c.call(e)
+	case ExprAssign:
+		return errAt(e.Line, "assignment is a statement, not an expression")
+	case ExprIncDec:
+		return errAt(e.Line, "++/-- is a statement, not an expression")
+	case ExprConv:
+		return nil // inserted post-check, already typed
+	}
+	return errAt(e.Line, "unknown expression")
+}
+
+func (c *checker) binary(e *Expr) error {
+	if err := c.expr(e.X); err != nil {
+		return err
+	}
+	if err := c.expr(e.Y); err != nil {
+		return err
+	}
+	if !e.X.Type.IsScalar() || !e.Y.Type.IsScalar() {
+		return errAt(e.Line, "operator %s needs scalars, got %s and %s", e.Op, e.X.Type, e.Y.Type)
+	}
+	switch e.Op {
+	case "+", "-", "*", "/":
+		if e.X.Type.IsFloat() || e.Y.Type.IsFloat() {
+			e.X = convert(e.X, TypeFloat)
+			e.Y = convert(e.Y, TypeFloat)
+			e.Type = Type{Kind: TypeFloat}
+		} else {
+			e.Type = Type{Kind: TypeInt}
+		}
+	case "%", "<<", ">>", "&", "|", "^", "&&", "||":
+		if !e.X.Type.IsInt() || !e.Y.Type.IsInt() {
+			return errAt(e.Line, "operator %s needs ints, got %s and %s", e.Op, e.X.Type, e.Y.Type)
+		}
+		e.Type = Type{Kind: TypeInt}
+	case "==", "!=", "<", "<=", ">", ">=":
+		if e.X.Type.IsFloat() || e.Y.Type.IsFloat() {
+			e.X = convert(e.X, TypeFloat)
+			e.Y = convert(e.Y, TypeFloat)
+		}
+		e.Type = Type{Kind: TypeInt}
+	default:
+		return errAt(e.Line, "unknown operator %s", e.Op)
+	}
+	return nil
+}
+
+func (c *checker) call(e *Expr) error {
+	if intr, ok := intrinsics[e.Name]; ok {
+		if len(e.Args) != len(intr.params) {
+			return errAt(e.Line, "%s takes %d argument(s)", e.Name, len(intr.params))
+		}
+		for i, want := range intr.params {
+			if err := c.expr(e.Args[i]); err != nil {
+				return err
+			}
+			if !e.Args[i].Type.IsScalar() {
+				return errAt(e.Line, "%s argument must be scalar", e.Name)
+			}
+			if want != TypeVoid { // TypeVoid = any scalar (print)
+				e.Args[i] = convert(e.Args[i], want)
+			}
+		}
+		e.Type = Type{Kind: intr.ret}
+		return nil
+	}
+	fn, ok := c.unit.Funcs[e.Name]
+	if !ok {
+		return errAt(e.Line, "undefined function %q", e.Name)
+	}
+	if len(e.Args) != len(fn.Params) {
+		return errAt(e.Line, "%s takes %d argument(s), got %d", e.Name, len(fn.Params), len(e.Args))
+	}
+	for i, arg := range e.Args {
+		if err := c.expr(arg); err != nil {
+			return err
+		}
+		want := fn.Params[i].Type
+		if want.IsArray() {
+			if arg.Kind != ExprVar || !arg.Type.IsArray() {
+				return errAt(arg.Line, "argument %d of %s must be an array", i+1, e.Name)
+			}
+			if arg.Type.Kind != want.Kind {
+				return errAt(arg.Line, "array element type mismatch in call to %s", e.Name)
+			}
+			continue
+		}
+		if !arg.Type.IsScalar() {
+			return errAt(arg.Line, "argument %d of %s must be scalar", i+1, e.Name)
+		}
+		e.Args[i] = convert(e.Args[i], want.Kind)
+	}
+	e.Type = fn.Ret
+	return nil
+}
+
+// convert wraps e in a conversion node when its kind differs from want.
+func convert(e *Expr, want TypeKind) *Expr {
+	if e.Type.Kind == want || want == TypeVoid {
+		return e
+	}
+	// Constant fold literal conversions.
+	if e.Kind == ExprIntLit && want == TypeFloat {
+		return &Expr{Kind: ExprFloatLit, Fval: float64(e.Ival), Line: e.Line, Type: Type{Kind: TypeFloat}}
+	}
+	if e.Kind == ExprFloatLit && want == TypeInt {
+		return &Expr{Kind: ExprIntLit, Ival: int64(e.Fval), Line: e.Line, Type: Type{Kind: TypeInt}}
+	}
+	return &Expr{Kind: ExprConv, X: e, Line: e.Line, Type: Type{Kind: want}}
+}

@@ -1,0 +1,56 @@
+// Package minic implements a small C-like language and a code generator
+// targeting the isa package.  It stands in for the MIPS C and FORTRAN
+// compilers of the paper: the benchmark programs of internal/bench are
+// written in mini-C and compiled to the study's ISA with the same idioms
+// real compilers emit (register-allocated scalars, sp-relative frames,
+// compare-and-branch loop control, short-circuit boolean evaluation).
+//
+// Language summary:
+//
+//	int g = 3; float eps; int a[100]; float m[10][20];   // globals
+//	int f(int x, float y, int v[]) { ... }               // functions
+//	locals: int/float scalars and arrays (declared first in a body)
+//	statements: if/else, while, do-while, for, switch/case/default,
+//	            break, continue, return, blocks, expression statements
+//	expressions: || && | ^ & == != < <= > >= << >> + - * / %
+//	             unary - ! ~, x++ / x-- / op= statements, calls,
+//	             1-D/2-D indexing, int<->float implicit conversion
+//	intrinsics: print(x), printc(c), sqrt(x), fabs(x), abs(x),
+//	            itof(x), ftoi(x)
+package minic
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokPunct   // operators and delimiters
+	tokKeyword // reserved words
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+	col  int
+}
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "void": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"switch": true, "case": true, "default": true,
+	"break": true, "continue": true, "return": true,
+}
+
+// punctuators ordered longest-first so the lexer can match greedily.
+var punctuators = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ",", ";", ":",
+}

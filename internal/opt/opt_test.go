@@ -1,0 +1,351 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/bench"
+	"ilplimit/internal/isa"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/vm"
+)
+
+func optimize(t *testing.T, src string) (*isa.Program, *Result) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+// runProg executes a program and returns (output, steps).
+func runProg(t *testing.T, p *isa.Program, memWords int) (string, int64) {
+	t.Helper()
+	m := vm.NewSized(p, memWords)
+	m.StepLimit = 200_000_000
+	if err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	return m.Output(), m.Steps
+}
+
+func TestDeadWriteRemoved(t *testing.T) {
+	_, r := optimize(t, `
+.proc main
+	li $t0, 1
+	li $t0, 2
+	printi $t0
+	halt
+.endproc
+`)
+	if r.Removed < 1 {
+		t.Errorf("overwritten li not removed (removed=%d)", r.Removed)
+	}
+	out, _ := runProg(t, r.Program, 1<<12)
+	if out != "2" {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestCopyPropagationAndDeadMov(t *testing.T) {
+	_, r := optimize(t, `
+.proc main
+	li  $t0, 5
+	mov $t1, $t0
+	add $t2, $t1, $t1
+	printi $t2
+	halt
+.endproc
+`)
+	// After propagation the mov is dead and the add reads $t0 directly —
+	// then fuses to an immediate form via the known constant.
+	for _, in := range r.Program.Instrs {
+		if in.Op == isa.MOV {
+			t.Errorf("mov survived: %s", in.String())
+		}
+	}
+	out, _ := runProg(t, r.Program, 1<<12)
+	if out != "10" {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestImmediateFusion(t *testing.T) {
+	_, r := optimize(t, `
+.proc main
+	li  $t1, 3
+	li  $t0, 40
+	add $t2, $t0, $t1
+	mul $t3, $t2, $t1
+	slt $t4, $t2, $t1
+	sub $t5, $t2, $t1
+	printi $t2
+	printi $t3
+	printi $t4
+	printi $t5
+	halt
+.endproc
+`)
+	var ops []isa.Op
+	for _, in := range r.Program.Instrs {
+		ops = append(ops, in.Op)
+	}
+	for _, bad := range []isa.Op{isa.ADD, isa.MUL, isa.SLT, isa.SUB} {
+		for _, op := range ops {
+			if op == bad {
+				t.Errorf("%v survived immediate fusion", bad)
+			}
+		}
+	}
+	out, _ := runProg(t, r.Program, 1<<12)
+	if out != "43129040" { // 43, 129, 0, 40 concatenated
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	p, r := optimize(t, `
+.data
+x: .space 4
+.proc main
+	la $t0, x
+	li $t1, 9
+	sw $t1, 2($t0)
+	lw $t2, 2($t0)
+	printi $t2
+	halt
+.endproc
+`)
+	loadsBefore, loadsAfter := countOp(p, isa.LW), countOp(r.Program, isa.LW)
+	if loadsAfter >= loadsBefore {
+		t.Errorf("load not forwarded: %d -> %d", loadsBefore, loadsAfter)
+	}
+	out, _ := runProg(t, r.Program, 1<<12)
+	if out != "9" {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestRedundantLoadElimination(t *testing.T) {
+	p, r := optimize(t, `
+.data
+x: .word 7
+.proc main
+	la $t0, x
+	lw $t1, 0($t0)
+	lw $t2, 0($t0)
+	add $t3, $t1, $t2
+	printi $t3
+	halt
+.endproc
+`)
+	if countOp(r.Program, isa.LW) >= countOp(p, isa.LW) {
+		t.Error("second load not eliminated")
+	}
+	out, _ := runProg(t, r.Program, 1<<12)
+	if out != "14" {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestAliasingStoreBlocksForwarding(t *testing.T) {
+	// The second store goes through a different base register that aliases
+	// the first address; forwarding across it would be wrong.
+	_, r := optimize(t, `
+.data
+x: .space 4
+.proc main
+	la $t0, x
+	la $t1, x
+	li $t2, 1
+	li $t3, 2
+	sw $t2, 0($t0)
+	sw $t3, 0($t1)
+	lw $t4, 0($t0)
+	printi $t4
+	halt
+.endproc
+`)
+	out, _ := runProg(t, r.Program, 1<<12)
+	if out != "2" {
+		t.Errorf("aliasing mishandled: output %q, want 2", out)
+	}
+}
+
+func TestCallClobbersState(t *testing.T) {
+	_, r := optimize(t, `
+.data
+x: .space 4
+.proc main
+	la  $t0, x
+	li  $t1, 5
+	sw  $t1, 0($t0)
+	jal poke
+	la  $t0, x
+	lw  $t2, 0($t0)
+	printi $t2
+	halt
+.endproc
+.proc poke
+	li $t9, 77
+	sw $t9, x($zero)
+	ret
+.endproc
+`)
+	out, _ := runProg(t, r.Program, 1<<12)
+	if out != "77" {
+		t.Errorf("call-clobber mishandled: output %q, want 77", out)
+	}
+}
+
+func TestBranchTargetsRemapped(t *testing.T) {
+	_, r := optimize(t, `
+.proc main
+	li  $t0, 0
+	li  $t9, 99
+	beqz $t0, skip
+	printi $t9
+skip:
+	li  $t1, 1
+	printi $t1
+	halt
+.endproc
+`)
+	if err := r.Program.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := runProg(t, r.Program, 1<<12)
+	if out != "1" {
+		t.Errorf("output %q", out)
+	}
+}
+
+func countOp(p *isa.Program, op isa.Op) int {
+	n := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TestBenchmarksUnchangedByOptimizer is the heavyweight differential test:
+// every suite benchmark must print identical output after optimization,
+// in fewer dynamic instructions.
+func TestBenchmarksUnchangedByOptimizer(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(strings.ReplaceAll(b.Name, " ", "_"), func(t *testing.T) {
+			t.Parallel()
+			asmText, err := minic.Compile(b.Source(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := asm.Assemble(asmText)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Optimize(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantOut, wantSteps := runProg(t, p, 1<<20)
+			gotOut, gotSteps := runProg(t, r.Program, 1<<20)
+			if gotOut != wantOut {
+				t.Fatalf("output changed: %q -> %q", wantOut, gotOut)
+			}
+			if gotSteps > wantSteps {
+				t.Errorf("optimizer made the program slower: %d -> %d steps", wantSteps, gotSteps)
+			}
+			t.Logf("%s: %d -> %d dynamic (%d static removed, %d rewritten)",
+				b.Name, wantSteps, gotSteps, r.Removed, r.Rewritten)
+		})
+	}
+}
+
+// TestRandomProgramsUnchanged cross-checks on random observable programs.
+func TestRandomProgramsUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		src := genObservable(rng)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		r, err := Optimize(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		wantOut, _ := runProg(t, p, 1<<12)
+		gotOut, _ := runProg(t, r.Program, 1<<12)
+		if gotOut != wantOut {
+			t.Fatalf("trial %d: output %q -> %q\n%s\n--- optimized ---\n%s",
+				trial, wantOut, gotOut, src, r.Program.Disassemble())
+		}
+	}
+}
+
+// genObservable emits a random terminating program that prints all its
+// registers at the end, so any miscompilation is visible.
+func genObservable(rng *rand.Rand) string {
+	var b strings.Builder
+	emit := func(format string, args ...interface{}) { fmt.Fprintf(&b, format+"\n", args...) }
+	emit(".data")
+	emit("area: .space 32")
+	emit(".proc main")
+	regs := []string{"$t0", "$t1", "$t2", "$t3", "$s0", "$s1"}
+	r := func() string { return regs[rng.Intn(len(regs))] }
+	for _, reg := range regs {
+		emit("\tli %s, %d", reg, rng.Intn(50))
+	}
+	blocks := 2 + rng.Intn(4)
+	for blk := 0; blk < blocks; blk++ {
+		emit("B%d:", blk)
+		for k := rng.Intn(8); k >= 0; k-- {
+			switch rng.Intn(10) {
+			case 0:
+				emit("\tadd %s, %s, %s", r(), r(), r())
+			case 1:
+				emit("\tli %s, %d", r(), rng.Intn(100))
+			case 2:
+				emit("\tmov %s, %s", r(), r())
+			case 3:
+				emit("\taddi %s, %s, %d", r(), r(), rng.Intn(9)-4)
+			case 4:
+				emit("\tla $t9, area")
+				emit("\tsw %s, %d($t9)", r(), rng.Intn(32))
+			case 5:
+				emit("\tla $t9, area")
+				emit("\tlw %s, %d($t9)", r(), rng.Intn(32))
+			case 6:
+				emit("\tmul %s, %s, %s", r(), r(), r())
+			case 7:
+				emit("\tslt %s, %s, %s", r(), r(), r())
+			case 8:
+				emit("\tsub %s, %s, %s", r(), r(), r())
+			case 9:
+				emit("\txor %s, %s, %s", r(), r(), r())
+			}
+		}
+		if blk+1 < blocks && rng.Intn(2) == 0 {
+			emit("\tbeq %s, %s, B%d", r(), r(), blk+1+rng.Intn(blocks-blk-1))
+		}
+	}
+	for _, reg := range regs {
+		emit("\tprinti %s", reg)
+		emit("\tli $t9, 32")
+		emit("\tprintc $t9")
+	}
+	emit("\thalt")
+	emit(".endproc")
+	return b.String()
+}

@@ -1,0 +1,117 @@
+// Package predict implements the paper's branch prediction model
+// (§4.4.2): static, profile-based prediction with the profile collected on
+// the same inputs as the measurement run — an upper bound for static
+// prediction.  Computed jumps are never predicted.
+package predict
+
+import (
+	"ilplimit/internal/isa"
+	"ilplimit/internal/vm"
+)
+
+// Profile accumulates per-static-branch outcome counts.
+type Profile struct {
+	prog     *isa.Program
+	taken    []int64
+	notTaken []int64
+}
+
+// NewProfile creates an empty profile for the program.
+func NewProfile(p *isa.Program) *Profile {
+	n := len(p.Instrs)
+	return &Profile{prog: p, taken: make([]int64, n), notTaken: make([]int64, n)}
+}
+
+// Record notes one dynamic event; non-branch events are ignored, so the
+// profiler can be used directly as a VM visitor.
+func (pr *Profile) Record(ev vm.Event) {
+	if !pr.prog.Instrs[ev.Idx].Op.IsCondBranch() {
+		return
+	}
+	if ev.Taken {
+		pr.taken[ev.Idx]++
+	} else {
+		pr.notTaken[ev.Idx]++
+	}
+}
+
+// Predictor holds the static majority-direction prediction for every
+// conditional branch.
+type Predictor struct {
+	prog        *isa.Program
+	predictTake []bool
+}
+
+// Predictor freezes the profile into a static predictor.  Branches never
+// executed during profiling predict not-taken.
+func (pr *Profile) Predictor() *Predictor {
+	p := &Predictor{prog: pr.prog, predictTake: make([]bool, len(pr.taken))}
+	for i := range pr.taken {
+		p.predictTake[i] = pr.taken[i] > pr.notTaken[i]
+	}
+	return p
+}
+
+// NewStaticPredictor builds a predictor with explicit per-branch
+// predictions: take maps a static instruction index to its predicted
+// direction.  Branches absent from the map predict not-taken.  Useful for
+// tests and what-if studies.
+func NewStaticPredictor(p *isa.Program, take map[int]bool) *Predictor {
+	pr := &Predictor{prog: p, predictTake: make([]bool, len(p.Instrs))}
+	for idx, t := range take {
+		pr.predictTake[idx] = t
+	}
+	return pr
+}
+
+// Mispredicted reports whether the dynamic event ev was mispredicted.
+// Conditional branches compare against the profile majority; computed
+// jumps are always mispredicted; everything else is never mispredicted.
+func (p *Predictor) Mispredicted(ev vm.Event) bool {
+	op := p.prog.Instrs[ev.Idx].Op
+	switch {
+	case op.IsCondBranch():
+		return ev.Taken != p.predictTake[ev.Idx]
+	case op.IsComputedJump():
+		return true
+	default:
+		return false
+	}
+}
+
+// PredictsTaken reports the static prediction for the conditional branch at
+// static index idx.
+func (p *Predictor) PredictsTaken(idx int) bool { return p.predictTake[idx] }
+
+// Stats summarizes a profile as the paper's Table 2 does.
+type Stats struct {
+	// CondBranches is the number of dynamic conditional branches profiled.
+	CondBranches int64
+	// Correct is how many of them the frozen predictor gets right.
+	Correct int64
+}
+
+// Rate returns the prediction accuracy in percent (100 when no branches
+// executed).
+func (s Stats) Rate() float64 {
+	if s.CondBranches == 0 {
+		return 100
+	}
+	return 100 * float64(s.Correct) / float64(s.CondBranches)
+}
+
+// Stats evaluates the majority predictor against the profile itself,
+// exactly the paper's definition of the static upper bound.
+func (pr *Profile) Stats() Stats {
+	var s Stats
+	for i := range pr.taken {
+		t, n := pr.taken[i], pr.notTaken[i]
+		s.CondBranches += t + n
+		if t > n {
+			s.Correct += t
+		} else {
+			s.Correct += n
+		}
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+package predict
+
+import (
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/isa"
+	"ilplimit/internal/vm"
+)
+
+func profileOf(t *testing.T, src string) (*isa.Program, *Profile) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	prof := NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		t.Fatal(err)
+	}
+	return p, prof
+}
+
+const loopSrc = `
+.proc main
+	li   $t0, 10
+loop:
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	halt
+.endproc
+`
+
+func TestProfileMajority(t *testing.T) {
+	p, prof := profileOf(t, loopSrc)
+	pred := prof.Predictor()
+	brIdx := -1
+	for i := range p.Instrs {
+		if p.Instrs[i].Op.IsCondBranch() {
+			brIdx = i
+		}
+	}
+	if brIdx < 0 {
+		t.Fatal("no branch found")
+	}
+	// Taken 9 times, not taken once: majority says taken.
+	if !pred.PredictsTaken(brIdx) {
+		t.Error("backward loop branch should predict taken")
+	}
+	s := prof.Stats()
+	if s.CondBranches != 10 {
+		t.Errorf("profiled %d branches, want 10", s.CondBranches)
+	}
+	if s.Correct != 9 {
+		t.Errorf("correct %d, want 9", s.Correct)
+	}
+	if r := s.Rate(); r < 89.9 || r > 90.1 {
+		t.Errorf("rate = %.2f, want 90", r)
+	}
+}
+
+func TestMispredictedEvents(t *testing.T) {
+	p, prof := profileOf(t, loopSrc)
+	pred := prof.Predictor()
+	brIdx := int32(-1)
+	for i := range p.Instrs {
+		if p.Instrs[i].Op.IsCondBranch() {
+			brIdx = int32(i)
+		}
+	}
+	if pred.Mispredicted(vm.Event{Idx: brIdx, Taken: true}) {
+		t.Error("taken outcome should match the taken prediction")
+	}
+	if !pred.Mispredicted(vm.Event{Idx: brIdx, Taken: false}) {
+		t.Error("not-taken outcome should mispredict")
+	}
+	// Non-branch events never mispredict.
+	if pred.Mispredicted(vm.Event{Idx: 0}) {
+		t.Error("non-branch event flagged as mispredicted")
+	}
+}
+
+func TestComputedJumpAlwaysMispredicted(t *testing.T) {
+	src := `
+.jumptable d: a b
+.proc main
+	li   $t0, 1
+	jtab $t0, d
+a:	nop
+b:	halt
+.endproc
+`
+	p, prof := profileOf(t, src)
+	pred := prof.Predictor()
+	for i := range p.Instrs {
+		if p.Instrs[i].Op.IsComputedJump() {
+			if !pred.Mispredicted(vm.Event{Idx: int32(i)}) {
+				t.Error("computed jumps must always count as mispredicted")
+			}
+		}
+	}
+	// Computed jumps do not appear in conditional-branch statistics.
+	if s := prof.Stats(); s.CondBranches != 0 {
+		t.Errorf("stats counted %d cond branches, want 0", s.CondBranches)
+	}
+}
+
+func TestUnexecutedBranchDefaultsNotTaken(t *testing.T) {
+	src := `
+.proc main
+	li   $t0, 1
+	bnez $t0, skip
+	beqz $t0, skip
+skip:
+	halt
+.endproc
+`
+	p, prof := profileOf(t, src)
+	pred := prof.Predictor()
+	// The second branch never executes (first always jumps over it).
+	second := -1
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.BEQ {
+			second = i
+		}
+	}
+	if second < 0 {
+		t.Fatal("beq not found")
+	}
+	if pred.PredictsTaken(second) {
+		t.Error("never-executed branch should default to not-taken")
+	}
+}
+
+func TestStaticPredictor(t *testing.T) {
+	p, err := asm.Assemble(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := NewStaticPredictor(p, map[int]bool{2: true})
+	if !pred.PredictsTaken(2) {
+		t.Error("forced prediction lost")
+	}
+	if pred.PredictsTaken(1) {
+		t.Error("unforced branch should default not-taken")
+	}
+}
+
+func TestEmptyProfileRate(t *testing.T) {
+	p, err := asm.Assemble(".proc main\n halt\n.endproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewProfile(p)
+	if r := prof.Stats().Rate(); r != 100 {
+		t.Errorf("empty profile rate = %g, want 100", r)
+	}
+}

@@ -1,0 +1,40 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/stats"
+)
+
+func ExampleHarmonicMean() {
+	// The paper's Table 3 reports harmonic means over the seven
+	// non-numeric benchmarks.
+	fmt.Printf("%.2f\n", stats.HarmonicMean([]float64{2, 4, 4}))
+	// Output:
+	// 3.00
+}
+
+func ExampleTable() {
+	t := &stats.Table{
+		Title:   "Demo",
+		Headers: []string{"Program", "Parallelism"},
+	}
+	t.AddRow("awk", stats.FormatParallelism(1.6234))
+	t.AddRow("matrix300", stats.FormatParallelism(7235.2))
+	fmt.Print(t.Render())
+	// Output:
+	// Demo
+	// Program    Parallelism
+	// ----------------------
+	// awk               1.62
+	// matrix300         7235
+}
+
+func ExampleNewCDF() {
+	// Misprediction-distance histograms (paper Figure 6) summarize as
+	// cumulative distributions.
+	cdf := stats.NewCDF(map[int64]int64{5: 6, 50: 3, 500: 1})
+	fmt.Printf("%.0f%% within 100 instructions\n", 100*cdf.At(100))
+	// Output:
+	// 90% within 100 instructions
+}

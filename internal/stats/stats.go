@@ -1,0 +1,170 @@
+// Package stats provides the small statistical and formatting helpers the
+// reports share: harmonic means, cumulative distributions and fixed-width
+// text tables shaped like the paper's.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HarmonicMean returns the harmonic mean of xs (0 if empty or if any value
+// is not positive).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// FormatParallelism renders a parallelism value the way the paper's
+// Table 3 does: two decimals for small values, whole numbers for large.
+func FormatParallelism(v float64) string {
+	switch {
+	case v >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// CDF summarizes a histogram (value -> count) as a cumulative distribution.
+type CDF struct {
+	values []int64
+	cum    []float64 // cumulative fraction at values[i]
+	total  int64
+}
+
+// NewCDF builds a CDF from a histogram of counts per value.
+func NewCDF(hist map[int64]int64) *CDF {
+	c := &CDF{}
+	for v, n := range hist {
+		if n <= 0 {
+			continue
+		}
+		c.values = append(c.values, v)
+		c.total += n
+	}
+	sort.Slice(c.values, func(i, j int) bool { return c.values[i] < c.values[j] })
+	c.cum = make([]float64, len(c.values))
+	var run int64
+	for i, v := range c.values {
+		run += hist[v]
+		c.cum[i] = float64(run) / float64(c.total)
+	}
+	return c
+}
+
+// Total is the histogram's total count.
+func (c *CDF) Total() int64 { return c.total }
+
+// At returns the cumulative fraction of mass at values <= v.
+func (c *CDF) At(v int64) float64 {
+	i := sort.Search(len(c.values), func(i int) bool { return c.values[i] > v })
+	if i == 0 {
+		return 0
+	}
+	return c.cum[i-1]
+}
+
+// Percentile returns the smallest value at which the cumulative fraction
+// reaches p (0 < p <= 1).
+func (c *CDF) Percentile(p float64) int64 {
+	for i, f := range c.cum {
+		if f >= p {
+			return c.values[i]
+		}
+	}
+	if len(c.values) == 0 {
+		return 0
+	}
+	return c.values[len(c.values)-1]
+}
+
+// Table renders fixed-width text tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render lays out the table with right-aligned numeric columns (every
+// column except the first is right aligned).
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", width[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for i, w := range width {
+		total += w
+		if i > 0 {
+			total += 2
+		}
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHarmonicMean(t *testing.T) {
+	if hm := HarmonicMean([]float64{2, 2, 2}); !approx(hm, 2) {
+		t.Errorf("HM(2,2,2) = %g", hm)
+	}
+	if hm := HarmonicMean([]float64{1, 2}); !approx(hm, 4.0/3) {
+		t.Errorf("HM(1,2) = %g, want 4/3", hm)
+	}
+	if hm := HarmonicMean(nil); hm != 0 {
+		t.Errorf("HM(nil) = %g, want 0", hm)
+	}
+	if hm := HarmonicMean([]float64{1, 0}); hm != 0 {
+		t.Errorf("HM with zero = %g, want 0", hm)
+	}
+}
+
+// The harmonic mean never exceeds the arithmetic mean, and both lie within
+// the value range.
+func TestMeanInequalities(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = float64(v) + 1 // strictly positive
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		hm, am := HarmonicMean(xs), Mean(xs)
+		return hm <= am+1e-9 && hm >= lo-1e-9 && am <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatParallelism(t *testing.T) {
+	cases := map[float64]string{
+		2.136:  "2.14",
+		66.07:  "66.07",
+		123.4:  "123",
+		108575: "108575",
+		99.994: "99.99",
+		100.4:  "100",
+	}
+	for v, want := range cases {
+		if got := FormatParallelism(v); got != want {
+			t.Errorf("FormatParallelism(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	hist := map[int64]int64{1: 5, 10: 3, 100: 2}
+	c := NewCDF(hist)
+	if c.Total() != 10 {
+		t.Errorf("total = %d", c.Total())
+	}
+	cases := map[int64]float64{0: 0, 1: 0.5, 9: 0.5, 10: 0.8, 99: 0.8, 100: 1, 1000: 1}
+	for v, want := range cases {
+		if got := c.At(v); !approx(got, want) {
+			t.Errorf("At(%d) = %g, want %g", v, got, want)
+		}
+	}
+	if p := c.Percentile(0.5); p != 1 {
+		t.Errorf("P50 = %d, want 1", p)
+	}
+	if p := c.Percentile(0.8); p != 10 {
+		t.Errorf("P80 = %d, want 10", p)
+	}
+	if p := c.Percentile(0.81); p != 100 {
+		t.Errorf("P81 = %d, want 100", p)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	f := func(raw map[int8]uint8) bool {
+		hist := make(map[int64]int64)
+		var total int64
+		for v, n := range raw {
+			if n == 0 {
+				continue
+			}
+			hist[int64(v)] = int64(n)
+			total += int64(n)
+		}
+		c := NewCDF(hist)
+		if c.Total() != total {
+			return false
+		}
+		// Monotone non-decreasing and bounded by [0, 1].
+		prev := 0.0
+		for v := int64(-130); v <= 130; v += 5 {
+			f := c.At(v)
+			if f < prev-1e-12 || f < 0 || f > 1 {
+				return false
+			}
+			prev = f
+		}
+		return total == 0 || approx(c.At(130), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Total() != 0 || c.At(5) != 0 || c.Percentile(0.5) != 0 {
+		t.Error("empty CDF misbehaves")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "X", "LongColumn"},
+	}
+	tab.AddRow("alpha", "1", "2")
+	tab.AddRow("b", "10000", "3")
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name ") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// All data lines have equal width.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "10000") {
+		t.Errorf("missing cell: %q", lines[4])
+	}
+	// Numeric columns right-aligned: "1" ends where "10000" ends.
+	if strings.Index(lines[3], "1")+1 != strings.Index(lines[4], "10000")+5 {
+		t.Errorf("right alignment broken:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{Headers: []string{"A", "B"}}
+	tab.AddRow("x")
+	tab.AddRow("y", "1", "extra")
+	out := tab.Render()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ilplimit/internal/vm"
+)
+
+// Trace files persist dynamic traces the way pixie-based workflows stored
+// them on disk.  Format: a 5-byte header ("ILPT" + version), then one
+// record per event:
+//
+//	control byte: bit0 = has address, bit1 = branch taken
+//	uvarint      static instruction index
+//	uvarint      address (only when bit0 is set)
+//
+// and a 0xFF terminator byte (control bytes never exceed 0x03).  Sequence
+// numbers are implicit: the reader assigns them in order.
+const (
+	traceMagic   = "ILPT"
+	traceVersion = 1
+	endMarker    = 0xFF
+)
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Writer streams events to a trace file.
+type Writer struct {
+	w   *bufio.Writer
+	buf [2 * binary.MaxVarintLen64]byte
+	n   int64
+}
+
+// NewWriter writes the header and returns a writer.  Call Close to emit
+// the terminator and flush.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one event.  The event's Seq is not stored; readers
+// reconstruct it positionally.
+func (w *Writer) Write(ev vm.Event) error {
+	ctl := byte(0)
+	if ev.Addr != 0 {
+		ctl |= 1
+	}
+	if ev.Taken {
+		ctl |= 2
+	}
+	if err := w.w.WriteByte(ctl); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(w.buf[:], uint64(ev.Idx))
+	if ctl&1 != 0 {
+		n += binary.PutUvarint(w.buf[n:], uint64(ev.Addr))
+	}
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count reports how many events have been written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Close writes the terminator and flushes.
+func (w *Writer) Close() error {
+	if err := w.w.WriteByte(endMarker); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader streams events back from a trace file.
+type Reader struct {
+	r   *bufio.Reader
+	seq int64
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(traceMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrBadTrace)
+	}
+	if string(head[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	if head[len(traceMagic)] != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, head[len(traceMagic)])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next event, or io.EOF after the terminator.
+func (r *Reader) Next() (vm.Event, error) {
+	ctl, err := r.r.ReadByte()
+	if err != nil {
+		return vm.Event{}, fmt.Errorf("%w: truncated (missing terminator)", ErrBadTrace)
+	}
+	if ctl == endMarker {
+		return vm.Event{}, io.EOF
+	}
+	if ctl > 3 {
+		return vm.Event{}, fmt.Errorf("%w: bad control byte 0x%02x", ErrBadTrace, ctl)
+	}
+	idx, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return vm.Event{}, fmt.Errorf("%w: truncated index", ErrBadTrace)
+	}
+	ev := vm.Event{Seq: r.seq, Idx: int32(idx), Taken: ctl&2 != 0}
+	if ctl&1 != 0 {
+		addr, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return vm.Event{}, fmt.Errorf("%w: truncated address", ErrBadTrace)
+		}
+		ev.Addr = int64(addr)
+	}
+	r.seq++
+	return ev, nil
+}
+
+// Visit reads a whole trace, invoking f per event.
+func Visit(r io.Reader, f func(vm.Event)) (int64, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		f(ev)
+		n++
+	}
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/vm"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	events := []vm.Event{
+		{Idx: 0},
+		{Idx: 5, Addr: 1024},
+		{Idx: 7, Taken: true},
+		{Idx: 7, Taken: false},
+		{Idx: 1 << 20, Addr: 1 << 40, Taken: true},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != int64(len(events)) {
+		t.Errorf("count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		want.Seq = int64(i)
+		if got != want {
+			t.Errorf("event %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(raw []struct {
+		Idx   uint32
+		Addr  uint32
+		Taken bool
+	}) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		var events []vm.Event
+		for _, e := range raw {
+			ev := vm.Event{Idx: int32(e.Idx & 0x7FFFFFFF), Addr: int64(e.Addr), Taken: e.Taken}
+			events = append(events, ev)
+			if w.Write(ev) != nil {
+				return false
+			}
+		}
+		if w.Close() != nil {
+			return false
+		}
+		i := 0
+		n, err := Visit(bytes.NewReader(buf.Bytes()), func(got vm.Event) {
+			want := events[i]
+			want.Seq = int64(i)
+			if got != want {
+				t.Logf("mismatch at %d: %+v vs %+v", i, got, want)
+			}
+			i++
+		})
+		return err == nil && n == int64(len(events)) && i == len(events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("ILP"),
+		[]byte("XXXX\x01"),
+		[]byte("ILPT\x09"),
+		[]byte("ILPT\x01"),                   // missing terminator
+		[]byte("ILPT\x01\x07"),               // bad control byte
+		[]byte("ILPT\x01\x01"),               // truncated index
+		append([]byte("ILPT\x01\x01"), 0x05), // truncated address
+	}
+	for i, data := range cases {
+		if _, err := Visit(bytes.NewReader(data), func(vm.Event) {}); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+	// A well-formed empty trace is fine.
+	if n, err := Visit(bytes.NewReader([]byte("ILPT\x01\xff")), func(vm.Event) {}); err != nil || n != 0 {
+		t.Errorf("empty trace: n=%d err=%v", n, err)
+	}
+}
+
+// TestFileMatchesLiveTrace records a real compiled program's trace and
+// replays it, checking event-for-event equality.
+func TestFileMatchesLiveTrace(t *testing.T) {
+	asmText, err := minic.Compile(`
+int a[32];
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 32; i++) a[i] = i;
+	for (i = 0; i < 32; i++) if (a[i] & 1) s += a[i];
+	print(s);
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(prog, 1<<14)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []vm.Event
+	err = machine.Run(func(ev vm.Event) {
+		live = append(live, ev)
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	n, err := Visit(bytes.NewReader(buf.Bytes()), func(got vm.Event) {
+		if got != live[i] {
+			t.Errorf("event %d: %+v vs %+v", i, got, live[i])
+		}
+		i++
+	})
+	if err != nil || n != int64(len(live)) {
+		t.Fatalf("replay: n=%d err=%v, want %d", n, err, len(live))
+	}
+}

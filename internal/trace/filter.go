@@ -1,0 +1,58 @@
+// Package trace classifies dynamic instructions for the two program
+// transformations the paper applies to traces (§4.2):
+//
+//   - perfect inlining: calls, returns, and stack-pointer adjustments are
+//     removed from the trace;
+//   - perfect loop unrolling: induction-variable updates, comparisons of
+//     induction variables with loop invariants, and branches on those
+//     comparisons are removed (computed by internal/dataflow).
+//
+// Removed instructions contribute to neither the sequential nor the
+// parallel execution time.
+package trace
+
+import "ilplimit/internal/isa"
+
+// InlineMarks returns, per instruction, whether the perfect-inlining filter
+// removes it: procedure calls, returns and stack-pointer manipulation.
+func InlineMarks(p *isa.Program) []bool {
+	marks := make([]bool, len(p.Instrs))
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op.IsCall() || in.Op.IsReturn() {
+			marks[i] = true
+			continue
+		}
+		if d, ok := in.DestReg(); ok && d == isa.RSP {
+			marks[i] = true
+		}
+	}
+	return marks
+}
+
+// Filter bundles the per-instruction removal decisions used by the
+// profiler and the limit analyzer.
+type Filter struct {
+	inline []bool
+	unroll []bool // nil when perfect unrolling is disabled
+}
+
+// NewFilter builds a filter for the program. unrollMarks may be nil to
+// disable the perfect-unrolling transformation.
+func NewFilter(p *isa.Program, unrollMarks []bool) *Filter {
+	return &Filter{inline: InlineMarks(p), unroll: unrollMarks}
+}
+
+// Ignored reports whether the instruction at static index idx is removed
+// from the trace.
+func (f *Filter) Ignored(idx int32) bool {
+	if f.inline[idx] {
+		return true
+	}
+	return f.unroll != nil && f.unroll[idx]
+}
+
+// InlineIgnored reports whether the inlining filter alone removes the
+// instruction (needed by the analyzer, which must still maintain its
+// interprocedural control-dependence stack on calls and returns).
+func (f *Filter) InlineIgnored(idx int32) bool { return f.inline[idx] }

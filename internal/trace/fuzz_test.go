@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"ilplimit/internal/vm"
+)
+
+// FuzzReader checks that arbitrary bytes never panic the trace reader and
+// that well-formed prefixes produce consistent sequence numbers.
+func FuzzReader(f *testing.F) {
+	valid := func(events ...vm.Event) []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, ev := range events {
+			_ = w.Write(ev)
+		}
+		_ = w.Close()
+		return buf.Bytes()
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte("ILPT\x01\xff"))
+	f.Add(valid(vm.Event{Idx: 3, Addr: 1024, Taken: true}, vm.Event{Idx: 4}))
+	f.Add([]byte("ILPT\x01\x03\x80\x80"))
+	f.Add([]byte("XXXXX"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var prev int64 = -1
+		_, _ = Visit(bytes.NewReader(data), func(ev vm.Event) {
+			if ev.Seq != prev+1 {
+				t.Fatalf("sequence gap: %d after %d", ev.Seq, prev)
+			}
+			prev = ev.Seq
+		})
+	})
+}

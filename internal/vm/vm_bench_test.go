@@ -1,0 +1,58 @@
+package vm
+
+import (
+	"testing"
+
+	"ilplimit/internal/asm"
+)
+
+// A tight arithmetic loop for raw interpreter throughput.
+const hotLoop = `
+.proc main
+	li   $t0, 100000
+	li   $t1, 0
+loop:
+	addi $t1, $t1, 3
+	xori $t1, $t1, 5
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	halt
+.endproc
+`
+
+func BenchmarkInterpreter(b *testing.B) {
+	p, err := asm.Assemble(hotLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := NewSized(p, 1<<12)
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		machine.Reset()
+		if err := machine.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+		steps = machine.Steps
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(steps*int64(b.N))/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkInterpreterWithVisitor(b *testing.B) {
+	p, err := asm.Assemble(hotLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := NewSized(p, 1<<12)
+	var sink int64
+	visit := func(e Event) { sink += int64(e.Idx) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		machine.Reset()
+		if err := machine.Run(visit); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}

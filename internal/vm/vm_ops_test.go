@@ -1,0 +1,152 @@
+package vm
+
+import (
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/isa"
+)
+
+// TestEveryALUOp exercises each register-register and register-immediate
+// opcode with checked results, covering the interpreter switch completely.
+func TestEveryALUOp(t *testing.T) {
+	vm, _ := run(t, `
+.proc main
+	li   $t0, 12
+	li   $t1, 5
+	nor  $s0, $t0, $t1      # ^(12|5) = ^13 = -14
+	sll  $s1, $t0, $t1      # 12<<5 = 384
+	srl  $s2, $t0, $t1      # 0
+	sra  $s3, $t0, $t1      # 0
+	li   $t2, -64
+	sra  $s4, $t2, $t1      # -2
+	srl  $s5, $t1, $t0      # 0
+	muli $s6, $t0, 7        # 84
+	xori $s7, $t0, 10       # 6
+	ori  $t3, $t0, 3        # 15
+	andi $t4, $t0, 10       # 8
+	nop
+	halt
+.endproc
+`)
+	want := map[isa.Reg]int64{
+		isa.RS0: -14, isa.RS0 + 1: 384, isa.RS0 + 2: 0, isa.RS0 + 3: 0,
+		isa.RS0 + 4: -2, isa.RS0 + 5: 0, isa.RS0 + 6: 84, isa.RS7: 6,
+		isa.RT0 + 3: 15, isa.RT0 + 4: 8,
+	}
+	for r, v := range want {
+		if vm.R[r] != v {
+			t.Errorf("%v = %d, want %d", r, vm.R[r], v)
+		}
+	}
+}
+
+func TestAllBranchOps(t *testing.T) {
+	vm, _ := run(t, `
+.proc main
+	li  $t0, 3
+	li  $t1, 5
+	li  $s0, 0
+	beq $t0, $t0, a
+	j bad
+a:	bne $t0, $t1, b
+	j bad
+b:	blt $t0, $t1, c
+	j bad
+c:	bge $t1, $t0, d
+	j bad
+d:	ble $t0, $t1, e
+	j bad
+e:	bgt $t1, $t0, f
+	j bad
+bad:
+	li $s0, -1
+	halt
+f:	li $s0, 1
+	halt
+.endproc
+`)
+	if vm.R[isa.RS0] != 1 {
+		t.Errorf("branch chain ended with s0=%d, want 1", vm.R[isa.RS0])
+	}
+}
+
+// TestJALR builds a program directly (the assembler has no syntax for code
+// addresses in registers) and calls a function through a register.
+func TestJALR(t *testing.T) {
+	p := &isa.Program{
+		Instrs: []isa.Instr{
+			{Op: isa.LI, Rd: isa.RT0, Imm: 4},                // address of "callee"
+			{Op: isa.JALR, Rs: isa.RT0},                      // call it
+			{Op: isa.ADDI, Rd: isa.RS0, Rs: isa.RV0, Imm: 1}, // s0 = v0+1
+			{Op: isa.HALT},
+			{Op: isa.LI, Rd: isa.RV0, Imm: 41}, // callee:
+			{Op: isa.JR, Rs: isa.RRA},
+		},
+		Procs:   []isa.Proc{{Name: "main", Start: 0, End: 4}, {Name: "callee", Start: 4, End: 6}},
+		Symbols: map[string]int{"main": 0, "callee": 4},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vm := NewSized(p, 1<<12)
+	if err := vm.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if vm.R[isa.RS0] != 42 {
+		t.Errorf("s0 = %d, want 42", vm.R[isa.RS0])
+	}
+}
+
+func TestNopAndUnknown(t *testing.T) {
+	// An out-of-range opcode traps rather than being silently skipped.
+	p := &isa.Program{
+		Instrs: []isa.Instr{{Op: isa.Op(250)}, {Op: isa.HALT}},
+		Procs:  []isa.Proc{{Name: "main", Start: 0, End: 2}},
+	}
+	vm := NewSized(p, 1<<12)
+	if err := vm.Run(nil); err == nil {
+		t.Error("unknown opcode should trap")
+	}
+}
+
+func TestConditionalMovesViaAsm(t *testing.T) {
+	out, _ := run(t, `
+.proc main
+	li     $t0, 7
+	li     $t1, 1
+	li     $s0, 100
+	cmovn  $s0, $t0, $t1
+	printi $s0
+	cmovz  $s0, $zero, $t1
+	printi $s0
+	halt
+.endproc
+`)
+	if got := out.Output(); got != "77" {
+		t.Errorf("output %q, want 77", got)
+	}
+}
+
+func TestMemorySizedClamp(t *testing.T) {
+	p, err := asm.Assemble(`
+.data
+big: .space 5000
+.proc main
+	la $t0, big
+	sw $t0, 4999($t0)
+	halt
+.endproc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requested size too small for the data segment: NewSized must clamp.
+	vm := NewSized(p, 16)
+	if len(vm.Mem) < int(isa.DataBase)+5000 {
+		t.Fatalf("memory %d words, too small for data", len(vm.Mem))
+	}
+	if err := vm.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
