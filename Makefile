@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-baseline
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Concurrency gate: the parallel trace fan-out (internal/limits) and the
+# suite-level job fan-out (internal/harness) must stay race-clean.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/limits ./internal/harness
+
+# Group-scheduling benchmarks: serial visitor vs chunked parallel replay.
+bench:
+	$(GO) test -bench BenchmarkGroup -benchmem -benchtime 3x -run '^$$' .
+
+# Refresh the committed baseline from this machine.
+bench-baseline:
+	$(GO) test -bench BenchmarkGroup -benchmem -benchtime 3x -run '^$$' . \
+		| $(GO) run ./cmd/benchjson > BENCH_limits.json
+	cat BENCH_limits.json

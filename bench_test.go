@@ -12,9 +12,13 @@ package ilplimit_test
 import (
 	"testing"
 
+	"ilplimit/internal/asm"
 	"ilplimit/internal/bench"
 	"ilplimit/internal/harness"
 	"ilplimit/internal/limits"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/vm"
 )
 
 // runSuite executes the pipeline over the whole suite with the given
@@ -188,6 +192,113 @@ func BenchmarkStudyQuality(b *testing.B) {
 	}
 	b.Log("\n" + out)
 }
+
+// ---- Group scheduling: serial vs parallel fan-out ----
+//
+// BenchmarkGroupSerial and BenchmarkGroupParallel isolate the analysis
+// pass of RunBenchmark — 7 models × 2 unroll configs over one captured
+// trace — comparing the single-goroutine visitor with the chunked
+// broadcast-ring fan-out (limits.Replay).  Run with
+//
+//	go test -bench BenchmarkGroup -benchmem .
+//
+// On a multi-core machine the parallel path approaches a 1/Nth-analyzer
+// wall clock; bytes/op reflects the paged dependence tables (pages
+// materialize per touched 4K-word region instead of 8 MiB per analyzer).
+
+// groupTrace captures one benchmark's static analysis and full dynamic
+// trace so every iteration replays identical events.
+type groupTrace struct {
+	st       *limits.Static
+	events   []vm.Event
+	memWords int
+}
+
+var groupTraceCache = map[string]*groupTrace{}
+
+func loadGroupTrace(b *testing.B, name string) *groupTrace {
+	b.Helper()
+	if tr, ok := groupTraceCache[name]; ok {
+		return tr
+	}
+	bm, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asmText, err := minic.Compile(bm.Source(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := vm.NewSized(prog, 1<<20)
+	machine.StepLimit = 1 << 32
+	prof := predict.NewProfile(prog)
+	if err := machine.Run(prof.Record); err != nil {
+		b.Fatal(err)
+	}
+	st, err := limits.NewStatic(prog, prof.Predictor())
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine.Reset()
+	events := make([]vm.Event, 0, machine.Steps)
+	if err := machine.Run(func(ev vm.Event) { events = append(events, ev) }); err != nil {
+		b.Fatal(err)
+	}
+	tr := &groupTrace{st: st, events: events, memWords: len(machine.Mem)}
+	groupTraceCache[name] = tr
+	return tr
+}
+
+// benchGroups builds the same analyzer set RunBenchmark schedules: every
+// model with and without perfect unrolling.
+func benchGroups(tr *groupTrace) (*limits.Group, *limits.Group, []*limits.Analyzer) {
+	unrolled := limits.NewGroup(tr.st, tr.memWords, limits.AllModels(), true)
+	plain := limits.NewGroup(tr.st, tr.memWords, limits.AllModels(), false)
+	all := make([]*limits.Analyzer, 0, len(unrolled.Analyzers)+len(plain.Analyzers))
+	all = append(all, unrolled.Analyzers...)
+	all = append(all, plain.Analyzers...)
+	return unrolled, plain, all
+}
+
+func benchGroupScheduling(b *testing.B, serial bool) {
+	for _, name := range []string{"espresso", "ccom"} {
+		tr := loadGroupTrace(b, name)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				unrolled, plain, all := benchGroups(tr)
+				if serial {
+					uv, pv := unrolled.Visitor(), plain.Visitor()
+					for _, ev := range tr.events {
+						uv(ev)
+						pv(ev)
+					}
+				} else {
+					err := limits.Replay(func(visit func(vm.Event)) error {
+						for _, ev := range tr.events {
+							visit(ev)
+						}
+						return nil
+					}, all...)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if rs := unrolled.Results(); rs[0].Cycles == 0 {
+					b.Fatal("empty result")
+				}
+			}
+			b.ReportMetric(float64(len(tr.events)), "instrs/op")
+		})
+	}
+}
+
+func BenchmarkGroupSerial(b *testing.B)   { benchGroupScheduling(b, true) }
+func BenchmarkGroupParallel(b *testing.B) { benchGroupScheduling(b, false) }
 
 // BenchmarkPipelineSingle measures the per-benchmark pipeline cost under
 // all models — the unit of work every table above is built from.

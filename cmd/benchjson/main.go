@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// JSON baseline format committed as BENCH_limits.json, so benchmark
+// regressions diff cleanly:
+//
+//	go test -bench BenchmarkGroup -benchmem -run '^$' . | go run ./cmd/benchjson
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// folded into the environment block or ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the top-level JSON document.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line.
+type Benchmark struct {
+	// Name is the benchmark path with the -GOMAXPROCS suffix split off.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when the runner printed none).
+	Procs      int   `json:"procs"`
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit ("ns/op", "B/op", "allocs/op", custom units like
+	// "instrs/op") to the reported value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+func main() {
+	base := Baseline{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			base.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			base.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			base.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name  N  value unit  [value unit ...]
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+		if m := procSuffix.FindStringSubmatch(b.Name); m != nil {
+			b.Procs, _ = strconv.Atoi(m[1])
+			b.Name = strings.TrimSuffix(b.Name, m[0])
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b.Iterations = n
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		base.Benchmarks = append(base.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@
 //	ilplimit -figure 6               # one figure
 //	ilplimit -bench espresso         # restrict the suite to one benchmark
 //	ilplimit -scale 4                # larger workloads
+//	ilplimit -serial                 # single-goroutine analysis (debugging/measurement)
 //	ilplimit -v                      # progress on stderr
 package main
 
@@ -33,6 +34,7 @@ func main() {
 		name     = flag.String("bench", "", "run only this benchmark (name or unique prefix)")
 		scale    = flag.Int("scale", 1, "workload scale factor (>= 1)")
 		optimize = flag.Bool("opt", false, "run the post-codegen optimizer before analysis")
+		serial   = flag.Bool("serial", false, "step all analyzers in one goroutine instead of the parallel chunked replay")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		verbose  = flag.Bool("v", false, "log pipeline progress to stderr")
 	)
@@ -47,7 +49,7 @@ func main() {
 	if *verbose {
 		progress = os.Stderr
 	}
-	opt := harness.Options{Scale: *scale, Progress: progress, Models: limits.AllModels(), Optimize: *optimize}
+	opt := harness.Options{Scale: *scale, Progress: progress, Models: limits.AllModels(), Optimize: *optimize, Serial: *serial}
 
 	switch *study {
 	case "":

@@ -69,6 +69,9 @@ type MeasureOptions struct {
 	MemWords int
 	// StepLimit bounds execution (default 1<<32 instructions).
 	StepLimit int64
+	// Serial steps every analyzer in a single goroutine instead of the
+	// default parallel chunked replay.  Results are identical either way.
+	Serial bool
 }
 
 // Measure compiles a mini-C program, profiles its branches with the same
@@ -112,7 +115,12 @@ func Measure(source string, o MeasureOptions) ([]Result, error) {
 	}
 	machine.Reset()
 	group := limits.NewGroup(st, len(machine.Mem), o.Models, !o.DisableUnrolling)
-	if err := machine.Run(group.Visitor()); err != nil {
+	if o.Serial {
+		err = machine.Run(group.Visitor())
+	} else {
+		err = group.Run(machine.Run)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("analysis run: %w", err)
 	}
 	return group.Results(), nil

@@ -62,7 +62,7 @@ func RunGuardedStudy(opt Options) (*GuardedStudy, error) {
 			}
 			machine.Reset()
 			g := limits.NewGroup(st, len(machine.Mem), models, true)
-			if err := machine.Run(g.Visitor()); err != nil {
+			if err := runAnalyzers(opt, machine, g.Analyzers); err != nil {
 				return nil, fmt.Errorf("%s: analysis: %w", b.Name, err)
 			}
 			par := make(map[limits.Model]float64)

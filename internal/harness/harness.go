@@ -34,11 +34,33 @@ type Options struct {
 	// analysis, modelling a stronger compiler.
 	Optimize bool
 	// Jobs bounds how many benchmarks RunSuite analyzes concurrently
-	// (default: min(4, GOMAXPROCS); each job holds several dependence
-	// tables, so unbounded parallelism would be memory-hungry).
+	// (default: GOMAXPROCS; the paged dependence tables keep each job's
+	// footprint proportional to its working set, so saturating the cores
+	// is no longer memory-hungry).
 	Jobs int
+	// Serial steps every analyzer from the VM visitor in one goroutine —
+	// the pre-fan-out behavior — instead of the default chunked parallel
+	// replay (limits.Replay).  Both paths produce identical results; the
+	// escape hatch exists for debugging and single-core measurement.
+	Serial bool
 	// Progress, when non-nil, receives one line per pipeline stage.
+	// RunSuite interleaves lines from concurrent benchmarks; writes are
+	// serialized internally, so any io.Writer is safe here.
 	Progress io.Writer
+}
+
+// syncWriter serializes Progress writes from benchmarks running
+// concurrently under RunSuite, which would otherwise race on the shared
+// underlying writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 func (o Options) withDefaults() Options {
@@ -53,8 +75,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Jobs < 1 {
 		o.Jobs = runtime.GOMAXPROCS(0)
-		if o.Jobs > 4 {
-			o.Jobs = 4
+	}
+	if o.Progress != nil {
+		if _, ok := o.Progress.(*syncWriter); !ok {
+			o.Progress = &syncWriter{w: o.Progress}
 		}
 	}
 	return o
@@ -173,8 +197,18 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	machine.Reset()
 	unrolled := limits.NewGroup(st, len(machine.Mem), opt.Models, true)
 	plain := limits.NewGroup(st, len(machine.Mem), opt.Models, false)
-	uv, pv := unrolled.Visitor(), plain.Visitor()
-	if err := machine.Run(func(ev vm.Event) { uv(ev); pv(ev) }); err != nil {
+	if opt.Serial {
+		uv, pv := unrolled.Visitor(), plain.Visitor()
+		err = machine.Run(func(ev vm.Event) { uv(ev); pv(ev) })
+	} else {
+		// Replay the trace once, fanning chunks out to all analyzers of
+		// both unroll configs, each scheduling on its own goroutine.
+		all := make([]*limits.Analyzer, 0, len(unrolled.Analyzers)+len(plain.Analyzers))
+		all = append(all, unrolled.Analyzers...)
+		all = append(all, plain.Analyzers...)
+		err = limits.Replay(machine.Run, all...)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("%s: analysis run: %w", b.Name, err)
 	}
 

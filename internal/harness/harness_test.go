@@ -1,7 +1,11 @@
 package harness
 
 import (
+	"fmt"
+	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"ilplimit/internal/bench"
@@ -114,9 +118,61 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Scale != 1 || o.MemWords != 1<<20 || len(o.Models) != limits.NumModels {
 		t.Errorf("defaults wrong: %+v", o)
 	}
+	if o.Jobs != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs default = %d, want GOMAXPROCS = %d", o.Jobs, runtime.GOMAXPROCS(0))
+	}
 	o = Options{Scale: 3, MemWords: 4096, Models: []limits.Model{limits.SP}}.withDefaults()
 	if o.Scale != 3 || o.MemWords != 4096 || len(o.Models) != 1 {
 		t.Errorf("explicit options clobbered: %+v", o)
+	}
+}
+
+// The serial escape hatch and the default parallel fan-out must agree on
+// every figure the harness reports.
+func TestRunBenchmarkSerialMatchesParallel(t *testing.T) {
+	b, err := bench.ByName("irsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunBenchmark(b, Options{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := RunBenchmark(b, Options{Scale: 1, Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, ser) {
+		t.Errorf("serial and parallel benchmark results differ\nparallel: %+v\nserial:   %+v", par, ser)
+	}
+}
+
+// Progress writers are shared across RunSuite's concurrent jobs; the
+// wrapper must serialize them (the race detector enforces the rest) and
+// withDefaults must not stack wrappers on re-entry.
+func TestProgressWriterSynchronized(t *testing.T) {
+	var buf strings.Builder
+	o := Options{Progress: &buf}.withDefaults()
+	sw, ok := o.Progress.(*syncWriter)
+	if !ok {
+		t.Fatalf("Progress not wrapped: %T", o.Progress)
+	}
+	if o2 := o.withDefaults(); o2.Progress != sw {
+		t.Errorf("withDefaults re-wrapped the progress writer")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				fmt.Fprintf(o.Progress, "[job %d] line %d\n", i, j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := strings.Count(buf.String(), "\n"); got != 800 {
+		t.Errorf("progress lines = %d, want 800", got)
 	}
 }
 

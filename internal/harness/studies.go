@@ -44,6 +44,20 @@ func prepare(b bench.Benchmark, opt Options) (*isa.Program, *vm.VM, *predict.Pro
 	return prog, machine, static, dynamic, nil
 }
 
+// runAnalyzers replays the machine's trace through the analyzers — the
+// chunked parallel fan-out by default, or the single-goroutine path when
+// opt.Serial is set.
+func runAnalyzers(opt Options, machine *vm.VM, analyzers []*limits.Analyzer) error {
+	if opt.Serial {
+		return machine.Run(func(ev vm.Event) {
+			for _, a := range analyzers {
+				a.Step(ev)
+			}
+		})
+	}
+	return limits.Replay(machine.Run, analyzers...)
+}
+
 // ---- Prediction study ----
 
 // PredictionRow compares predictors on one benchmark.
@@ -88,7 +102,7 @@ func RunPredictionStudy(opt Options) (*PredictionStudy, error) {
 			Par:         make(map[string]map[limits.Model]float64),
 		}
 		var groups []*limits.Group
-		var visitors []func(vm.Event)
+		var analyzers []*limits.Analyzer
 		for _, oc := range oracles {
 			st, err := limits.NewStatic(prog, oc.o)
 			if err != nil {
@@ -96,15 +110,10 @@ func RunPredictionStudy(opt Options) (*PredictionStudy, error) {
 			}
 			g := limits.NewGroup(st, len(machine.Mem), models, true)
 			groups = append(groups, g)
-			visitors = append(visitors, g.Visitor())
+			analyzers = append(analyzers, g.Analyzers...)
 		}
 		machine.Reset()
-		err = machine.Run(func(ev vm.Event) {
-			for _, v := range visitors {
-				v(ev)
-			}
-		})
-		if err != nil {
+		if err := runAnalyzers(opt, machine, analyzers); err != nil {
 			return nil, fmt.Errorf("%s: analysis: %w", b.Name, err)
 		}
 		for i, oc := range oracles {
@@ -181,12 +190,7 @@ func RunWindowStudy(opt Options) (*WindowStudy, error) {
 			}))
 		}
 		machine.Reset()
-		err = machine.Run(func(ev vm.Event) {
-			for _, a := range analyzers {
-				a.Step(ev)
-			}
-		})
-		if err != nil {
+		if err := runAnalyzers(opt, machine, analyzers); err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		row := WindowRow{Name: b.Name, Par: make(map[int]float64)}
@@ -266,12 +270,7 @@ func RunLatencyStudy(opt Options) (*LatencyStudy, error) {
 			}))
 		}
 		machine.Reset()
-		err = machine.Run(func(ev vm.Event) {
-			for _, a := range analyzers {
-				a.Step(ev)
-			}
-		})
-		if err != nil {
+		if err := runAnalyzers(opt, machine, analyzers); err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		row := LatencyRow{

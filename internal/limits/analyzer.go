@@ -97,9 +97,11 @@ type Analyzer struct {
 	ringPos   int
 	latency   func(op isa.Op) int64
 
-	// Greedy schedule state: last-write times.
+	// Greedy schedule state: last-write times.  memTime is paged so the
+	// per-analyzer footprint tracks the benchmark's working set instead of
+	// the full simulated memory (see paged.go).
 	regTime [isa.NumRegs]int64
-	memTime []int64
+	memTime timeTable
 
 	// Dynamic control-dependence state.
 	rec         []blockRec
@@ -152,7 +154,7 @@ func NewAnalyzerConfig(st *Static, cfg Config) *Analyzer {
 		unrolling: cfg.Unrolling,
 		window:    cfg.Window,
 		latency:   cfg.Latency,
-		memTime:   make([]int64, cfg.MemWords),
+		memTime:   newTimeTable(cfg.MemWords),
 		rec:       make([]blockRec, st.numBlocks),
 		needCD:    cfg.Model.usesCD(),
 		spec:      cfg.Model.usesSpec(),
@@ -253,7 +255,7 @@ func (a *Analyzer) Step(ev vm.Event) {
 		}
 	}
 	if op.IsLoad() {
-		if mt := a.memTime[ev.Addr]; mt > t {
+		if mt := a.memTime.load(ev.Addr); mt > t {
 			t = mt
 		}
 	}
@@ -315,7 +317,7 @@ func (a *Analyzer) Step(ev vm.Event) {
 		a.regTime[d] = C
 	}
 	if op.IsStore() {
-		a.memTime[ev.Addr] = C
+		a.memTime.store(ev.Addr, C)
 	}
 	a.count++
 	if C > a.maxT {
@@ -429,9 +431,16 @@ func (a *Analyzer) Result() Result {
 		RecursionDrops: a.recursionDrops,
 	}
 	if a.widths != nil {
+		// widths is indexed by issue cycle T; under a latency model the
+		// final completion cycle maxT can exceed the last issue cycle, so
+		// cycles past the recorded range count as width 0.
 		res.Widths = make(map[int64]int64)
-		for t := int64(1); t <= a.maxT && t < int64(len(a.widths)); t++ {
-			res.Widths[int64(a.widths[t])]++
+		for t := int64(1); t <= a.maxT; t++ {
+			var w int64
+			if t < int64(len(a.widths)) {
+				w = int64(a.widths[t])
+			}
+			res.Widths[w]++
 		}
 	}
 	return res

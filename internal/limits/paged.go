@@ -1,0 +1,65 @@
+package limits
+
+// The memory dependence table maps every memory word to the completion
+// cycle of its last store.  A dense table costs memWords × 8 bytes per
+// analyzer — ≈8 MiB at the harness default of 1M words, times 14
+// analyzers per benchmark — yet the suite's benchmarks touch only a
+// handful of 4K-word pages each (their working sets are a few tens of
+// kilobytes inside a megabyte-scale address space).  timeTable therefore
+// allocates backing storage one page at a time, on first store, cutting
+// the footprint from megabytes to the pages actually written.
+
+const (
+	// pageBits selects 4096-word (32 KiB) pages: large enough that the
+	// page-directory indirection amortizes, small enough that a lone
+	// store to a distant address costs only one page.
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// timeTable is a paged last-write-time table over [0, memWords).
+// The zero time means "never written", matching the dense table's zero
+// initialization, so loads from untouched pages need no storage at all.
+type timeTable struct {
+	pages [][]int64
+}
+
+// newTimeTable covers memWords words without allocating any page.
+func newTimeTable(memWords int) timeTable {
+	return timeTable{pages: make([][]int64, (memWords+pageMask)>>pageBits)}
+}
+
+// load returns the last-write time of addr, zero if its page was never
+// stored to.  Addresses beyond memWords panic, as with the dense table.
+func (t *timeTable) load(addr int64) int64 {
+	p := t.pages[addr>>pageBits]
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// store records time as the last write to addr, materializing the page on
+// first touch.
+func (t *timeTable) store(addr, time int64) {
+	i := addr >> pageBits
+	p := t.pages[i]
+	if p == nil {
+		p = make([]int64, pageSize)
+		t.pages[i] = p
+	}
+	p[addr&pageMask] = time
+}
+
+// pagesAllocated reports how many pages have materialized (testing and
+// footprint accounting).
+func (t *timeTable) pagesAllocated() int {
+	n := 0
+	for _, p := range t.pages {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,216 @@
+package limits
+
+import (
+	"sync"
+
+	"ilplimit/internal/vm"
+)
+
+// The analyzers of a group are mutually independent: each schedules the
+// same dynamic trace under its own model with no shared mutable state.
+// Stepping all of them from the VM's visitor callback therefore serializes
+// work that is embarrassingly parallel — with 7 models × 2 unroll configs
+// the analysis pass costs 14× a single model's wall clock.  Replay instead
+// runs the trace producer once, batches events into fixed-size chunks, and
+// publishes every chunk through a bounded single-producer/multi-consumer
+// broadcast ring; each analyzer drains the ring on its own goroutine at
+// its own pace.  Results are bit-identical to the serial path because each
+// analyzer still observes the complete trace in order.
+
+const (
+	// ChunkEvents is the number of trace events batched per ring slot.
+	// Chunking amortizes ring synchronization (a handful of mutex
+	// operations per chunk) over thousands of Step calls; 4096 events is
+	// 128 KiB per slot, comfortably inside L2.
+	ChunkEvents = 4096
+
+	// ringSlots bounds the ring: the producer runs at most ringSlots
+	// chunks ahead of the slowest analyzer, capping buffered trace memory
+	// at ringSlots × ChunkEvents events (≈1 MiB).
+	ringSlots = 8
+)
+
+// eventRing is a bounded single-producer/multi-consumer broadcast ring of
+// event chunks.  Every consumer observes every chunk, in order.  Slot
+// buffers are recycled: the producer reuses a slot only after all
+// consumers have drained the chunk that last occupied it, so a full
+// replay allocates ringSlots buffers total.
+type eventRing struct {
+	mu    sync.Mutex
+	avail *sync.Cond // producer waits here for a free slot
+	ready *sync.Cond // consumers wait here for the next chunk (or close)
+
+	slots  [ringSlots][]vm.Event
+	head   int64   // chunks published so far
+	tails  []int64 // per-consumer chunks fully consumed
+	closed bool
+}
+
+func newEventRing(consumers int) *eventRing {
+	r := &eventRing{tails: make([]int64, consumers)}
+	r.avail = sync.NewCond(&r.mu)
+	r.ready = sync.NewCond(&r.mu)
+	for i := range r.slots {
+		r.slots[i] = make([]vm.Event, 0, ChunkEvents)
+	}
+	return r
+}
+
+func (r *eventRing) minTail() int64 {
+	min := r.tails[0]
+	for _, t := range r.tails[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// reserve returns an empty buffer for the next chunk, waiting until every
+// consumer has drained the chunk that previously occupied its slot.
+func (r *eventRing) reserve() []vm.Event {
+	r.mu.Lock()
+	for r.minTail()+ringSlots <= r.head {
+		r.avail.Wait()
+	}
+	buf := r.slots[r.head%ringSlots][:0]
+	r.mu.Unlock()
+	return buf
+}
+
+// publish makes the chunk built in a reserve()d buffer visible to every
+// consumer.
+func (r *eventRing) publish(buf []vm.Event) {
+	r.mu.Lock()
+	r.slots[r.head%ringSlots] = buf
+	r.head++
+	r.ready.Broadcast()
+	r.mu.Unlock()
+}
+
+// close marks the end of the stream; consumers drain what was published
+// and then stop.
+func (r *eventRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.ready.Broadcast()
+	r.mu.Unlock()
+}
+
+// next returns consumer id's next chunk, or nil at end of stream.  The
+// consumer must call advance after processing the chunk.
+func (r *eventRing) next(id int) []vm.Event {
+	r.mu.Lock()
+	for r.tails[id] == r.head && !r.closed {
+		r.ready.Wait()
+	}
+	if r.tails[id] == r.head {
+		r.mu.Unlock()
+		return nil
+	}
+	buf := r.slots[r.tails[id]%ringSlots]
+	r.mu.Unlock()
+	return buf
+}
+
+// advance releases consumer id's current chunk, potentially freeing its
+// slot for the producer.
+func (r *eventRing) advance(id int) {
+	r.mu.Lock()
+	r.tails[id]++
+	r.avail.Signal()
+	r.mu.Unlock()
+}
+
+// detach removes consumer id from the flow-control accounting so a dead
+// consumer (its goroutine panicked) can never block the producer.
+func (r *eventRing) detach(id int) {
+	r.mu.Lock()
+	r.tails[id] = int64(1) << 62
+	r.avail.Signal()
+	r.mu.Unlock()
+}
+
+// Replay runs the trace source once and fans every event out to all
+// analyzers, each consuming on its own goroutine through a bounded
+// broadcast ring.  run is called with the visitor to drive exactly as it
+// would drive a Group.Visitor (typically run is (*vm.VM).Run).  Replay
+// returns run's error after all workers have stopped; on error the
+// analyzers' states are partial, exactly as after an aborted serial
+// replay.
+func Replay(run func(visit func(vm.Event)) error, analyzers ...*Analyzer) error {
+	switch len(analyzers) {
+	case 0:
+		return run(func(vm.Event) {})
+	case 1:
+		// A lone analyzer gains nothing from the ring; step it inline.
+		a := analyzers[0]
+		return run(func(ev vm.Event) { a.Step(ev) })
+	}
+
+	r := newEventRing(len(analyzers))
+	var (
+		wg          sync.WaitGroup
+		panicMu     sync.Mutex
+		workerPanic interface{}
+	)
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(id int, a *Analyzer) {
+			defer wg.Done()
+			defer func() {
+				// A panicking Step must not strand the producer waiting
+				// for this consumer's slot; capture the first panic and
+				// rethrow it from Replay, like the serial path would.
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if workerPanic == nil {
+						workerPanic = p
+					}
+					panicMu.Unlock()
+					r.detach(id)
+				}
+			}()
+			for {
+				chunk := r.next(id)
+				if chunk == nil {
+					return
+				}
+				for _, ev := range chunk {
+					a.Step(ev)
+				}
+				r.advance(id)
+			}
+		}(i, a)
+	}
+
+	var err error
+	func() {
+		// close() runs even if the producer panics, so workers always
+		// terminate instead of waiting on the ring forever.
+		defer r.close()
+		buf := r.reserve()
+		err = run(func(ev vm.Event) {
+			buf = append(buf, ev)
+			if len(buf) == ChunkEvents {
+				r.publish(buf)
+				buf = r.reserve()
+			}
+		})
+		if err == nil && len(buf) > 0 {
+			r.publish(buf)
+		}
+	}()
+	wg.Wait()
+	if workerPanic != nil {
+		panic(workerPanic)
+	}
+	return err
+}
+
+// Run replays the trace source through every analyzer of the group
+// concurrently.  It is the parallel counterpart of driving Visitor() from
+// the source directly, producing identical Results.
+func (g *Group) Run(run func(visit func(vm.Event)) error) error {
+	return Replay(run, g.Analyzers...)
+}

@@ -1,0 +1,300 @@
+package limits
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/bench"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/vm"
+)
+
+// buildBenchTrace compiles a suite benchmark, profiles it, and captures
+// its full dynamic trace so both scheduling paths can replay the exact
+// same event stream.
+func buildBenchTrace(t *testing.T, name string) (*Static, []vm.Event, int) {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmText, err := minic.Compile(b.Source(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(prog, 1<<20)
+	machine.StepLimit = 1 << 32
+	prof := predict.NewProfile(prog)
+	if err := machine.Run(prof.Record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStatic(prog, prof.Predictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Reset()
+	events := make([]vm.Event, 0, machine.Steps)
+	if err := machine.Run(func(ev vm.Event) { events = append(events, ev) }); err != nil {
+		t.Fatal(err)
+	}
+	return st, events, len(machine.Mem)
+}
+
+// trackedAnalyzers builds one analyzer per model with width tracking on,
+// so the equivalence check covers every Result field the models populate:
+// parallelism, segments, widths and recursion drops.
+func trackedAnalyzers(st *Static, memWords int, unroll bool) []*Analyzer {
+	var as []*Analyzer
+	for _, m := range AllModels() {
+		as = append(as, NewAnalyzerConfig(st, Config{
+			Model: m, Unrolling: unroll, MemWords: memWords, TrackWidths: true,
+		}))
+	}
+	return as
+}
+
+// TestReplayMatchesSerial is the equivalence guarantee of the parallel
+// backend: fanning the trace out to per-analyzer goroutines through the
+// broadcast ring must produce bit-identical Results to stepping every
+// analyzer serially, for every model, with and without unrolling.
+func TestReplayMatchesSerial(t *testing.T) {
+	benches := []string{"irsim", "ccom"}
+	if testing.Short() {
+		benches = benches[:1]
+	}
+	for _, name := range benches {
+		t.Run(name, func(t *testing.T) {
+			st, events, memWords := buildBenchTrace(t, name)
+			replay := func(visit func(vm.Event)) error {
+				for _, ev := range events {
+					visit(ev)
+				}
+				return nil
+			}
+			for _, unroll := range []bool{false, true} {
+				serial := trackedAnalyzers(st, memWords, unroll)
+				parallel := trackedAnalyzers(st, memWords, unroll)
+				for _, ev := range events {
+					for _, a := range serial {
+						a.Step(ev)
+					}
+				}
+				if err := Replay(replay, parallel...); err != nil {
+					t.Fatal(err)
+				}
+				for i := range serial {
+					sr, pr := serial[i].Result(), parallel[i].Result()
+					if !reflect.DeepEqual(sr, pr) {
+						t.Errorf("unroll=%v %s: parallel result differs\nserial:   %+v\nparallel: %+v",
+							unroll, sr.Model, sr, pr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplayPropagatesRunError checks that a failing trace producer
+// surfaces its error after the workers wind down.
+func TestReplayPropagatesRunError(t *testing.T) {
+	p, err := asm.Assemble(benchProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	prof := predict.NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStatic(p, prof.Predictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("producer failed")
+	machine.Reset()
+	// Stream several chunks' worth of real events (exercising slot reuse)
+	// before failing.
+	err = Replay(func(visit func(vm.Event)) error {
+		if err := machine.Run(visit); err != nil {
+			return err
+		}
+		return wantErr
+	}, trackedAnalyzers(st, len(machine.Mem), false)...)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Replay error = %v, want %v", err, wantErr)
+	}
+}
+
+// TestReplayDegenerate covers the no-analyzer and single-analyzer
+// shortcuts.
+func TestReplayDegenerate(t *testing.T) {
+	ran := false
+	if err := Replay(func(visit func(vm.Event)) error {
+		ran = true
+		visit(vm.Event{})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("Replay with no analyzers did not run the producer")
+	}
+
+	p, err := asm.Assemble(benchProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	prof := predict.NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStatic(p, prof.Predictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewAnalyzer(st, SPCDMF, true, len(machine.Mem))
+	machine.Reset()
+	if err := machine.Run(func(ev vm.Event) { serial.Step(ev) }); err != nil {
+		t.Fatal(err)
+	}
+	lone := NewAnalyzer(st, SPCDMF, true, len(machine.Mem))
+	machine.Reset()
+	if err := Replay(machine.Run, lone); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Result(), lone.Result()) {
+		t.Errorf("single-analyzer Replay differs from serial stepping")
+	}
+}
+
+// TestWidthsGrowPastInitialAllocation is the regression test for width
+// tracking on schedules longer than the initial 1024-entry table: the
+// per-cycle counts must still cover every instruction and every cycle,
+// including the multi-cycle tail a latency model leaves after the last
+// issue.
+func TestWidthsGrowPastInitialAllocation(t *testing.T) {
+	const n = 3000
+	src := fmt.Sprintf(`
+.proc main
+	li   $s0, %d
+loop:
+	addi $s0, $s0, -1
+	bnez $s0, loop
+	li   $t0, 144
+	li   $t1, 12
+	div  $t2, $t0, $t1
+	halt
+.endproc
+`, n)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	prof := predict.NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStatic(p, prof.Predictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base serializes on every branch, so the loop alone schedules across
+	// ~2n cycles; the trailing DIV adds a multi-cycle tail past the last
+	// issue under the realistic latency model.
+	a := NewAnalyzerConfig(st, Config{
+		Model: Base, MemWords: len(machine.Mem),
+		TrackWidths: true, Latency: DefaultLatencies,
+	})
+	machine.Reset()
+	if err := machine.Run(func(ev vm.Event) { a.Step(ev) }); err != nil {
+		t.Fatal(err)
+	}
+	r := a.Result()
+	if r.Cycles <= 1024 {
+		t.Fatalf("schedule too short to exercise widths growth: %d cycles", r.Cycles)
+	}
+	var instrs, cycles int64
+	for w, c := range r.Widths {
+		instrs += w * c
+		cycles += c
+	}
+	if instrs != r.Instructions {
+		t.Errorf("widths cover %d instructions, want %d", instrs, r.Instructions)
+	}
+	if cycles != r.Cycles {
+		t.Errorf("widths cover %d cycles, want %d", cycles, r.Cycles)
+	}
+}
+
+// TestTimeTablePaging checks the paged dependence table against the dense
+// semantics it replaces: zero before any store, values back on load, lazy
+// page materialization, and out-of-range addresses still panicking.
+func TestTimeTablePaging(t *testing.T) {
+	const words = 1 << 20
+	tt := newTimeTable(words)
+	if n := tt.pagesAllocated(); n != 0 {
+		t.Fatalf("fresh table allocated %d pages, want 0", n)
+	}
+	if got := tt.load(12345); got != 0 {
+		t.Fatalf("load of untouched word = %d, want 0", got)
+	}
+	tt.store(12345, 7)
+	tt.store(words-1, 9)
+	if got := tt.load(12345); got != 7 {
+		t.Errorf("load(12345) = %d, want 7", got)
+	}
+	if got := tt.load(words - 1); got != 9 {
+		t.Errorf("load(last) = %d, want 9", got)
+	}
+	if got := tt.load(12346); got != 0 {
+		t.Errorf("load of untouched neighbor = %d, want 0", got)
+	}
+	if n := tt.pagesAllocated(); n != 2 {
+		t.Errorf("allocated %d pages, want 2", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range load did not panic")
+		}
+	}()
+	tt.load(words)
+}
+
+// TestAnalyzerMemoryFootprintSparse ties the paging to its purpose: an
+// analyzer over a megaword memory must materialize only the pages the
+// trace writes, not the whole address space.
+func TestAnalyzerMemoryFootprintSparse(t *testing.T) {
+	p, err := asm.Assemble(benchProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<20)
+	prof := predict.NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStatic(p, prof.Predictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(st, Oracle, false, len(machine.Mem))
+	machine.Reset()
+	if err := machine.Run(func(ev vm.Event) { a.Step(ev) }); err != nil {
+		t.Fatal(err)
+	}
+	total := len(a.memTime.pages)
+	got := a.memTime.pagesAllocated()
+	if got == 0 || got > 8 {
+		t.Errorf("allocated %d of %d pages, want a handful (1..8)", got, total)
+	}
+}
