@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-baseline
+.PHONY: build test vet race faultcheck bench bench-baseline
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,16 @@ vet:
 
 # Concurrency gate: the parallel trace fan-out (internal/limits) and the
 # suite-level job fan-out (internal/harness) must stay race-clean.
-race:
+race: faultcheck
 	$(GO) vet ./...
 	$(GO) test -race ./internal/limits ./internal/harness
+
+# Robustness gate: deterministic fault injection (trap, consumer panic,
+# chunk corruption, stalled consumer, cancellation) under the race
+# detector, plus a short fuzz of the trace-file reader.
+faultcheck:
+	$(GO) test -race ./internal/faultinject
+	$(GO) test -fuzz FuzzReader -fuzztime 10s -run FuzzReader ./internal/trace
 
 # Group-scheduling benchmarks: serial visitor vs chunked parallel replay.
 bench:

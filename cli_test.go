@@ -1,6 +1,7 @@
 package ilplimit_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -129,5 +130,31 @@ int main() {
 	}
 	if out := runCmd(t, tracegen, "-summary", cSrc); !strings.Contains(out, "addi") {
 		t.Errorf("tracegen summary malformed:\n%s", out)
+	}
+}
+
+// TestCLITimeout drives the fault path end to end: a 1ms deadline on a
+// scaled-up suite must abort cleanly (the vm.ErrCanceled message, not a
+// hang or a panic) and exit non-zero while still printing the report
+// frame for whatever survived.
+func TestCLITimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "ilplimit")
+	cmd := exec.Command(bin, "-timeout", "1ms", "-scale", "8", "-table", "3")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("deadline run exited zero:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("run failed without an exit code: %v", err)
+	}
+	if !strings.Contains(string(out), "canceled") {
+		t.Errorf("output does not mention cancellation:\n%s", out)
+	}
+	if !strings.Contains(string(out), "failed") {
+		t.Errorf("output lacks the failure summary:\n%s", out)
 	}
 }

@@ -11,11 +11,18 @@
 //	ilplimit -bench espresso         # restrict the suite to one benchmark
 //	ilplimit -scale 4                # larger workloads
 //	ilplimit -serial                 # single-goroutine analysis (debugging/measurement)
+//	ilplimit -timeout 2m             # abort cleanly if the run exceeds a deadline
 //	ilplimit -v                      # progress on stderr
+//
+// When some benchmarks fail and others succeed, the surviving results are
+// still rendered, a per-benchmark failure summary goes to stderr, and the
+// process exits non-zero.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,12 +37,13 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "print only this table (1-4)")
 		figure   = flag.Int("figure", 0, "print only this figure (4-7)")
-		study    = flag.String("study", "", "run an ablation study: prediction, window, latency, guarded, quality, or width")
+		study    = flag.String("study", "", "run an ablation study: prediction, window, latency, guarded, quality, width, or scale")
 		name     = flag.String("bench", "", "run only this benchmark (name or unique prefix)")
 		scale    = flag.Int("scale", 1, "workload scale factor (>= 1)")
 		optimize = flag.Bool("opt", false, "run the post-codegen optimizer before analysis")
 		serial   = flag.Bool("serial", false, "step all analyzers in one goroutine instead of the parallel chunked replay")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 30s; 0 = no limit)")
 		verbose  = flag.Bool("v", false, "log pipeline progress to stderr")
 	)
 	flag.Parse()
@@ -50,6 +58,11 @@ func main() {
 		progress = os.Stderr
 	}
 	opt := harness.Options{Scale: *scale, Progress: progress, Models: limits.AllModels(), Optimize: *optimize, Serial: *serial}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opt.Context = ctx
+	}
 
 	switch *study {
 	case "":
@@ -107,6 +120,10 @@ func main() {
 	}
 
 	suite := &harness.SuiteResult{Models: opt.Models}
+	// A degraded suite (some benchmarks failed, some succeeded) still
+	// renders whatever survived; the failure summary goes to stderr and
+	// the process exits non-zero.
+	var degraded *harness.SuiteError
 	if *name != "" {
 		b, err := bench.ByName(*name)
 		if err != nil {
@@ -119,7 +136,7 @@ func main() {
 		suite.Benchmarks = append(suite.Benchmarks, *r)
 	} else {
 		s, err := harness.RunSuite(opt)
-		if err != nil {
+		if err != nil && !errors.As(err, &degraded) {
 			fail(err)
 		}
 		suite = s
@@ -131,30 +148,35 @@ func main() {
 		if err := enc.Encode(suite); err != nil {
 			fail(err)
 		}
-		return
+	} else {
+		switch {
+		case *table == 2:
+			fmt.Print(suite.Table2())
+		case *table == 3:
+			fmt.Print(suite.Table3())
+		case *table == 4:
+			fmt.Print(suite.Table4())
+		case *table != 0:
+			fail(fmt.Errorf("unknown table %d", *table))
+		case *figure == 4:
+			fmt.Print(suite.Figure4())
+		case *figure == 5:
+			fmt.Print(suite.Figure5())
+		case *figure == 6:
+			fmt.Print(suite.Figure6())
+		case *figure == 7:
+			fmt.Print(suite.Figure7())
+		case *figure != 0:
+			fail(fmt.Errorf("unknown figure %d", *figure))
+		default:
+			fmt.Print(suite.Report())
+		}
 	}
 
-	switch {
-	case *table == 2:
-		fmt.Print(suite.Table2())
-	case *table == 3:
-		fmt.Print(suite.Table3())
-	case *table == 4:
-		fmt.Print(suite.Table4())
-	case *table != 0:
-		fail(fmt.Errorf("unknown table %d", *table))
-	case *figure == 4:
-		fmt.Print(suite.Figure4())
-	case *figure == 5:
-		fmt.Print(suite.Figure5())
-	case *figure == 6:
-		fmt.Print(suite.Figure6())
-	case *figure == 7:
-		fmt.Print(suite.Figure7())
-	case *figure != 0:
-		fail(fmt.Errorf("unknown figure %d", *figure))
-	default:
-		fmt.Print(suite.Report())
+	if degraded != nil {
+		fmt.Fprintln(os.Stderr, "ilplimit:", degraded)
+		fmt.Fprint(os.Stderr, suite.FailureSummary())
+		os.Exit(1)
 	}
 }
 

@@ -21,6 +21,7 @@
 package ilplimit
 
 import (
+	"context"
 	"fmt"
 
 	"ilplimit/internal/asm"
@@ -53,8 +54,24 @@ func AllModels() []Model { return limits.AllModels() }
 // Result reports one (program, machine model) analysis.
 type Result = limits.Result
 
+// ErrCanceled reports a run aborted by its context's cancellation or
+// deadline; test with errors.Is.
+var ErrCanceled = vm.ErrCanceled
+
+// BenchFailure records one benchmark that errored or panicked during a
+// suite run.
+type BenchFailure = harness.BenchFailure
+
+// SuiteError aggregates the failed benchmarks of a degraded suite run.
+// RunSuite returns it (extract with errors.As) alongside the partial
+// SuiteResult, so callers can render what survived.
+type SuiteError = harness.SuiteError
+
 // MeasureOptions configure Measure.
 type MeasureOptions struct {
+	// Context cancels or deadlines the measurement; Measure then returns
+	// an error wrapping ErrCanceled.  Nil means context.Background().
+	Context context.Context
 	// Models restricts the analysis (default: all seven).
 	Models []Model
 	// PerfectUnrolling applies the paper's perfect-loop-unrolling trace
@@ -79,6 +96,10 @@ type MeasureOptions struct {
 // trace under the requested machine models.  Results arrive in model
 // order.
 func Measure(source string, o MeasureOptions) ([]Result, error) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if o.Models == nil {
 		o.Models = limits.AllModels()
 	}
@@ -106,7 +127,7 @@ func Measure(source string, o MeasureOptions) ([]Result, error) {
 	machine := vm.NewSized(prog, o.MemWords)
 	machine.StepLimit = o.StepLimit
 	prof := predict.NewProfile(prog)
-	if err := machine.Run(prof.Record); err != nil {
+	if err := machine.RunContext(ctx, prof.Record); err != nil {
 		return nil, fmt.Errorf("profile run: %w", err)
 	}
 	st, err := limits.NewStatic(prog, prof.Predictor())
@@ -116,9 +137,9 @@ func Measure(source string, o MeasureOptions) ([]Result, error) {
 	machine.Reset()
 	group := limits.NewGroup(st, len(machine.Mem), o.Models, !o.DisableUnrolling)
 	if o.Serial {
-		err = machine.Run(group.Visitor())
+		err = machine.RunContext(ctx, group.Visitor())
 	} else {
-		err = group.Run(machine.Run)
+		err = group.RunContext(ctx, machine.RunContext)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("analysis run: %w", err)

@@ -1,0 +1,115 @@
+// Package faultinject builds deterministic fault plans for the pipeline's
+// resilience tests: trap the VM at a chosen step, panic a chosen analyzer
+// worker at a chosen event, corrupt a published replay chunk, or stall a
+// consumer long enough to exercise the broadcast ring's flow control.
+//
+// A Plan is pure data; it acts only when wired into the two test-only
+// hooks the pipeline exposes — vm.VM.StepHook (via Plan.StepHook) and the
+// replay fan-out's ReplayHooks (via Plan.Hooks, installed with
+// limits.ReplayFaults).  Production code never constructs a Plan, so the
+// hot paths carry at most a nil check.  Every fault site records whether
+// it actually fired (Plan.Fired), letting tests assert that a recovery
+// path was exercised rather than skipped.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ilplimit/internal/limits"
+	"ilplimit/internal/vm"
+)
+
+// ErrInjectedTrap is the sentinel a TrapAtStep plan makes the VM return,
+// standing in for a real trap (bad address, division by zero) at a
+// reproducible point in the trace.
+var ErrInjectedTrap = errors.New("faultinject: injected trap")
+
+// Plan describes one deterministic fault schedule.  The zero value
+// injects nothing; each fault arms independently when its trigger field
+// is positive.  Sequence numbers refer to vm.Event.Seq, so a fault lands
+// on the same dynamic instruction in every run of the same program.
+type Plan struct {
+	// TrapAtStep > 0 aborts the VM run with ErrInjectedTrap at the first
+	// cancellation check at or after that step.
+	TrapAtStep int64
+
+	// PanicAtSeq > 0 makes consumer PanicConsumer panic immediately
+	// before stepping the event with that sequence number, simulating an
+	// analyzer bug on one worker goroutine.
+	PanicConsumer int
+	PanicAtSeq    int64
+
+	// CorruptAtSeq > 0 mutates the event with that sequence number in the
+	// producer's chunk before it is published (address bit flipped,
+	// branch outcome inverted) — the fault a broken ring would introduce.
+	CorruptAtSeq int64
+
+	// StallAtSeq > 0 makes consumer StallConsumer sleep StallFor before
+	// stepping that event, long enough for the producer to fill every
+	// ring slot and block on flow control.
+	StallConsumer int
+	StallAtSeq    int64
+	StallFor      time.Duration
+
+	trapped, panicked, corrupted, stalled atomic.Int64
+}
+
+// StepHook returns a vm.VM StepHook implementing TrapAtStep, or nil when
+// the plan injects no trap.
+func (p *Plan) StepHook() func(steps int64) error {
+	if p.TrapAtStep <= 0 {
+		return nil
+	}
+	return func(steps int64) error {
+		if steps < p.TrapAtStep {
+			return nil
+		}
+		p.trapped.Add(1)
+		return ErrInjectedTrap
+	}
+}
+
+// Hooks returns the replay hooks implementing the consumer and chunk
+// faults, or nil when the plan touches neither.
+func (p *Plan) Hooks() *limits.ReplayHooks {
+	h := &limits.ReplayHooks{}
+	armed := false
+	if p.CorruptAtSeq > 0 {
+		armed = true
+		h.OnPublish = func(_ int64, events []vm.Event) {
+			for i := range events {
+				if events[i].Seq == p.CorruptAtSeq {
+					events[i].Addr ^= 1
+					events[i].Taken = !events[i].Taken
+					p.corrupted.Add(1)
+				}
+			}
+		}
+	}
+	if p.PanicAtSeq > 0 || p.StallAtSeq > 0 {
+		armed = true
+		h.BeforeStep = func(id int, ev vm.Event) {
+			if p.StallAtSeq > 0 && id == p.StallConsumer && ev.Seq == p.StallAtSeq {
+				p.stalled.Add(1)
+				time.Sleep(p.StallFor)
+			}
+			if p.PanicAtSeq > 0 && id == p.PanicConsumer && ev.Seq == p.PanicAtSeq {
+				p.panicked.Add(1)
+				panic(fmt.Sprintf("faultinject: planned panic in consumer %d at seq %d", id, ev.Seq))
+			}
+		}
+	}
+	if !armed {
+		return nil
+	}
+	return h
+}
+
+// Fired reports which faults actually triggered, for asserting that a
+// test exercised the recovery path it meant to.
+func (p *Plan) Fired() (trapped, panicked, corrupted, stalled int64) {
+	return p.trapped.Load(), p.panicked.Load(), p.corrupted.Load(), p.stalled.Load()
+}

@@ -1,0 +1,258 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/limits"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/vm"
+)
+
+// testProgram mixes loops, branches, memory traffic and calls, and runs
+// long enough (~280k events) to fill every ring slot several times over,
+// so chunk-level faults land in a pipeline that is genuinely streaming.
+const testProgram = `
+.data
+buf: .space 256
+.proc main
+	li   $s0, 2000
+outer:
+	li   $a0, 0
+	jal  body
+	addi $s0, $s0, -1
+	bnez $s0, outer
+	halt
+.endproc
+.proc body
+	la   $t0, buf
+	li   $t1, 0
+loop:
+	andi $t2, $t1, 255
+	add  $t3, $t0, $t2
+	lw   $t4, 0($t3)
+	addi $t4, $t4, 1
+	sw   $t4, 0($t3)
+	addi $t1, $t1, 1
+	li   $t5, 16
+	blt  $t1, $t5, loop
+	ret
+.endproc
+`
+
+// fixture is a profiled machine plus its static tables, reset and ready
+// for an analysis run.
+type fixture struct {
+	machine   *vm.VM
+	static    *limits.Static
+	fullSteps int64
+}
+
+func build(t *testing.T) *fixture {
+	t.Helper()
+	p, err := asm.Assemble(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	prof := predict.NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := limits.NewStatic(p, prof.Predictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := machine.Steps
+	machine.Reset()
+	return &fixture{machine: machine, static: st, fullSteps: full}
+}
+
+// analyzers builds n analyzers cycling through every machine model.
+// Unrolling stays off so loop back-edges reach the analyzers — perfect
+// unrolling would hide a corrupted branch event from every model.
+func (f *fixture) analyzers(n int) []*limits.Analyzer {
+	models := limits.AllModels()
+	as := make([]*limits.Analyzer, n)
+	for i := range as {
+		as[i] = limits.NewAnalyzer(f.static, models[i%len(models)], false, len(f.machine.Mem))
+	}
+	return as
+}
+
+// serialResults computes reference results for the same analyzer
+// configuration on the single-goroutine path, leaving the machine reset.
+func (f *fixture) serialResults(t *testing.T, n int) []limits.Result {
+	t.Helper()
+	as := f.analyzers(n)
+	f.machine.Reset()
+	err := f.machine.Run(func(ev vm.Event) {
+		for _, a := range as {
+			a.Step(ev)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.machine.Reset()
+	out := make([]limits.Result, n)
+	for i, a := range as {
+		out[i] = a.Result()
+	}
+	return out
+}
+
+func TestTrapAtStepAborts(t *testing.T) {
+	f := build(t)
+	plan := &Plan{TrapAtStep: 20_000}
+	f.machine.StepHook = plan.StepHook()
+	as := f.analyzers(4)
+	err := limits.ReplayContext(context.Background(), f.machine.RunContext, as...)
+	if !errors.Is(err, ErrInjectedTrap) {
+		t.Fatalf("Replay error = %v, want ErrInjectedTrap", err)
+	}
+	if trapped, _, _, _ := plan.Fired(); trapped == 0 {
+		t.Fatal("trap never fired")
+	}
+	if f.machine.Steps >= f.fullSteps {
+		t.Fatalf("machine ran to completion (%d steps) despite trap", f.machine.Steps)
+	}
+}
+
+func TestConsumerPanicDetachesAndRethrows(t *testing.T) {
+	f := build(t)
+	const n = 4
+	ref := f.serialResults(t, n)
+	plan := &Plan{PanicConsumer: 2, PanicAtSeq: limits.ChunkEvents*3 + 17}
+	as := f.analyzers(n)
+
+	var pe *limits.PanicError
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			var ok bool
+			if pe, ok = p.(*limits.PanicError); !ok {
+				t.Errorf("panic value is %T, want *limits.PanicError", p)
+			}
+		}()
+		_ = limits.ReplayFaults(context.Background(), plan.Hooks(), f.machine.RunContext, as...)
+	}()
+
+	if pe == nil {
+		t.Fatal("planned consumer panic never surfaced from Replay")
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack trace")
+	}
+	if _, panicked, _, _ := plan.Fired(); panicked != 1 {
+		t.Fatalf("panic fired %d times, want 1", panicked)
+	}
+	// The panicking consumer was detached, so every other consumer must
+	// have drained the full trace and match the serial reference.
+	for i, a := range as {
+		if i == plan.PanicConsumer {
+			continue
+		}
+		if !reflect.DeepEqual(a.Result(), ref[i]) {
+			t.Errorf("surviving analyzer %d diverged from serial reference", i)
+		}
+	}
+}
+
+func TestStalledConsumerFlowControlRecovers(t *testing.T) {
+	f := build(t)
+	const n = 3
+	ref := f.serialResults(t, n)
+	plan := &Plan{
+		StallConsumer: 0,
+		StallAtSeq:    limits.ChunkEvents + 3,
+		StallFor:      150 * time.Millisecond,
+	}
+	as := f.analyzers(n)
+	start := time.Now()
+	err := limits.ReplayFaults(context.Background(), plan.Hooks(), f.machine.RunContext, as...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < plan.StallFor {
+		t.Fatalf("replay finished in %v, before the %v stall elapsed", elapsed, plan.StallFor)
+	}
+	if _, _, _, stalled := plan.Fired(); stalled != 1 {
+		t.Fatalf("stall fired %d times, want 1", stalled)
+	}
+	// Flow control blocked the producer while the consumer slept; once it
+	// woke, no events were lost or reordered.
+	for i, a := range as {
+		if !reflect.DeepEqual(a.Result(), ref[i]) {
+			t.Errorf("analyzer %d diverged after stall", i)
+		}
+	}
+}
+
+func TestCorruptChunkSkewsResults(t *testing.T) {
+	f := build(t)
+	// Pick a taken branch past the first chunk so the corruption flows
+	// through publish, not the degenerate pre-ring path.
+	target := int64(-1)
+	if err := f.machine.Run(func(ev vm.Event) {
+		if target < 0 && ev.Seq > int64(limits.ChunkEvents) && ev.Taken {
+			target = ev.Seq
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.machine.Reset()
+	if target < 0 {
+		t.Fatal("trace has no taken branch past the first chunk")
+	}
+
+	const n = 7
+	ref := f.serialResults(t, n)
+	plan := &Plan{CorruptAtSeq: target}
+	as := f.analyzers(n)
+	if err := limits.ReplayFaults(context.Background(), plan.Hooks(), f.machine.RunContext, as...); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, corrupted, _ := plan.Fired(); corrupted == 0 {
+		t.Fatal("corruption never fired")
+	}
+	diverged := false
+	for i, a := range as {
+		if !reflect.DeepEqual(a.Result(), ref[i]) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("corrupted chunk left every analyzer result unchanged; the fault never reached the consumers")
+	}
+}
+
+func TestCancellationUnblocksStalledRing(t *testing.T) {
+	f := build(t)
+	// Stall a consumer on its very first chunk for far longer than the
+	// deadline: the producer fills every ring slot and blocks, and only
+	// the abort path can unwedge the pipeline.
+	plan := &Plan{
+		StallConsumer: 1,
+		StallAtSeq:    5,
+		StallFor:      400 * time.Millisecond,
+	}
+	as := f.analyzers(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := limits.ReplayFaults(ctx, plan.Hooks(), f.machine.RunContext, as...)
+	if !errors.Is(err, vm.ErrCanceled) {
+		t.Fatalf("Replay error = %v, want vm.ErrCanceled", err)
+	}
+	if _, _, _, stalled := plan.Fired(); stalled != 1 {
+		t.Fatalf("stall fired %d times, want 1", stalled)
+	}
+}

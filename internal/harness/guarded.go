@@ -51,9 +51,9 @@ func RunGuardedStudy(opt Options) (*GuardedStudy, error) {
 				return nil, fmt.Errorf("%s: %w", b.Name, err)
 			}
 			machine := vm.NewSized(prog, opt.MemWords)
-			machine.StepLimit = 1 << 32
+			machine.StepLimit = opt.StepLimit
 			prof := predict.NewProfile(prog)
-			if err := machine.Run(prof.Record); err != nil {
+			if err := machine.RunContext(opt.ctx(), prof.Record); err != nil {
 				return nil, fmt.Errorf("%s: profile: %w", b.Name, err)
 			}
 			st, err := limits.NewStatic(prog, prof.Predictor())

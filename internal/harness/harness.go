@@ -7,9 +7,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 
 	"ilplimit/internal/asm"
@@ -47,7 +50,23 @@ type Options struct {
 	// RunSuite interleaves lines from concurrent benchmarks; writes are
 	// serialized internally, so any io.Writer is safe here.
 	Progress io.Writer
+	// Context cancels the pipeline: every VM pass checks it and aborts
+	// with an error wrapping vm.ErrCanceled once it is done (nil means
+	// context.Background()).  RunSuite additionally stops admitting new
+	// benchmarks after cancellation.
+	Context context.Context
+	// StepLimit bounds every VM run of the pipeline (default 1<<32).  The
+	// suite's traces are far shorter; the limit exists to catch runaway
+	// programs, and lowering it is the cheapest way to fault a run in
+	// tests.
+	StepLimit int64
 }
+
+// benchStartHook, when non-nil, runs at the top of every RunBenchmark; a
+// non-nil error (or a panic) aborts that benchmark only.  It exists so
+// resilience tests can fault one benchmark of a suite deterministically,
+// and stays nil in production.
+var benchStartHook func(name string) error
 
 // syncWriter serializes Progress writes from benchmarks running
 // concurrently under RunSuite, which would otherwise race on the shared
@@ -76,12 +95,23 @@ func (o Options) withDefaults() Options {
 	if o.Jobs < 1 {
 		o.Jobs = runtime.GOMAXPROCS(0)
 	}
+	if o.StepLimit == 0 {
+		o.StepLimit = 1 << 32
+	}
 	if o.Progress != nil {
 		if _, ok := o.Progress.(*syncWriter); !ok {
 			o.Progress = &syncWriter{w: o.Progress}
 		}
 	}
 	return o
+}
+
+// ctx returns the run's context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // BenchResult holds everything the paper reports about one benchmark.
@@ -118,10 +148,57 @@ func (r *BenchResult) UnrollChangePercent(m limits.Model) float64 {
 	return 100 * (r.Par[m] - base) / base
 }
 
+// BenchFailure records one benchmark's failure inside a suite run.
+type BenchFailure struct {
+	Name string
+	// Err is the benchmark's error (a converted panic carries the
+	// faulting stack in its message).  Excluded from JSON; Error carries
+	// the message there.
+	Err   error `json:"-"`
+	Error string
+}
+
+// SuiteError is the aggregate error of a partially-failed suite run: the
+// SuiteResult it accompanies still holds every benchmark that succeeded.
+type SuiteError struct {
+	Failures []BenchFailure
+	Total    int // benchmarks attempted
+}
+
+func (e *SuiteError) Error() string {
+	names := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		names[i] = f.Name
+	}
+	return fmt.Sprintf("suite: %d of %d benchmarks failed: %s",
+		len(e.Failures), e.Total, strings.Join(names, ", "))
+}
+
 // SuiteResult aggregates the whole suite.
 type SuiteResult struct {
 	Benchmarks []BenchResult
 	Models     []limits.Model
+	// Failures lists the benchmarks that errored or panicked, in suite
+	// order; Benchmarks holds only the survivors.
+	Failures []BenchFailure `json:",omitempty"`
+}
+
+// FailureSummary renders the per-benchmark failure list of a degraded run
+// (empty when every benchmark succeeded).
+func (s *SuiteResult) FailureSummary() string {
+	if len(s.Failures) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d benchmark(s) failed:\n", len(s.Failures))
+	for _, f := range s.Failures {
+		msg := f.Error
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i] + " [stack truncated; see Failures[].Err]"
+		}
+		fmt.Fprintf(&b, "  FAILED %-12s %s\n", f.Name, msg)
+	}
+	return b.String()
 }
 
 // NonNumeric returns the results for the paper's seven non-numeric
@@ -139,9 +216,15 @@ func (s *SuiteResult) NonNumeric() []BenchResult {
 // RunBenchmark executes the full pipeline for one benchmark.
 func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	opt = opt.withDefaults()
+	ctx := opt.ctx()
 	logf := func(format string, args ...interface{}) {
 		if opt.Progress != nil {
 			fmt.Fprintf(opt.Progress, format+"\n", args...)
+		}
+	}
+	if benchStartHook != nil {
+		if err := benchStartHook(b.Name); err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 	}
 
@@ -164,14 +247,14 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	}
 
 	machine := vm.NewSized(prog, opt.MemWords)
-	machine.StepLimit = 1 << 32
+	machine.StepLimit = opt.StepLimit
 
 	// Profiling pass: branch statistics with the measurement inputs.
 	logf("[%s] profiling", b.Name)
 	prof := predict.NewProfile(prog)
 	filter := trace.NewFilter(prog, nil)
 	var traceInstrs, condBranches int64
-	err = machine.Run(func(ev vm.Event) {
+	err = machine.RunContext(ctx, func(ev vm.Event) {
 		prof.Record(ev)
 		if !filter.Ignored(ev.Idx) {
 			traceInstrs++
@@ -199,14 +282,14 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	plain := limits.NewGroup(st, len(machine.Mem), opt.Models, false)
 	if opt.Serial {
 		uv, pv := unrolled.Visitor(), plain.Visitor()
-		err = machine.Run(func(ev vm.Event) { uv(ev); pv(ev) })
+		err = machine.RunContext(ctx, func(ev vm.Event) { uv(ev); pv(ev) })
 	} else {
 		// Replay the trace once, fanning chunks out to all analyzers of
 		// both unroll configs, each scheduling on its own goroutine.
 		all := make([]*limits.Analyzer, 0, len(unrolled.Analyzers)+len(plain.Analyzers))
 		all = append(all, unrolled.Analyzers...)
 		all = append(all, plain.Analyzers...)
-		err = limits.Replay(machine.Run, all...)
+		err = limits.ReplayContext(ctx, machine.RunContext, all...)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: analysis run: %w", b.Name, err)
@@ -240,32 +323,73 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	return res, nil
 }
 
+// runBenchmarkIsolated converts a panicking benchmark into an error
+// carrying the faulting stack, so one crash cannot take down a whole
+// suite run.  This is the suite's panic-isolation boundary: everything a
+// benchmark does — compile, profile, fan-out analysis — happens below it.
+func runBenchmarkIsolated(b bench.Benchmark, opt Options) (res *BenchResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if pe, ok := p.(*limits.PanicError); ok {
+				// An analyzer worker panicked; Replay preserved the stack
+				// of the faulting goroutine.
+				err = fmt.Errorf("%s: %w\n%s", b.Name, pe, pe.Stack)
+				return
+			}
+			err = fmt.Errorf("%s: panic: %v\n%s", b.Name, p, debug.Stack())
+		}
+	}()
+	return RunBenchmark(b, opt)
+}
+
 // RunSuite executes the pipeline for every benchmark in the suite,
 // analyzing up to Options.Jobs benchmarks concurrently.  Results are
 // deterministic and reported in suite order regardless of scheduling.
+//
+// A failing benchmark — error, panic, or cancellation — no longer voids
+// the run: RunSuite always returns the SuiteResult with every benchmark
+// that succeeded, and a non-nil *SuiteError describing the ones that did
+// not.  Callers that render partial results check errors.As(err,
+// **SuiteError); any other non-nil error still means "nothing usable".
 func RunSuite(opt Options) (*SuiteResult, error) {
 	opt = opt.withDefaults()
+	ctx := opt.ctx()
 	benches := bench.All()
 	results := make([]*BenchResult, len(benches))
 	errs := make([]error, len(benches))
 	sem := make(chan struct{}, opt.Jobs)
 	var wg sync.WaitGroup
 	for i := range benches {
+		// Acquire before spawning: a large suite queues here instead of
+		// materializing one idle goroutine per benchmark up front, and a
+		// canceled run stops admitting work at all.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			errs[i] = fmt.Errorf("%s: %w: suite canceled (%v)",
+				benches[i].Name, vm.ErrCanceled, ctx.Err())
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = RunBenchmark(benches[i], opt)
+			results[i], errs[i] = runBenchmarkIsolated(benches[i], opt)
 		}(i)
 	}
 	wg.Wait()
 	out := &SuiteResult{Models: opt.Models}
 	for i := range benches {
 		if errs[i] != nil {
-			return nil, errs[i]
+			out.Failures = append(out.Failures, BenchFailure{
+				Name: benches[i].Name, Err: errs[i], Error: errs[i].Error(),
+			})
+			continue
 		}
 		out.Benchmarks = append(out.Benchmarks, *results[i])
+	}
+	if len(out.Failures) > 0 {
+		return out, &SuiteError{Failures: out.Failures, Total: len(benches)}
 	}
 	return out, nil
 }

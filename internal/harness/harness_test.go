@@ -121,6 +121,9 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Jobs != runtime.GOMAXPROCS(0) {
 		t.Errorf("Jobs default = %d, want GOMAXPROCS = %d", o.Jobs, runtime.GOMAXPROCS(0))
 	}
+	if o.StepLimit != 1<<32 {
+		t.Errorf("StepLimit default = %d, want 1<<32", o.StepLimit)
+	}
 	o = Options{Scale: 3, MemWords: 4096, Models: []limits.Model{limits.SP}}.withDefaults()
 	if o.Scale != 3 || o.MemWords != 4096 || len(o.Models) != 1 {
 		t.Errorf("explicit options clobbered: %+v", o)

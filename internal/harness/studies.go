@@ -31,10 +31,10 @@ func prepare(b bench.Benchmark, opt Options) (*isa.Program, *vm.VM, *predict.Pro
 		return nil, nil, nil, nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	machine := vm.NewSized(prog, opt.MemWords)
-	machine.StepLimit = 1 << 32
+	machine.StepLimit = opt.StepLimit
 	static := predict.NewProfile(prog)
 	dynamic := predict.NewDynamicProfile(prog)
-	err = machine.Run(func(ev vm.Event) {
+	err = machine.RunContext(opt.ctx(), func(ev vm.Event) {
 		static.Record(ev)
 		dynamic.Record(ev)
 	})
@@ -46,16 +46,16 @@ func prepare(b bench.Benchmark, opt Options) (*isa.Program, *vm.VM, *predict.Pro
 
 // runAnalyzers replays the machine's trace through the analyzers — the
 // chunked parallel fan-out by default, or the single-goroutine path when
-// opt.Serial is set.
+// opt.Serial is set.  Both paths honor the run's context.
 func runAnalyzers(opt Options, machine *vm.VM, analyzers []*limits.Analyzer) error {
 	if opt.Serial {
-		return machine.Run(func(ev vm.Event) {
+		return machine.RunContext(opt.ctx(), func(ev vm.Event) {
 			for _, a := range analyzers {
 				a.Step(ev)
 			}
 		})
 	}
-	return limits.Replay(machine.Run, analyzers...)
+	return limits.ReplayContext(opt.ctx(), machine.RunContext, analyzers...)
 }
 
 // ---- Prediction study ----

@@ -72,7 +72,7 @@ func RunWidthStudy(opt Options) (*WidthStudy, error) {
 			MemWords: len(machine.Mem), TrackWidths: true,
 		})
 		machine.Reset()
-		if err := machine.Run(func(ev vm.Event) { a.Step(ev) }); err != nil {
+		if err := machine.RunContext(opt.ctx(), func(ev vm.Event) { a.Step(ev) }); err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		r := a.Result()

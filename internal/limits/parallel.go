@@ -1,6 +1,9 @@
 package limits
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"ilplimit/internal/vm"
@@ -40,10 +43,11 @@ type eventRing struct {
 	avail *sync.Cond // producer waits here for a free slot
 	ready *sync.Cond // consumers wait here for the next chunk (or close)
 
-	slots  [ringSlots][]vm.Event
-	head   int64   // chunks published so far
-	tails  []int64 // per-consumer chunks fully consumed
-	closed bool
+	slots   [ringSlots][]vm.Event
+	head    int64   // chunks published so far
+	tails   []int64 // per-consumer chunks fully consumed
+	closed  bool
+	aborted bool
 }
 
 func newEventRing(consumers int) *eventRing {
@@ -67,11 +71,17 @@ func (r *eventRing) minTail() int64 {
 }
 
 // reserve returns an empty buffer for the next chunk, waiting until every
-// consumer has drained the chunk that previously occupied its slot.
+// consumer has drained the chunk that previously occupied its slot.  It
+// returns nil once the ring is aborted, so a producer blocked on flow
+// control cannot outlive a canceled replay.
 func (r *eventRing) reserve() []vm.Event {
 	r.mu.Lock()
-	for r.minTail()+ringSlots <= r.head {
+	for r.minTail()+ringSlots <= r.head && !r.aborted {
 		r.avail.Wait()
+	}
+	if r.aborted {
+		r.mu.Unlock()
+		return nil
 	}
 	buf := r.slots[r.head%ringSlots][:0]
 	r.mu.Unlock()
@@ -82,9 +92,11 @@ func (r *eventRing) reserve() []vm.Event {
 // consumer.
 func (r *eventRing) publish(buf []vm.Event) {
 	r.mu.Lock()
-	r.slots[r.head%ringSlots] = buf
-	r.head++
-	r.ready.Broadcast()
+	if !r.aborted {
+		r.slots[r.head%ringSlots] = buf
+		r.head++
+		r.ready.Broadcast()
+	}
 	r.mu.Unlock()
 }
 
@@ -97,14 +109,26 @@ func (r *eventRing) close() {
 	r.mu.Unlock()
 }
 
+// close marks the stream aborted: the producer stops publishing and every
+// consumer stops at its next chunk boundary, whatever is still buffered.
+// Used to tear the flow down on context cancellation, where neither side
+// should wait for the other.
+func (r *eventRing) abort() {
+	r.mu.Lock()
+	r.aborted = true
+	r.avail.Broadcast()
+	r.ready.Broadcast()
+	r.mu.Unlock()
+}
+
 // next returns consumer id's next chunk, or nil at end of stream.  The
 // consumer must call advance after processing the chunk.
 func (r *eventRing) next(id int) []vm.Event {
 	r.mu.Lock()
-	for r.tails[id] == r.head && !r.closed {
+	for r.tails[id] == r.head && !r.closed && !r.aborted {
 		r.ready.Wait()
 	}
-	if r.tails[id] == r.head {
+	if r.tails[id] == r.head || r.aborted {
 		r.mu.Unlock()
 		return nil
 	}
@@ -131,6 +155,33 @@ func (r *eventRing) detach(id int) {
 	r.mu.Unlock()
 }
 
+// RunFunc drives a trace producer under a context; (*vm.VM).RunContext
+// satisfies it directly.
+type RunFunc func(ctx context.Context, visit func(vm.Event)) error
+
+// ReplayHooks intercept the fan-out at its two seams — the producer's
+// publish and the consumers' per-event step — for deterministic fault
+// injection (internal/faultinject).  Production replays run without
+// hooks; only ReplayFaults installs them.
+type ReplayHooks struct {
+	// OnPublish runs in the producer goroutine right before chunk
+	// (zero-based) becomes visible; it may mutate the events in place.
+	OnPublish func(chunk int64, events []vm.Event)
+	// BeforeStep runs in consumer id's goroutine before each event is
+	// stepped; it may stall or panic.
+	BeforeStep func(id int, ev vm.Event)
+}
+
+// PanicError carries a panic raised on an analyzer worker goroutine
+// together with the stack where it fired, so a recover() at the suite
+// boundary can report the faulting analyzer rather than the rethrow site.
+type PanicError struct {
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("analyzer panic: %v", e.Value) }
+
 // Replay runs the trace source once and fans every event out to all
 // analyzers, each consuming on its own goroutine through a bounded
 // broadcast ring.  run is called with the visitor to drive exactly as it
@@ -139,20 +190,66 @@ func (r *eventRing) detach(id int) {
 // analyzers' states are partial, exactly as after an aborted serial
 // replay.
 func Replay(run func(visit func(vm.Event)) error, analyzers ...*Analyzer) error {
+	return ReplayContext(context.Background(),
+		func(_ context.Context, visit func(vm.Event)) error { return run(visit) },
+		analyzers...)
+}
+
+// ReplayContext is Replay under a context: the producer is handed ctx (a
+// context-aware producer such as vm.RunContext aborts itself with
+// vm.ErrCanceled), the ring checks ctx at every chunk boundary, and a
+// cancellation wakes both a producer blocked on flow control and
+// consumers blocked on an empty ring.  ReplayContext does not return
+// until every worker goroutine has stopped, canceled or not.
+func ReplayContext(ctx context.Context, run RunFunc, analyzers ...*Analyzer) error {
+	return replay(ctx, nil, run, analyzers...)
+}
+
+// ReplayFaults is ReplayContext with fault-injection hooks installed.  It
+// exists for internal/faultinject's resilience tests; production callers
+// use Replay or ReplayContext.
+func ReplayFaults(ctx context.Context, hooks *ReplayHooks, run RunFunc, analyzers ...*Analyzer) error {
+	return replay(ctx, hooks, run, analyzers...)
+}
+
+func replay(ctx context.Context, hooks *ReplayHooks, run RunFunc, analyzers ...*Analyzer) error {
+	var beforeStep func(int, vm.Event)
+	var onPublish func(int64, []vm.Event)
+	if hooks != nil {
+		beforeStep, onPublish = hooks.BeforeStep, hooks.OnPublish
+	}
 	switch len(analyzers) {
 	case 0:
-		return run(func(vm.Event) {})
+		return canceledErr(ctx, run(ctx, func(vm.Event) {}))
 	case 1:
 		// A lone analyzer gains nothing from the ring; step it inline.
 		a := analyzers[0]
-		return run(func(ev vm.Event) { a.Step(ev) })
+		if beforeStep != nil {
+			return canceledErr(ctx, run(ctx, func(ev vm.Event) { beforeStep(0, ev); a.Step(ev) }))
+		}
+		return canceledErr(ctx, run(ctx, func(ev vm.Event) { a.Step(ev) }))
 	}
 
 	r := newEventRing(len(analyzers))
+	// A canceled context must unblock a producer waiting for a free slot
+	// and consumers waiting for the next chunk; condition variables cannot
+	// select on ctx.Done(), so a watcher trips the ring's abort flag.
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				r.abort()
+			case <-stop:
+			}
+		}()
+	}
+
 	var (
 		wg          sync.WaitGroup
 		panicMu     sync.Mutex
-		workerPanic interface{}
+		workerPanic *PanicError
 	)
 	for i, a := range analyzers {
 		wg.Add(1)
@@ -160,12 +257,13 @@ func Replay(run func(visit func(vm.Event)) error, analyzers ...*Analyzer) error 
 			defer wg.Done()
 			defer func() {
 				// A panicking Step must not strand the producer waiting
-				// for this consumer's slot; capture the first panic and
-				// rethrow it from Replay, like the serial path would.
+				// for this consumer's slot; capture the first panic (with
+				// its stack) and rethrow it from Replay, like the serial
+				// path would.
 				if p := recover(); p != nil {
 					panicMu.Lock()
 					if workerPanic == nil {
-						workerPanic = p
+						workerPanic = &PanicError{Value: p, Stack: debug.Stack()}
 					}
 					panicMu.Unlock()
 					r.detach(id)
@@ -177,6 +275,9 @@ func Replay(run func(visit func(vm.Event)) error, analyzers ...*Analyzer) error 
 					return
 				}
 				for _, ev := range chunk {
+					if beforeStep != nil {
+						beforeStep(id, ev)
+					}
 					a.Step(ev)
 				}
 				r.advance(id)
@@ -189,21 +290,54 @@ func Replay(run func(visit func(vm.Event)) error, analyzers ...*Analyzer) error 
 		// close() runs even if the producer panics, so workers always
 		// terminate instead of waiting on the ring forever.
 		defer r.close()
+		var chunk int64
+		dropping := false
 		buf := r.reserve()
-		err = run(func(ev vm.Event) {
+		dropping = buf == nil
+		err = run(ctx, func(ev vm.Event) {
+			if dropping {
+				// The replay was aborted; a producer that does not watch
+				// ctx itself keeps streaming, so drop its events on the
+				// floor until it returns.
+				return
+			}
 			buf = append(buf, ev)
 			if len(buf) == ChunkEvents {
+				if onPublish != nil {
+					onPublish(chunk, buf)
+				}
 				r.publish(buf)
+				chunk++
+				// The per-chunk cancellation point: stop publishing as
+				// soon as the context dies, even mid-trace.
+				if ctx.Err() != nil {
+					dropping = true
+					return
+				}
 				buf = r.reserve()
+				dropping = buf == nil
 			}
 		})
-		if err == nil && len(buf) > 0 {
+		if err == nil && !dropping && len(buf) > 0 {
+			if onPublish != nil {
+				onPublish(chunk, buf)
+			}
 			r.publish(buf)
 		}
 	}()
 	wg.Wait()
 	if workerPanic != nil {
 		panic(workerPanic)
+	}
+	return canceledErr(ctx, err)
+}
+
+// canceledErr maps a nil producer error under a dead context to
+// vm.ErrCanceled, so a producer that does not watch ctx itself still
+// reports the replay as canceled rather than complete.
+func canceledErr(ctx context.Context, err error) error {
+	if err == nil && ctx.Err() != nil {
+		return fmt.Errorf("%w: %v", vm.ErrCanceled, ctx.Err())
 	}
 	return err
 }
@@ -213,4 +347,9 @@ func Replay(run func(visit func(vm.Event)) error, analyzers ...*Analyzer) error 
 // the source directly, producing identical Results.
 func (g *Group) Run(run func(visit func(vm.Event)) error) error {
 	return Replay(run, g.Analyzers...)
+}
+
+// RunContext is Run under a context; see ReplayContext.
+func (g *Group) RunContext(ctx context.Context, run RunFunc) error {
+	return ReplayContext(ctx, run, g.Analyzers...)
 }

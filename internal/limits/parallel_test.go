@@ -1,6 +1,7 @@
 package limits
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -296,5 +297,77 @@ func TestAnalyzerMemoryFootprintSparse(t *testing.T) {
 	got := a.memTime.pagesAllocated()
 	if got == 0 || got > 8 {
 		t.Errorf("allocated %d of %d pages, want a handful (1..8)", got, total)
+	}
+}
+
+// buildBenchProgramTrace captures the bench program's trace (~280k
+// events, dozens of chunks) without the cost of compiling a suite
+// benchmark — enough stream for the cancellation tests to cut short.
+func buildBenchProgramTrace(t *testing.T) (*Static, []vm.Event, int) {
+	t.Helper()
+	p, err := asm.Assemble(benchProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	prof := predict.NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStatic(p, prof.Predictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Reset()
+	events := make([]vm.Event, 0, machine.Steps)
+	if err := machine.Run(func(ev vm.Event) { events = append(events, ev) }); err != nil {
+		t.Fatal(err)
+	}
+	return st, events, len(machine.Mem)
+}
+
+// TestReplayContextPreCanceled: a replay under an already-dead context
+// must return vm.ErrCanceled even when the producer ignores the context
+// entirely and streams its whole trace.
+func TestReplayContextPreCanceled(t *testing.T) {
+	st, events, memWords := buildBenchProgramTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ReplayContext(ctx, func(_ context.Context, visit func(vm.Event)) error {
+		for _, ev := range events {
+			visit(ev)
+		}
+		return nil
+	}, trackedAnalyzers(st, memWords, false)...)
+	if !errors.Is(err, vm.ErrCanceled) {
+		t.Fatalf("ReplayContext = %v, want vm.ErrCanceled", err)
+	}
+}
+
+// TestReplayContextCancelMidStream cancels deterministically from inside
+// the producer after two chunks: the replay must stop publishing at the
+// next chunk boundary and report cancellation, not stream to completion.
+func TestReplayContextCancelMidStream(t *testing.T) {
+	st, events, memWords := buildBenchProgramTrace(t)
+	if len(events) < 4*ChunkEvents {
+		t.Fatalf("trace too short for a mid-stream cancel: %d events", len(events))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	as := []*Analyzer{
+		NewAnalyzer(st, Oracle, false, memWords),
+		NewAnalyzer(st, SP, false, memWords),
+	}
+	err := ReplayContext(ctx, func(_ context.Context, visit func(vm.Event)) error {
+		for i, ev := range events {
+			if i == 2*ChunkEvents {
+				cancel()
+			}
+			visit(ev)
+		}
+		return nil
+	}, as...)
+	if !errors.Is(err, vm.ErrCanceled) {
+		t.Fatalf("ReplayContext = %v, want vm.ErrCanceled", err)
 	}
 }

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -103,6 +105,7 @@ func TestFileErrors(t *testing.T) {
 		[]byte("ILPT\x01\x07"),               // bad control byte
 		[]byte("ILPT\x01\x01"),               // truncated index
 		append([]byte("ILPT\x01\x01"), 0x05), // truncated address
+		[]byte("ILPT\x02\xff"),               // v2 terminator without a footer
 	}
 	for i, data := range cases {
 		if _, err := Visit(bytes.NewReader(data), func(vm.Event) {}); err == nil {
@@ -164,5 +167,105 @@ int main() {
 	})
 	if err != nil || n != int64(len(live)) {
 		t.Fatalf("replay: n=%d err=%v, want %d", n, err, len(live))
+	}
+}
+
+// writeTrace serializes events through the v2 writer.
+func writeTrace(t *testing.T, events []vm.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFileV1StillReads pins backward compatibility: footer-less
+// version-1 files (what earlier releases wrote) must keep loading.
+func TestFileV1StillReads(t *testing.T) {
+	// Handcrafted v1: {Idx:5}, {Idx:7, Addr:9, Taken:true}, terminator —
+	// and nothing after it.
+	data := []byte("ILPT\x01\x00\x05\x03\x07\x09\xff")
+	var got []vm.Event
+	n, err := Visit(bytes.NewReader(data), func(ev vm.Event) { got = append(got, ev) })
+	if err != nil || n != 2 {
+		t.Fatalf("v1 trace: n=%d err=%v", n, err)
+	}
+	want := []vm.Event{{Seq: 0, Idx: 5}, {Seq: 1, Idx: 7, Addr: 9, Taken: true}}
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("v1 events = %+v, want %+v", got, want)
+	}
+}
+
+// TestFileV2FlippedByteFailsLoudly is the point of the footer: a bit flip
+// that still parses as valid records must be rejected by the CRC, while
+// every event decoded before the footer check is still reported salvaged.
+func TestFileV2FlippedByteFailsLoudly(t *testing.T) {
+	events := []vm.Event{{Idx: 3, Addr: 100}, {Idx: 4, Taken: true}, {Idx: 5}}
+	data := writeTrace(t, events)
+
+	// Sanity: untampered reads clean.
+	if n, err := Visit(bytes.NewReader(data), func(vm.Event) {}); err != nil || n != 3 {
+		t.Fatalf("clean trace: n=%d err=%v", n, err)
+	}
+
+	// Flip the low bit of the first record's index byte (header is 5
+	// bytes, control byte at 5, index at 6): 3 becomes 2, still a
+	// perfectly parseable record.
+	data[6] ^= 1
+	n, err := Visit(bytes.NewReader(data), func(vm.Event) {})
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("tampered trace: err=%v, want ErrBadTrace", err)
+	}
+	if !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("tampered trace failed for the wrong reason: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("salvaged %d events before the footer check, want 3", n)
+	}
+}
+
+// TestFileV2TruncationReportsSalvage: cutting a v2 file mid-payload must
+// error while reporting the usable prefix that was delivered.
+func TestFileV2TruncationReportsSalvage(t *testing.T) {
+	events := make([]vm.Event, 100)
+	for i := range events {
+		events[i] = vm.Event{Idx: int32(i), Addr: int64(i * 8), Taken: i%3 == 0}
+	}
+	data := writeTrace(t, events)
+	cut := data[:len(data)*6/10]
+	n, err := Visit(bytes.NewReader(cut), func(vm.Event) {})
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("truncated trace: err=%v, want ErrBadTrace", err)
+	}
+	if n == 0 || n >= 100 {
+		t.Errorf("salvaged %d events from a 60%% prefix, want a partial count", n)
+	}
+}
+
+// TestFileV2FooterCountMismatch: a footer whose event count disagrees
+// with the records read must be rejected even when the CRC was forged to
+// match.
+func TestFileV2FooterCountMismatch(t *testing.T) {
+	data := writeTrace(t, []vm.Event{{Idx: 1}, {Idx: 2}, {Idx: 3}})
+	data[len(data)-footerLen] ^= 0xFF // low byte of the event count
+	n, err := Visit(bytes.NewReader(data), func(vm.Event) {})
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("count-tampered trace: err=%v, want ErrBadTrace", err)
+	}
+	if !strings.Contains(err.Error(), "footer records") {
+		t.Errorf("failed for the wrong reason: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("salvaged %d events, want 3", n)
 	}
 }

@@ -24,13 +24,29 @@ func FuzzReader(f *testing.F) {
 	f.Add(valid(vm.Event{Idx: 3, Addr: 1024, Taken: true}, vm.Event{Idx: 4}))
 	f.Add([]byte("ILPT\x01\x03\x80\x80"))
 	f.Add([]byte("XXXXX"))
+	f.Add([]byte("ILPT\x09\xff"))         // unsupported version
+	f.Add([]byte("ILPT\x01\x07\x01"))     // control byte > 3
+	f.Add([]byte("ILPT\x01\x00\x05"))     // missing terminator
+	f.Add([]byte("ILPT\x02\x00\x05\xff")) // v2 terminator but no footer
+	f.Add([]byte("ILPT\x02\x03\x80\x80")) // v2 truncated uvarint
+	if v2 := valid(vm.Event{Idx: 9, Addr: 64}, vm.Event{Idx: 2, Taken: true}); len(v2) > footerLen {
+		f.Add(v2[:len(v2)-footerLen]) // v2 with the footer sheared off
+		corrupt := bytes.Clone(v2)
+		corrupt[6] ^= 1 // still parses, CRC must catch it
+		f.Add(corrupt)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var prev int64 = -1
-		_, _ = Visit(bytes.NewReader(data), func(ev vm.Event) {
+		var calls int64
+		n, _ := Visit(bytes.NewReader(data), func(ev vm.Event) {
 			if ev.Seq != prev+1 {
 				t.Fatalf("sequence gap: %d after %d", ev.Seq, prev)
 			}
 			prev = ev.Seq
+			calls++
 		})
+		if n != calls {
+			t.Fatalf("Visit reported %d salvaged events but delivered %d", n, calls)
+		}
 	})
 }

@@ -1,0 +1,85 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// spinProgram runs long enough (~200M steps) that any cancellation test
+// below fires well before it halts on its own.
+const spinProgram = `
+.proc main
+	li   $s0, 100000000
+loop:
+	addi $s0, $s0, -1
+	bnez $s0, loop
+	halt
+.endproc
+`
+
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	m := New(mustAssemble(t, spinProgram))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := m.RunContext(ctx, nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunContext = %v, want ErrCanceled", err)
+	}
+	if m.Steps != 0 {
+		t.Fatalf("executed %d steps under a pre-canceled context", m.Steps)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	m := New(mustAssemble(t, spinProgram))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := m.RunContext(ctx, nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunContext = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && m.Steps == 0 {
+		t.Fatal("deadline fired before any step executed")
+	}
+	if m.Steps >= 200_000_000 {
+		t.Fatalf("ran to completion (%d steps) despite deadline", m.Steps)
+	}
+}
+
+func TestRunContextBackgroundCompletes(t *testing.T) {
+	src := `
+.proc main
+	li   $s0, 3
+	halt
+.endproc
+`
+	m := New(mustAssemble(t, src))
+	if err := m.RunContext(context.Background(), nil); err != nil {
+		t.Fatalf("RunContext(Background) = %v", err)
+	}
+}
+
+func TestStepHookAborts(t *testing.T) {
+	m := New(mustAssemble(t, spinProgram))
+	sentinel := errors.New("injected")
+	calls := 0
+	m.StepHook = func(steps int64) error {
+		calls++
+		if steps >= 3*CheckInterval {
+			return sentinel
+		}
+		return nil
+	}
+	err := m.Run(nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run = %v, want the hook's sentinel", err)
+	}
+	if calls < 3 {
+		t.Fatalf("hook called %d times, want >= 3", calls)
+	}
+	if m.Steps < 3*CheckInterval || m.Steps >= 4*CheckInterval {
+		t.Fatalf("aborted at step %d, want within one CheckInterval of %d", m.Steps, 3*CheckInterval)
+	}
+}

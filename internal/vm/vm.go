@@ -6,6 +6,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -39,6 +40,17 @@ const DefaultStepLimit = 1 << 30
 // ErrStepLimit is returned when a run exceeds its step limit.
 var ErrStepLimit = errors.New("vm: step limit exceeded")
 
+// ErrCanceled is returned (wrapped, with the step count and the context's
+// own error) when a run is aborted by its context.  The VM's architectural
+// state is whatever the last retired instruction left behind — the same
+// contract as a trap — so a canceled machine can be Reset and re-run.
+var ErrCanceled = errors.New("vm: run canceled")
+
+// CheckInterval is how many retired instructions pass between
+// cancellation/hook checks in RunContext.  Cancellation latency is
+// therefore bounded by CheckInterval instruction dispatches.
+const CheckInterval = 4096
+
 // VM executes one program.  A VM is single-use per Run but Reset restores
 // the initial state for another run of the same program.
 type VM struct {
@@ -51,7 +63,12 @@ type VM struct {
 	Steps int64
 	// StepLimit bounds the run; 0 means DefaultStepLimit.
 	StepLimit int64
-	out       strings.Builder
+	// StepHook, when non-nil, runs at every cancellation check (every
+	// CheckInterval retired instructions); a non-nil error aborts the run
+	// with that error wrapped.  It exists for deterministic fault
+	// injection (internal/faultinject) and stays nil in production runs.
+	StepHook func(steps int64) error
+	out      strings.Builder
 }
 
 // New creates a VM for the program with default memory.
@@ -99,9 +116,31 @@ func (vm *VM) trap(format string, args ...interface{}) error {
 // instruction (visit may be nil).  It returns an error for traps (bad
 // address, division by zero, bad pc) or if the step limit is exceeded.
 func (vm *VM) Run(visit func(Event)) error {
+	return vm.RunContext(context.Background(), visit)
+}
+
+// RunContext is Run with a cancellation point every CheckInterval retired
+// instructions: once ctx is done the run aborts with an error wrapping
+// ErrCanceled, and a non-nil StepHook error aborts with that error
+// wrapped.  Its signature satisfies limits.RunFunc, so a machine plugs
+// directly into limits.ReplayContext.
+func (vm *VM) RunContext(ctx context.Context, visit func(Event)) error {
 	limit := vm.StepLimit
 	if limit == 0 {
 		limit = DefaultStepLimit
+	}
+	done := ctx.Done()
+	hook := vm.StepHook
+	if done != nil {
+		select {
+		case <-done:
+			return fmt.Errorf("%w before step %d: %v", ErrCanceled, vm.Steps, ctx.Err())
+		default:
+		}
+	}
+	nextCheck := int64(math.MaxInt64)
+	if done != nil || hook != nil {
+		nextCheck = vm.Steps + CheckInterval
 	}
 	instrs := vm.prog.Instrs
 	mem := vm.Mem
@@ -318,6 +357,21 @@ func (vm *VM) Run(visit func(Event)) error {
 		}
 		if vm.Steps >= limit {
 			return ErrStepLimit
+		}
+		if vm.Steps >= nextCheck {
+			nextCheck = vm.Steps + CheckInterval
+			if done != nil {
+				select {
+				case <-done:
+					return fmt.Errorf("%w after %d steps: %v", ErrCanceled, vm.Steps, ctx.Err())
+				default:
+				}
+			}
+			if hook != nil {
+				if err := hook(vm.Steps); err != nil {
+					return fmt.Errorf("vm: step hook at step %d: %w", vm.Steps, err)
+				}
+			}
 		}
 		vm.pc = next
 	}
