@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race faultcheck bench bench-baseline
+.PHONY: build test vet docs check race faultcheck bench bench-baseline
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,18 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Documentation gate: vet, formatting, and godoc completeness — every
+# exported identifier of every package must carry a doc comment
+# (cmd/doccheck), so `go doc` stays a complete reference as the API grows.
+docs:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) run ./cmd/doccheck . ./internal/* ./cmd/*
+
+# The default local gate: everything short of the long benchmarks.
+check: build docs test race
 
 # Concurrency gate: the parallel trace fan-out (internal/limits) and the
 # suite-level job fan-out (internal/harness) must stay race-clean.

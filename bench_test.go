@@ -10,6 +10,7 @@
 package ilplimit_test
 
 import (
+	"context"
 	"testing"
 
 	"ilplimit/internal/asm"
@@ -18,6 +19,7 @@ import (
 	"ilplimit/internal/limits"
 	"ilplimit/internal/minic"
 	"ilplimit/internal/predict"
+	"ilplimit/internal/telemetry"
 	"ilplimit/internal/vm"
 )
 
@@ -299,6 +301,46 @@ func benchGroupScheduling(b *testing.B, serial bool) {
 
 func BenchmarkGroupSerial(b *testing.B)   { benchGroupScheduling(b, true) }
 func BenchmarkGroupParallel(b *testing.B) { benchGroupScheduling(b, false) }
+
+// BenchmarkGroupParallelObserved is BenchmarkGroupParallel with a live
+// telemetry registry, for two baselines at once: its ns/op against
+// BenchmarkGroupParallel bounds the enabled-path overhead, and its
+// ring-* custom metrics land in BENCH_limits.json so wall-clock
+// regressions can be checked against ring-occupancy data (a rising
+// ring-hwm or stall count explains a slowdown as flow-control pressure
+// rather than per-event cost).
+func BenchmarkGroupParallelObserved(b *testing.B) {
+	for _, name := range []string{"espresso", "ccom"} {
+		tr := loadGroupTrace(b, name)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var prodStalls, consStalls, hwm int64
+			for i := 0; i < b.N; i++ {
+				_, _, all := benchGroups(tr)
+				m := telemetry.NewRegistry()
+				err := limits.ReplayObserved(context.Background(), m, func(ctx context.Context, visit func(vm.Event)) error {
+					for _, ev := range tr.events {
+						visit(ev)
+					}
+					return nil
+				}, all...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := m.Snapshot()
+				prodStalls += s.Counters["ring.producer_stalls"]
+				consStalls += s.Counters["ring.consumer_stalls"]
+				if v := s.Gauges["ring.occupancy_hwm"]; v > hwm {
+					hwm = v
+				}
+			}
+			b.ReportMetric(float64(len(tr.events)), "instrs/op")
+			b.ReportMetric(float64(hwm), "ring-hwm")
+			b.ReportMetric(float64(prodStalls)/float64(b.N), "ring-prod-stalls/op")
+			b.ReportMetric(float64(consStalls)/float64(b.N), "ring-cons-stalls/op")
+		})
+	}
+}
 
 // BenchmarkPipelineSingle measures the per-benchmark pipeline cost under
 // all models — the unit of work every table above is built from.

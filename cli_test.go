@@ -1,7 +1,10 @@
 package ilplimit_test
 
 import (
+	"bufio"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -130,6 +133,101 @@ int main() {
 	}
 	if out := runCmd(t, tracegen, "-summary", cSrc); !strings.Contains(out, "addi") {
 		t.Errorf("tracegen summary malformed:\n%s", out)
+	}
+}
+
+// TestCLIMetrics checks -metrics appends the telemetry report — stage
+// timing table, VM throughput, ring statistics — after the regular
+// output, and that -json carries the snapshot with its schema_version.
+func TestCLIMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "ilplimit")
+	out := runCmd(t, bin, "-bench", "irsim", "-table", "3", "-metrics")
+	for _, want := range []string{
+		"Pipeline stage timings (ms)",
+		"irsim",
+		"vm profile",
+		"vm analysis",
+		"ring",
+		"occupancy high-water",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, bin, "-bench", "irsim", "-json", "-metrics")
+	for _, want := range []string{`"schema_version": 1`, `"stage.wall_ns"`, `"ring.chunk_latency_ns"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-json -metrics output missing %q", want)
+		}
+	}
+}
+
+// TestCLIDebugAddr starts a run with -debug-addr on an ephemeral port
+// and fetches live expvar and pprof pages while it executes.
+func TestCLIDebugAddr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "ilplimit")
+	// -scale keeps the run alive long enough to probe the server.
+	cmd := exec.Command(bin, "-bench", "espresso", "-scale", "4", "-debug-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = nil
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("debug server address never announced on stderr")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, `"ilplimit"`) {
+		t.Errorf("/debug/vars lacks the ilplimit metrics export:\n%.400s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index malformed:\n%.400s", idx)
+	}
+	// Drain stderr so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("run with -debug-addr failed: %v", err)
 	}
 }
 

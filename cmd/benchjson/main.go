@@ -5,7 +5,10 @@
 //	go test -bench BenchmarkGroup -benchmem -run '^$' . | go run ./cmd/benchjson
 //
 // Lines that are not benchmark results (headers, PASS/ok trailers) are
-// folded into the environment block or ignored.
+// folded into the environment block or ignored.  The output document is
+// a telemetry.BenchBaseline and carries the shared "schema_version"
+// field, so the committed baseline versions together with the metrics
+// snapshots in -json suite output.
 package main
 
 import (
@@ -16,33 +19,19 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"ilplimit/internal/telemetry"
 )
-
-// Baseline is the top-level JSON document.
-type Baseline struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-// Benchmark is one result line.
-type Benchmark struct {
-	// Name is the benchmark path with the -GOMAXPROCS suffix split off.
-	Name string `json:"name"`
-	// Procs is the GOMAXPROCS suffix (1 when the runner printed none).
-	Procs      int   `json:"procs"`
-	Iterations int64 `json:"iterations"`
-	// Metrics maps unit ("ns/op", "B/op", "allocs/op", custom units like
-	// "instrs/op") to the reported value.
-	Metrics map[string]float64 `json:"metrics"`
-}
 
 var procSuffix = regexp.MustCompile(`-(\d+)$`)
 
 func main() {
-	base := Baseline{Benchmarks: []Benchmark{}}
+	// The document schema (telemetry.BenchBaseline) is shared with the
+	// metrics snapshots so both JSON artifacts version together.
+	base := telemetry.BenchBaseline{
+		SchemaVersion: telemetry.SchemaVersion,
+		Benchmarks:    []telemetry.BenchRecord{},
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -70,7 +59,7 @@ func main() {
 		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
 			continue
 		}
-		b := Benchmark{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+		b := telemetry.BenchRecord{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
 		if m := procSuffix.FindStringSubmatch(b.Name); m != nil {
 			b.Procs, _ = strconv.Atoi(m[1])
 			b.Name = strings.TrimSuffix(b.Name, m[0])

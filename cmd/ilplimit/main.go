@@ -12,6 +12,8 @@
 //	ilplimit -scale 4                # larger workloads
 //	ilplimit -serial                 # single-goroutine analysis (debugging/measurement)
 //	ilplimit -timeout 2m             # abort cleanly if the run exceeds a deadline
+//	ilplimit -metrics                # pipeline telemetry report after the run
+//	ilplimit -debug-addr 127.0.0.1:6060  # live expvar + pprof during the run
 //	ilplimit -v                      # progress on stderr
 //
 // When some benchmarks fail and others succeed, the surviving results are
@@ -23,14 +25,19 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	_ "expvar" // registers /debug/vars on the -debug-addr server
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr server
 	"os"
 
 	"ilplimit/internal/bench"
 	"ilplimit/internal/harness"
 	"ilplimit/internal/limits"
+	"ilplimit/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +51,8 @@ func main() {
 		serial   = flag.Bool("serial", false, "step all analyzers in one goroutine instead of the parallel chunked replay")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 30s; 0 = no limit)")
+		metrics  = flag.Bool("metrics", false, "print a pipeline telemetry report (stage timings, VM throughput, ring stats) after the run")
+		debug    = flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. 127.0.0.1:6060) for the lifetime of the run")
 		verbose  = flag.Bool("v", false, "log pipeline progress to stderr")
 	)
 	flag.Parse()
@@ -58,6 +67,31 @@ func main() {
 		progress = os.Stderr
 	}
 	opt := harness.Options{Scale: *scale, Progress: progress, Models: limits.AllModels(), Optimize: *optimize, Serial: *serial}
+	if *metrics || *debug != "" {
+		opt.Metrics = telemetry.NewRegistry()
+		// The report covers every benchmark the process ran — including
+		// a study's repeated suite passes — so print it on all exits
+		// after the run, not just the default path.
+		// Note: fail() and the degraded-suite exit use os.Exit, which
+		// skips this defer — the report covers successful runs only.
+		if *metrics {
+			defer func() { fmt.Print(harness.MetricsReport(opt.Metrics.Snapshot())) }()
+		}
+	}
+	if *debug != "" {
+		// Serve live metrics for the lifetime of the run.  -timeout only
+		// cancels the measurement context; the server stays up until the
+		// process exits, so a profile capture racing the deadline still
+		// completes.  The bound address is announced on stderr because
+		// ":0" picks an ephemeral port.
+		opt.Metrics.PublishExpvar("ilplimit")
+		ln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ilplimit: debug server listening on %s\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()

@@ -1,0 +1,21 @@
+// Package ilplimit is the public API of the reproduction of Lam & Wilson,
+// "Limits of Control Flow on Parallelism" (ISCA 1992).
+//
+// The paper measures upper bounds of instruction-level parallelism under
+// seven abstract machine models that differ only in how they handle
+// control flow: speculative execution (SP), control dependence analysis
+// (CD) and following multiple flows of control (MF).  This package wires
+// the full experimental stack together for the common cases:
+//
+//	// Measure a mini-C program under every machine model.
+//	results, err := ilplimit.Measure(src, ilplimit.MeasureOptions{})
+//
+//	// Reproduce the paper's suite and render its tables.
+//	suite, err := ilplimit.RunSuite(ilplimit.SuiteOptions{})
+//	fmt.Print(suite.Table3())
+//
+// The building blocks (ISA, assembler, compiler, VM, CFG analyses,
+// predictors, the trace-scheduling analyzer, the optimizer) live in the
+// internal packages; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package ilplimit

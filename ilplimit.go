@@ -1,23 +1,3 @@
-// Package ilplimit is the public API of the reproduction of Lam & Wilson,
-// "Limits of Control Flow on Parallelism" (ISCA 1992).
-//
-// The paper measures upper bounds of instruction-level parallelism under
-// seven abstract machine models that differ only in how they handle
-// control flow: speculative execution (SP), control dependence analysis
-// (CD) and following multiple flows of control (MF).  This package wires
-// the full experimental stack together for the common cases:
-//
-//	// Measure a mini-C program under every machine model.
-//	results, err := ilplimit.Measure(src, ilplimit.MeasureOptions{})
-//
-//	// Reproduce the paper's suite and render its tables.
-//	suite, err := ilplimit.RunSuite(ilplimit.SuiteOptions{})
-//	fmt.Print(suite.Table3())
-//
-// The building blocks (ISA, assembler, compiler, VM, CFG analyses,
-// predictors, the trace-scheduling analyzer, the optimizer) live in the
-// internal packages; see DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
 package ilplimit
 
 import (
@@ -31,8 +11,24 @@ import (
 	"ilplimit/internal/minic"
 	"ilplimit/internal/opt"
 	"ilplimit/internal/predict"
+	"ilplimit/internal/telemetry"
 	"ilplimit/internal/vm"
 )
+
+// MetricsRegistry re-exports the telemetry registry so Measure callers
+// can opt into pipeline instrumentation without importing an internal
+// package; NewMetricsRegistry constructs one.  A nil registry (the
+// default) keeps every hot path on its nil-check fast path.
+type MetricsRegistry = telemetry.Registry
+
+// MetricsSnapshot is the immutable capture type returned by
+// MetricsRegistry.Snapshot; SuiteResult and BenchResult embed it when a
+// run collects telemetry.
+type MetricsSnapshot = telemetry.Snapshot
+
+// NewMetricsRegistry creates an empty metrics registry for
+// MeasureOptions.Metrics / SuiteOptions.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // Model selects one of the paper's seven abstract machines.
 type Model = limits.Model
@@ -89,6 +85,12 @@ type MeasureOptions struct {
 	// Serial steps every analyzer in a single goroutine instead of the
 	// default parallel chunked replay.  Results are identical either way.
 	Serial bool
+	// Metrics, when non-nil, collects pipeline telemetry (VM counters
+	// under "vm.profile." / "vm.analysis.", replay-ring statistics under
+	// "ring."); capture values with Metrics.Snapshot() after Measure
+	// returns.  Nil (the default) disables all instrumentation at
+	// nil-check cost.  See internal/telemetry and DESIGN.md §9.
+	Metrics *telemetry.Registry
 }
 
 // Measure compiles a mini-C program, profiles its branches with the same
@@ -126,6 +128,7 @@ func Measure(source string, o MeasureOptions) ([]Result, error) {
 	}
 	machine := vm.NewSized(prog, o.MemWords)
 	machine.StepLimit = o.StepLimit
+	machine.Metrics = o.Metrics.WithPrefix("vm.profile.")
 	prof := predict.NewProfile(prog)
 	if err := machine.RunContext(ctx, prof.Record); err != nil {
 		return nil, fmt.Errorf("profile run: %w", err)
@@ -135,11 +138,12 @@ func Measure(source string, o MeasureOptions) ([]Result, error) {
 		return nil, err
 	}
 	machine.Reset()
+	machine.Metrics = o.Metrics.WithPrefix("vm.analysis.")
 	group := limits.NewGroup(st, len(machine.Mem), o.Models, !o.DisableUnrolling)
 	if o.Serial {
 		err = machine.RunContext(ctx, group.Visitor())
 	} else {
-		err = group.RunContext(ctx, machine.RunContext)
+		err = group.RunObserved(ctx, o.Metrics, machine.RunContext)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("analysis run: %w", err)

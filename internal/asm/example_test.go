@@ -1,0 +1,28 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/asm"
+)
+
+// ExampleAssemble shows the two-pass assembler turning source text into a
+// linked Program with resolved symbols and procedure boundaries.
+func ExampleAssemble() {
+	p, err := asm.Assemble(`
+.data
+buf: .space 4
+.proc main
+	la   $t0, buf
+	li   $t1, 42
+	sw   $t1, 0($t0)
+	halt
+.endproc
+`)
+	if err != nil {
+		panic(err)
+	}
+	proc, ok := p.ProcByName("main")
+	fmt.Println(ok, proc.Name, len(p.Instrs) > 0)
+	// Output: true main true
+}

@@ -1,0 +1,10 @@
+// Package bench provides the benchmark suite of the reproduction: ten
+// mini-C programs, one per benchmark of the paper's Table 1, chosen to
+// match each original's algorithmic character (data-dependent vs
+// data-independent control flow, recursion, pointer-chasing, bit
+// manipulation, floating-point kernels).
+//
+// The original suite (SPEC89 binaries plus four local programs compiled
+// for a MIPS R3000) is not available; see DESIGN.md §2 for why these
+// stand-ins preserve the behaviour the study measures.
+package bench

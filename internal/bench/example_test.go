@@ -1,0 +1,28 @@
+package bench_test
+
+import (
+	"fmt"
+	"strings"
+
+	"ilplimit/internal/bench"
+)
+
+// ExampleByName looks up one suite benchmark and generates its mini-C
+// source at scale 1.
+func ExampleByName() {
+	b, err := bench.ByName("espresso")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(b.Name, b.Language, b.Numeric)
+	fmt.Println(strings.Contains(b.Source(1), "int main"))
+	// Output:
+	// espresso C false
+	// true
+}
+
+// ExampleAll shows the suite matches the paper's Table 1 inventory.
+func ExampleAll() {
+	fmt.Println(len(bench.All()), len(bench.NonNumeric()))
+	// Output: 10 7
+}

@@ -1,0 +1,24 @@
+// Package cfg builds per-procedure control-flow graphs from object code and
+// computes the static analyses the limit study needs: dominators,
+// postdominators, the reverse dominance frontier (immediate control
+// dependence, paper §4.4.1) and natural loops (for the induction-variable
+// analysis of §4.2).
+//
+// Build partitions a procedure's instructions into basic blocks at branch
+// targets and fall-throughs, then derives everything else in one pass:
+//
+//   - IDom/IPdom give the (post)dominator trees, computed by iterative
+//     dataflow over the reverse postorder.  A pseudo-exit node (VExit)
+//     joins every halt/return so postdominance is well defined even for
+//     procedures with several exits.
+//   - RDF is the reverse dominance frontier: RDF[b] lists the branch
+//     blocks whose terminators every instruction of b is immediately
+//     control dependent on.  The CD machine models consume this as the
+//     paper's control-dependence relation.
+//   - Loops lists natural loops (back edge to a dominating header),
+//     innermost last, which internal/dataflow walks to find induction
+//     variables.
+//
+// Graphs are immutable after Build; internal/limits and internal/dataflow
+// read them concurrently without locking.
+package cfg

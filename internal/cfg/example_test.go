@@ -1,0 +1,33 @@
+package cfg_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/cfg"
+)
+
+// ExampleBuild builds the control-flow graph of a counted loop: the back
+// edge forms one natural loop, and the loop body is control dependent on
+// the loop branch.
+func ExampleBuild() {
+	p, err := asm.Assemble(`
+.proc main
+	li   $t0, 10
+loop:
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	halt
+.endproc
+`)
+	if err != nil {
+		panic(err)
+	}
+	proc, _ := p.ProcByName("main")
+	g, err := cfg.Build(p, proc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(g.Blocks) > 1, len(g.Loops))
+	// Output: true 1
+}

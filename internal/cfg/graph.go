@@ -1,8 +1,3 @@
-// Package cfg builds per-procedure control-flow graphs from object code and
-// computes the static analyses the limit study needs: dominators,
-// postdominators, the reverse dominance frontier (immediate control
-// dependence, paper §4.4.1) and natural loops (for the induction-variable
-// analysis of §4.2).
 package cfg
 
 import (

@@ -1,0 +1,17 @@
+// Package dataflow implements the induction-variable analysis of the
+// paper's §4.2: it identifies registers that are incremented by a constant
+// exactly once per loop iteration, comparisons of such registers with
+// loop-invariant values, and branches on the results of those comparisons.
+// The instructions it marks are the ones the "perfect loop unrolling"
+// transformation removes from the trace.
+//
+// UnrollMarks is the entry point: given a program and its control-flow
+// graphs (internal/cfg) it returns one bool per static instruction, true
+// for loop-overhead instructions a perfectly unrolled trace would not
+// contain.  internal/trace folds these marks into its Filter, and the
+// limit analyzers skip marked events when unrolling is enabled.
+//
+// The package also provides classic backward liveness (ComputeLiveness)
+// over compact register sets (RegSet), which the post-codegen optimizer
+// (internal/opt) uses for dead-code removal.
+package dataflow

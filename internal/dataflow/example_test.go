@@ -1,0 +1,45 @@
+package dataflow_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/cfg"
+	"ilplimit/internal/dataflow"
+)
+
+// ExampleUnrollMarks marks the loop-overhead instructions of a counted
+// loop — the ones perfect loop unrolling removes from the trace.
+func ExampleUnrollMarks() {
+	p, err := asm.Assemble(`
+.proc main
+	li   $t0, 10
+	li   $t1, 0
+loop:
+	add  $t1, $t1, $t0
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	halt
+.endproc
+`)
+	if err != nil {
+		panic(err)
+	}
+	var graphs []*cfg.Graph
+	for _, proc := range p.Procs {
+		g, err := cfg.Build(p, proc)
+		if err != nil {
+			panic(err)
+		}
+		graphs = append(graphs, g)
+	}
+	marks := dataflow.UnrollMarks(p, graphs)
+	marked := 0
+	for _, m := range marks {
+		if m {
+			marked++
+		}
+	}
+	fmt.Println(len(marks) == len(p.Instrs), marked > 0)
+	// Output: true true
+}

@@ -1,9 +1,3 @@
-// Package dataflow implements the induction-variable analysis of the
-// paper's §4.2: it identifies registers that are incremented by a constant
-// exactly once per loop iteration, comparisons of such registers with
-// loop-invariant values, and branches on the results of those comparisons.
-// The instructions it marks are the ones the "perfect loop unrolling"
-// transformation removes from the trace.
 package dataflow
 
 import (

@@ -1,0 +1,23 @@
+package faultinject_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/faultinject"
+)
+
+// ExamplePlan arms a deterministic trap: the returned StepHook aborts the
+// VM at the first cancellation check at or after step 1000, and Fired
+// records that the fault actually triggered.
+func ExamplePlan() {
+	plan := &faultinject.Plan{TrapAtStep: 1000}
+	hook := plan.StepHook()
+	fmt.Println(hook(999))
+	fmt.Println(hook(1000))
+	trapped, _, _, _ := plan.Fired()
+	fmt.Println(trapped)
+	// Output:
+	// <nil>
+	// faultinject: injected trap
+	// 1
+}

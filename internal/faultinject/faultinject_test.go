@@ -10,6 +10,7 @@ import (
 	"ilplimit/internal/asm"
 	"ilplimit/internal/limits"
 	"ilplimit/internal/predict"
+	"ilplimit/internal/telemetry"
 	"ilplimit/internal/vm"
 )
 
@@ -232,6 +233,57 @@ func TestCorruptChunkSkewsResults(t *testing.T) {
 	}
 	if !diverged {
 		t.Error("corrupted chunk left every analyzer result unchanged; the fault never reached the consumers")
+	}
+}
+
+// TestMetricsSurviveConsumerPanic proves telemetry keeps a coherent
+// story through the pipeline's worst recovery path: one consumer
+// panics mid-trace, the fan-out detaches it and rethrows after the
+// survivors drain — and the registry still records the detach, the full
+// event stream, and untouched results for every surviving analyzer.
+func TestMetricsSurviveConsumerPanic(t *testing.T) {
+	f := build(t)
+	const n = 4
+	ref := f.serialResults(t, n)
+	var trace int64
+	if err := f.machine.Run(func(vm.Event) { trace++ }); err != nil {
+		t.Fatal(err)
+	}
+	f.machine.Reset()
+	plan := &Plan{PanicConsumer: 1, PanicAtSeq: limits.ChunkEvents*2 + 9}
+	as := f.analyzers(n)
+	hooks := plan.Hooks()
+	hooks.Metrics = telemetry.NewRegistry()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("planned consumer panic never surfaced")
+			}
+		}()
+		_ = limits.ReplayFaults(context.Background(), hooks, f.machine.RunContext, as...)
+	}()
+
+	s := hooks.Metrics.Snapshot()
+	if got := s.Counters["ring.detaches"]; got != 1 {
+		t.Errorf("ring.detaches = %d, want 1", got)
+	}
+	// The producer kept publishing after the detach: the ring carries the
+	// complete trace for the survivors.
+	if got := s.Counters["ring.events"]; got != trace {
+		t.Errorf("ring.events = %d, want full trace %d", got, trace)
+	}
+	wantChunks := (trace + limits.ChunkEvents - 1) / limits.ChunkEvents
+	if got := s.Counters["ring.chunks"]; got != wantChunks {
+		t.Errorf("ring.chunks = %d, want %d", got, wantChunks)
+	}
+	for i, a := range as {
+		if i == plan.PanicConsumer {
+			continue
+		}
+		if !reflect.DeepEqual(a.Result(), ref[i]) {
+			t.Errorf("surviving analyzer %d diverged from serial reference", i)
+		}
 	}
 }
 

@@ -1,0 +1,35 @@
+package harness_test
+
+import (
+	"fmt"
+	"strings"
+
+	"ilplimit/internal/bench"
+	"ilplimit/internal/harness"
+	"ilplimit/internal/telemetry"
+)
+
+// ExampleTable1 renders the paper's static benchmark inventory — the only
+// report that needs no measurement run.
+func ExampleTable1() {
+	fmt.Println(strings.SplitN(harness.Table1(), "\n", 2)[0])
+	// Output: Table 1: Benchmark Programs
+}
+
+// ExampleRunBenchmark runs the full pipeline for one benchmark with
+// telemetry enabled; the snapshot records one profile run and one
+// analysis pass over the same trace.
+func ExampleRunBenchmark() {
+	b, err := bench.ByName("espresso")
+	if err != nil {
+		panic(err)
+	}
+	reg := telemetry.NewRegistry()
+	r, err := harness.RunBenchmark(b, harness.Options{Metrics: reg})
+	if err != nil {
+		panic(err)
+	}
+	c := r.Telemetry.Counters
+	fmt.Println(r.Name, c["vm.profile.runs"], c["vm.profile.instructions"] == c["vm.analysis.instructions"])
+	// Output: espresso 1 true
+}

@@ -1,9 +1,3 @@
-// Package harness runs the complete experimental pipeline of the paper for
-// one benchmark or the whole suite: compile the mini-C program, assemble
-// it, build the static analyses, collect the branch profile with the same
-// inputs, and schedule the trace under every machine model with and
-// without perfect loop unrolling.  Reports regenerating each table and
-// figure of the paper live in report.go.
 package harness
 
 import (
@@ -21,6 +15,7 @@ import (
 	"ilplimit/internal/minic"
 	optimizer "ilplimit/internal/opt"
 	"ilplimit/internal/predict"
+	"ilplimit/internal/telemetry"
 	"ilplimit/internal/trace"
 	"ilplimit/internal/vm"
 )
@@ -60,6 +55,15 @@ type Options struct {
 	// programs, and lowering it is the cheapest way to fault a run in
 	// tests.
 	StepLimit int64
+	// Metrics, when non-nil, turns on pipeline telemetry: per-benchmark
+	// stage timings ("bench.<name>.stage.*_ns"), VM counters for the
+	// profile and analysis passes ("bench.<name>.vm.<pass>.*"), replay
+	// ring statistics ("bench.<name>.ring.*"), and per-analyzer schedule
+	// results ("bench.<name>.analyzer.*").  One registry is safely
+	// shared by every concurrent benchmark of a suite run; nil (the
+	// default) keeps all hot paths on their nil-check fast path.  See
+	// DESIGN.md §9 for the catalogue and MetricsReport for rendering.
+	Metrics *telemetry.Registry
 }
 
 // benchStartHook, when non-nil, runs at the top of every RunBenchmark; a
@@ -136,6 +140,11 @@ type BenchResult struct {
 	// SP-machine misprediction segments (Figures 6 and 7), from the
 	// unrolled configuration.
 	Segments map[int64]limits.SegAgg
+
+	// Telemetry is this benchmark's slice of the pipeline metrics
+	// (stage timings, VM counters, ring statistics), captured when
+	// Options.Metrics was set and omitted otherwise.
+	Telemetry *telemetry.Snapshot `json:",omitempty"`
 }
 
 // UnrollChangePercent returns Table 4's percent change in parallelism due
@@ -165,6 +174,7 @@ type SuiteError struct {
 	Total    int // benchmarks attempted
 }
 
+// Error summarizes which benchmarks failed out of how many attempted.
 func (e *SuiteError) Error() string {
 	names := make([]string, len(e.Failures))
 	for i, f := range e.Failures {
@@ -181,6 +191,11 @@ type SuiteResult struct {
 	// Failures lists the benchmarks that errored or panicked, in suite
 	// order; Benchmarks holds only the survivors.
 	Failures []BenchFailure `json:",omitempty"`
+	// Telemetry is the suite-wide metrics snapshot (every benchmark's
+	// metrics under its "bench.<name>." prefix), captured when
+	// Options.Metrics was set and omitted otherwise.  MetricsReport
+	// renders it as a stage-timing table.
+	Telemetry *telemetry.Snapshot `json:",omitempty"`
 }
 
 // FailureSummary renders the per-benchmark failure list of a degraded run
@@ -228,18 +243,28 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 		}
 	}
 
+	// All of this benchmark's metrics live under one prefix, so a suite
+	// run's shared registry keeps concurrent benchmarks apart.  A nil
+	// scope (telemetry off) makes every timer and counter below a no-op.
+	scope := opt.Metrics.WithPrefix("bench." + b.Name + ".")
+	benchDone := stageTimer(scope, "wall")
+
 	logf("[%s] compiling (scale %d)", b.Name, opt.Scale)
+	compileDone := stageTimer(scope, "compile")
 	asmText, err := minic.Compile(b.Source(opt.Scale))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	prog, err := asm.Assemble(asmText)
+	compileDone()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	if opt.Optimize {
 		logf("[%s] optimizing", b.Name)
+		optDone := stageTimer(scope, "optimize")
 		or, err := optimizer.Optimize(prog)
+		optDone()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -248,9 +273,11 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 
 	machine := vm.NewSized(prog, opt.MemWords)
 	machine.StepLimit = opt.StepLimit
+	machine.Metrics = scope.WithPrefix("vm.profile.")
 
 	// Profiling pass: branch statistics with the measurement inputs.
 	logf("[%s] profiling", b.Name)
+	profileDone := stageTimer(scope, "profile")
 	prof := predict.NewProfile(prog)
 	filter := trace.NewFilter(prog, nil)
 	var traceInstrs, condBranches int64
@@ -263,6 +290,7 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 			}
 		}
 	})
+	profileDone()
 	if err != nil {
 		return nil, fmt.Errorf("%s: profile run: %w", b.Name, err)
 	}
@@ -278,6 +306,8 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	logf("[%s] analyzing %d models x 2 unroll configs over %d instructions",
 		b.Name, len(opt.Models), machine.Steps)
 	machine.Reset()
+	machine.Metrics = scope.WithPrefix("vm.analysis.")
+	analyzeDone := stageTimer(scope, "analyze")
 	unrolled := limits.NewGroup(st, len(machine.Mem), opt.Models, true)
 	plain := limits.NewGroup(st, len(machine.Mem), opt.Models, false)
 	if opt.Serial {
@@ -286,11 +316,14 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	} else {
 		// Replay the trace once, fanning chunks out to all analyzers of
 		// both unroll configs, each scheduling on its own goroutine.
+		// Ring consumer ids follow this slice order: the unrolled
+		// analyzers in model order, then the plain ones.
 		all := make([]*limits.Analyzer, 0, len(unrolled.Analyzers)+len(plain.Analyzers))
 		all = append(all, unrolled.Analyzers...)
 		all = append(all, plain.Analyzers...)
-		err = limits.ReplayContext(ctx, machine.RunContext, all...)
+		err = limits.ReplayObserved(ctx, scope, machine.RunContext, all...)
 	}
+	analyzeDone()
 	if err != nil {
 		return nil, fmt.Errorf("%s: analysis run: %w", b.Name, err)
 	}
@@ -316,9 +349,15 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 		if r.Model == limits.SP {
 			res.Segments = r.Segments
 		}
+		recordAnalyzer(scope, r)
 	}
 	for _, r := range plain.Results() {
 		res.ParNoUnroll[r.Model] = r.Parallelism()
+		recordAnalyzer(scope, r)
+	}
+	benchDone()
+	if opt.Metrics != nil {
+		res.Telemetry = opt.Metrics.Snapshot().Filter("bench." + b.Name + ".")
 	}
 	return res, nil
 }
@@ -379,6 +418,9 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 	}
 	wg.Wait()
 	out := &SuiteResult{Models: opt.Models}
+	if opt.Metrics != nil {
+		out.Telemetry = opt.Metrics.Snapshot()
+	}
 	for i := range benches {
 		if errs[i] != nil {
 			out.Failures = append(out.Failures, BenchFailure{

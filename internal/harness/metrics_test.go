@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ilplimit/internal/bench"
+	"ilplimit/internal/telemetry"
+)
+
+// runWithMetrics runs one benchmark with a fresh registry and returns
+// the filtered per-benchmark snapshot plus the raw suite-level one.
+func runWithMetrics(t *testing.T, name string, serial bool) (*telemetry.Snapshot, *telemetry.Snapshot) {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	r, err := RunBenchmark(b, Options{Metrics: reg, Serial: serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Telemetry == nil {
+		t.Fatal("BenchResult.Telemetry is nil despite Options.Metrics")
+	}
+	return r.Telemetry, reg.Snapshot()
+}
+
+// TestRunBenchmarkTelemetry checks the per-benchmark snapshot carries
+// the full catalogue: stage timers, VM counters for both passes, and
+// ring statistics, all with the "bench.<name>." prefix stripped.
+func TestRunBenchmarkTelemetry(t *testing.T) {
+	snap, raw := runWithMetrics(t, "irsim", false)
+
+	for _, c := range []string{
+		"stage.compile_ns", "stage.profile_ns", "stage.analyze_ns", "stage.wall_ns",
+		"vm.profile.instructions", "vm.profile.run_ns", "vm.profile.runs",
+		"vm.analysis.instructions", "vm.analysis.runs",
+		"ring.chunks", "ring.events",
+	} {
+		if snap.Counters[c] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", c, snap.Counters[c])
+		}
+	}
+	// The profile pass and the analysis replay step the same trace.
+	if p, a := snap.Counters["vm.profile.instructions"], snap.Counters["vm.analysis.instructions"]; p != a {
+		t.Errorf("profile executed %d instructions but analysis replayed %d", p, a)
+	}
+	// The replay ring carries the analysis trace plus the final HALT event.
+	if ev, in := snap.Counters["ring.events"], snap.Counters["vm.analysis.instructions"]; ev < in {
+		t.Errorf("ring.events = %d < vm.analysis.instructions = %d", ev, in)
+	}
+	// Wall covers every stage.
+	var stages int64
+	for _, c := range []string{"stage.compile_ns", "stage.profile_ns", "stage.analyze_ns"} {
+		stages += snap.Counters[c]
+	}
+	if wall := snap.Counters["stage.wall_ns"]; wall < stages {
+		t.Errorf("stage.wall_ns = %d < sum of stages %d", wall, stages)
+	}
+	// The raw registry scopes everything under the benchmark name.
+	for name := range raw.Counters {
+		if !strings.HasPrefix(name, "bench.irsim.") {
+			t.Errorf("unscoped metric %q in suite registry", name)
+		}
+	}
+	// Analyzer results for all seven models, unrolled and plain.
+	var analyzer int
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "analyzer.") && strings.HasSuffix(name, ".cycles") {
+			analyzer++
+		}
+	}
+	if analyzer != 14 {
+		t.Errorf("got %d analyzer cycle counters, want 14 (7 models × {unrolled, plain})", analyzer)
+	}
+}
+
+// TestTelemetryDeterministicAcrossPaths pins snapshot determinism under
+// the serial/parallel equivalence guarantee: every scheduling-outcome
+// metric (analyzer cycles and instructions, VM instruction counts) is
+// identical whether the analyzers run serially in the VM visitor or
+// through the parallel chunked replay.  Timing and stall metrics are
+// excluded — they measure the machine, not the program.
+func TestTelemetryDeterministicAcrossPaths(t *testing.T) {
+	serial, _ := runWithMetrics(t, "irsim", true)
+	parallel, _ := runWithMetrics(t, "irsim", false)
+	deterministic := func(name string) bool {
+		return strings.HasPrefix(name, "analyzer.") ||
+			strings.HasSuffix(name, ".instructions") ||
+			strings.HasSuffix(name, ".runs")
+	}
+	for name, sv := range serial.Counters {
+		if !deterministic(name) {
+			continue
+		}
+		if pv, ok := parallel.Counters[name]; !ok || pv != sv {
+			t.Errorf("counter %s: serial=%d parallel=%d (ok=%v)", name, sv, pv, ok)
+		}
+	}
+	// The serial path never builds the ring.
+	if v, ok := serial.Counters["ring.chunks"]; ok {
+		t.Errorf("serial run recorded ring.chunks = %d, want no ring metrics", v)
+	}
+}
+
+// TestSuiteTelemetrySnapshot checks RunSuite attaches both the combined
+// suite snapshot and the filtered per-benchmark snapshots.
+func TestSuiteTelemetrySnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite")
+	}
+	reg := telemetry.NewRegistry()
+	s, err := RunSuite(Options{Metrics: reg, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Telemetry == nil {
+		t.Fatal("SuiteResult.Telemetry is nil")
+	}
+	for _, b := range s.Benchmarks {
+		if b.Telemetry == nil {
+			t.Errorf("%s: BenchResult.Telemetry is nil", b.Name)
+			continue
+		}
+		want := s.Telemetry.Counters["bench."+b.Name+".stage.wall_ns"]
+		if got := b.Telemetry.Counters["stage.wall_ns"]; got == 0 || got != want {
+			t.Errorf("%s: per-bench wall %d != suite-scoped wall %d", b.Name, got, want)
+		}
+	}
+	report := MetricsReport(s.Telemetry)
+	for _, want := range []string{"Pipeline stage timings", "irsim", "vm profile", "ring"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("MetricsReport missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestMetricsReportEmpty keeps the report total on degenerate input.
+func TestMetricsReportEmpty(t *testing.T) {
+	if got := MetricsReport(nil); !strings.Contains(got, "no metrics") {
+		t.Errorf("nil-snapshot report = %q", got)
+	}
+	if got := MetricsReport(telemetry.NewRegistry().Snapshot()); !strings.Contains(got, "no pipeline metrics") {
+		t.Errorf("empty-snapshot report = %q", got)
+	}
+}

@@ -1,0 +1,9 @@
+// Package isa defines the instruction set architecture used throughout the
+// limit study: a MIPS-like, word-addressed RISC with 32 integer and 32
+// floating-point registers.  The dependence analyzer, the assembler, the
+// mini-C code generator and the tracing VM all share these definitions.
+//
+// Memory is word addressed: each address names one 64-bit cell.  Byte
+// packing contributes nothing to a dependence study (the paper's analyzer
+// compares effective addresses, nothing more), so the ISA omits it.
+package isa

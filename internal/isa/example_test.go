@@ -1,0 +1,16 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/isa"
+)
+
+// ExampleParseReg resolves assembly register names to register numbers;
+// floating-point registers live in the upper half of the file.
+func ExampleParseReg() {
+	zero, _ := isa.ParseReg("$zero")
+	f2 := isa.FReg(2)
+	fmt.Println(zero == isa.RZero, f2 > isa.F0, isa.NumRegs)
+	// Output: true true 64
+}

@@ -3,6 +3,8 @@ package isa
 // Op enumerates the instruction opcodes.
 type Op uint8
 
+// The opcodes, grouped by format; trailing comments note semantics the
+// mnemonic alone does not convey.
 const (
 	NOP Op = iota
 

@@ -1,15 +1,3 @@
-// Package limits implements the paper's core contribution: trace-driven
-// limit analysis of instruction-level parallelism under seven abstract
-// machine models that differ only in how they relax control-flow
-// constraints (Lam & Wilson, "Limits of Control Flow on Parallelism",
-// ISCA 1992, §3-§4).
-//
-// Every instruction of a dynamic trace is greedily scheduled at the
-// earliest cycle permitted by true data dependences (last write to each
-// register and memory word, with perfect disambiguation) and by the
-// model-specific control-flow constraint.  All latencies are one cycle and
-// the scheduling window is unbounded.  Parallelism is the ratio of the
-// trace length to the final completion cycle.
 package limits
 
 import "fmt"

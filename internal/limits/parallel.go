@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
+	"ilplimit/internal/telemetry"
 	"ilplimit/internal/vm"
 )
 
@@ -27,31 +29,68 @@ const (
 	// 128 KiB per slot, comfortably inside L2.
 	ChunkEvents = 4096
 
-	// ringSlots bounds the ring: the producer runs at most ringSlots
+	// RingSlots bounds the ring: the producer runs at most RingSlots
 	// chunks ahead of the slowest analyzer, capping buffered trace memory
-	// at ringSlots × ChunkEvents events (≈1 MiB).
-	ringSlots = 8
+	// at RingSlots × ChunkEvents events (≈1 MiB).
+	RingSlots = 8
 )
 
 // eventRing is a bounded single-producer/multi-consumer broadcast ring of
 // event chunks.  Every consumer observes every chunk, in order.  Slot
 // buffers are recycled: the producer reuses a slot only after all
 // consumers have drained the chunk that last occupied it, so a full
-// replay allocates ringSlots buffers total.
+// replay allocates RingSlots buffers total.
 type eventRing struct {
 	mu    sync.Mutex
 	avail *sync.Cond // producer waits here for a free slot
 	ready *sync.Cond // consumers wait here for the next chunk (or close)
 
-	slots   [ringSlots][]vm.Event
+	slots   [RingSlots][]vm.Event
 	head    int64   // chunks published so far
 	tails   []int64 // per-consumer chunks fully consumed
 	closed  bool
 	aborted bool
+	met     *ringMetrics // nil unless the replay is observed
 }
 
-func newEventRing(consumers int) *eventRing {
-	r := &eventRing{tails: make([]int64, consumers)}
+// ringMetrics holds the ring's telemetry handles, resolved once per
+// replay so the ring operations pay atomic adds, not map lookups.  All
+// updates happen at chunk granularity (every ChunkEvents events) under
+// the mutex the ring already holds, so observation adds no per-event
+// work and no new synchronization.
+type ringMetrics struct {
+	chunks     *telemetry.Counter   // "ring.chunks": chunks published
+	events     *telemetry.Counter   // "ring.events": events published
+	prodStalls *telemetry.Counter   // "ring.producer_stalls": reserves that blocked
+	consStalls *telemetry.Counter   // "ring.consumer_stalls": nexts that blocked, all consumers
+	detaches   *telemetry.Counter   // "ring.detaches": consumers removed after a panic
+	occupancy  *telemetry.Gauge     // "ring.occupancy_hwm": high-water mark of buffered chunks
+	latency    *telemetry.Histogram // "ring.chunk_latency_ns": publish→fully-drained per chunk
+	perCons    []*telemetry.Counter // "ring.consumerNN.stalls": per-analyzer stall counts
+	pubNs      [RingSlots]int64     // publish timestamp of the chunk occupying each slot
+}
+
+func newRingMetrics(m *telemetry.Registry, consumers int) *ringMetrics {
+	if m == nil {
+		return nil
+	}
+	rm := &ringMetrics{
+		chunks:     m.Counter("ring.chunks"),
+		events:     m.Counter("ring.events"),
+		prodStalls: m.Counter("ring.producer_stalls"),
+		consStalls: m.Counter("ring.consumer_stalls"),
+		detaches:   m.Counter("ring.detaches"),
+		occupancy:  m.Gauge("ring.occupancy_hwm"),
+		latency:    m.Histogram("ring.chunk_latency_ns", telemetry.LatencyBuckets),
+	}
+	for i := 0; i < consumers; i++ {
+		rm.perCons = append(rm.perCons, m.Counter(fmt.Sprintf("ring.consumer%02d.stalls", i)))
+	}
+	return rm
+}
+
+func newEventRing(consumers int, met *ringMetrics) *eventRing {
+	r := &eventRing{tails: make([]int64, consumers), met: met}
 	r.avail = sync.NewCond(&r.mu)
 	r.ready = sync.NewCond(&r.mu)
 	for i := range r.slots {
@@ -76,14 +115,17 @@ func (r *eventRing) minTail() int64 {
 // control cannot outlive a canceled replay.
 func (r *eventRing) reserve() []vm.Event {
 	r.mu.Lock()
-	for r.minTail()+ringSlots <= r.head && !r.aborted {
+	if r.met != nil && r.minTail()+RingSlots <= r.head && !r.aborted {
+		r.met.prodStalls.Inc()
+	}
+	for r.minTail()+RingSlots <= r.head && !r.aborted {
 		r.avail.Wait()
 	}
 	if r.aborted {
 		r.mu.Unlock()
 		return nil
 	}
-	buf := r.slots[r.head%ringSlots][:0]
+	buf := r.slots[r.head%RingSlots][:0]
 	r.mu.Unlock()
 	return buf
 }
@@ -93,8 +135,14 @@ func (r *eventRing) reserve() []vm.Event {
 func (r *eventRing) publish(buf []vm.Event) {
 	r.mu.Lock()
 	if !r.aborted {
-		r.slots[r.head%ringSlots] = buf
+		r.slots[r.head%RingSlots] = buf
 		r.head++
+		if r.met != nil {
+			r.met.chunks.Inc()
+			r.met.events.Add(int64(len(buf)))
+			r.met.occupancy.SetMax(r.head - r.minTail())
+			r.met.pubNs[(r.head-1)%RingSlots] = time.Now().UnixNano()
+		}
 		r.ready.Broadcast()
 	}
 	r.mu.Unlock()
@@ -125,6 +173,10 @@ func (r *eventRing) abort() {
 // consumer must call advance after processing the chunk.
 func (r *eventRing) next(id int) []vm.Event {
 	r.mu.Lock()
+	if r.met != nil && r.tails[id] == r.head && !r.closed && !r.aborted {
+		r.met.consStalls.Inc()
+		r.met.perCons[id].Inc()
+	}
 	for r.tails[id] == r.head && !r.closed && !r.aborted {
 		r.ready.Wait()
 	}
@@ -132,7 +184,7 @@ func (r *eventRing) next(id int) []vm.Event {
 		r.mu.Unlock()
 		return nil
 	}
-	buf := r.slots[r.tails[id]%ringSlots]
+	buf := r.slots[r.tails[id]%RingSlots]
 	r.mu.Unlock()
 	return buf
 }
@@ -141,7 +193,23 @@ func (r *eventRing) next(id int) []vm.Event {
 // slot for the producer.
 func (r *eventRing) advance(id int) {
 	r.mu.Lock()
+	var oldMin int64
+	if r.met != nil {
+		oldMin = r.minTail()
+	}
 	r.tails[id]++
+	if r.met != nil {
+		// The chunks this advance fully drained (minTail moved past
+		// them) complete their broadcast now; their publish stamps are
+		// still valid because the producer cannot reuse a slot before
+		// it is freed here.
+		if newMin := r.minTail(); newMin > oldMin {
+			now := time.Now().UnixNano()
+			for c := oldMin; c < newMin && c < r.head; c++ {
+				r.met.latency.Observe(now - r.met.pubNs[c%RingSlots])
+			}
+		}
+	}
 	r.avail.Signal()
 	r.mu.Unlock()
 }
@@ -151,6 +219,9 @@ func (r *eventRing) advance(id int) {
 func (r *eventRing) detach(id int) {
 	r.mu.Lock()
 	r.tails[id] = int64(1) << 62
+	if r.met != nil {
+		r.met.detaches.Inc()
+	}
 	r.avail.Signal()
 	r.mu.Unlock()
 }
@@ -170,6 +241,10 @@ type ReplayHooks struct {
 	// BeforeStep runs in consumer id's goroutine before each event is
 	// stepped; it may stall or panic.
 	BeforeStep func(id int, ev vm.Event)
+	// Metrics, when non-nil, observes the faulted replay exactly as
+	// ReplayObserved would, so fault-injection tests can assert that
+	// counters survive a recovery (panic + detach) intact.
+	Metrics *telemetry.Registry
 }
 
 // PanicError carries a panic raised on an analyzer worker goroutine
@@ -180,6 +255,7 @@ type PanicError struct {
 	Stack []byte
 }
 
+// Error renders the recovered panic value.
 func (e *PanicError) Error() string { return fmt.Sprintf("analyzer panic: %v", e.Value) }
 
 // Replay runs the trace source once and fans every event out to all
@@ -202,17 +278,33 @@ func Replay(run func(visit func(vm.Event)) error, analyzers ...*Analyzer) error 
 // consumers blocked on an empty ring.  ReplayContext does not return
 // until every worker goroutine has stopped, canceled or not.
 func ReplayContext(ctx context.Context, run RunFunc, analyzers ...*Analyzer) error {
-	return replay(ctx, nil, run, analyzers...)
+	return replay(ctx, nil, nil, run, analyzers...)
 }
 
-// ReplayFaults is ReplayContext with fault-injection hooks installed.  It
-// exists for internal/faultinject's resilience tests; production callers
-// use Replay or ReplayContext.
+// ReplayObserved is ReplayContext with ring telemetry: the replay
+// registers its metrics under "ring." in m — chunks/events published,
+// producer and per-consumer stall counts, the occupancy high-water
+// mark, and a publish→fully-drained latency histogram per chunk (the
+// metric catalogue is in DESIGN.md §9).  All recording happens at chunk
+// boundaries under the ring's existing mutex, so the per-event path is
+// unchanged; a nil m is exactly ReplayContext.
+func ReplayObserved(ctx context.Context, m *telemetry.Registry, run RunFunc, analyzers ...*Analyzer) error {
+	return replay(ctx, nil, m, run, analyzers...)
+}
+
+// ReplayFaults is ReplayContext with fault-injection hooks installed
+// (and, when hooks.Metrics is set, ring telemetry).  It exists for
+// internal/faultinject's resilience tests; production callers use
+// Replay, ReplayContext or ReplayObserved.
 func ReplayFaults(ctx context.Context, hooks *ReplayHooks, run RunFunc, analyzers ...*Analyzer) error {
-	return replay(ctx, hooks, run, analyzers...)
+	var m *telemetry.Registry
+	if hooks != nil {
+		m = hooks.Metrics
+	}
+	return replay(ctx, hooks, m, run, analyzers...)
 }
 
-func replay(ctx context.Context, hooks *ReplayHooks, run RunFunc, analyzers ...*Analyzer) error {
+func replay(ctx context.Context, hooks *ReplayHooks, m *telemetry.Registry, run RunFunc, analyzers ...*Analyzer) error {
 	var beforeStep func(int, vm.Event)
 	var onPublish func(int64, []vm.Event)
 	if hooks != nil {
@@ -230,7 +322,7 @@ func replay(ctx context.Context, hooks *ReplayHooks, run RunFunc, analyzers ...*
 		return canceledErr(ctx, run(ctx, func(ev vm.Event) { a.Step(ev) }))
 	}
 
-	r := newEventRing(len(analyzers))
+	r := newEventRing(len(analyzers), newRingMetrics(m, len(analyzers)))
 	// A canceled context must unblock a producer waiting for a free slot
 	// and consumers waiting for the next chunk; condition variables cannot
 	// select on ctx.Done(), so a watcher trips the ring's abort flag.
@@ -352,4 +444,10 @@ func (g *Group) Run(run func(visit func(vm.Event)) error) error {
 // RunContext is Run under a context; see ReplayContext.
 func (g *Group) RunContext(ctx context.Context, run RunFunc) error {
 	return ReplayContext(ctx, run, g.Analyzers...)
+}
+
+// RunObserved is RunContext with ring telemetry recorded into m; see
+// ReplayObserved.
+func (g *Group) RunObserved(ctx context.Context, m *telemetry.Registry, run RunFunc) error {
+	return ReplayObserved(ctx, m, run, g.Analyzers...)
 }

@@ -12,6 +12,7 @@ type Type struct {
 // TypeKind is the base kind of a mini-C type.
 type TypeKind int
 
+// The base kinds, in declaration-keyword order.
 const (
 	TypeVoid TypeKind = iota
 	TypeInt
@@ -195,6 +196,7 @@ func (*BlockStmt) stmtNode()    {}
 // ExprKind discriminates the expression node variants.
 type ExprKind int
 
+// The expression node variants.
 const (
 	ExprIntLit ExprKind = iota
 	ExprFloatLit

@@ -1,22 +1,3 @@
-// Package minic implements a small C-like language and a code generator
-// targeting the isa package.  It stands in for the MIPS C and FORTRAN
-// compilers of the paper: the benchmark programs of internal/bench are
-// written in mini-C and compiled to the study's ISA with the same idioms
-// real compilers emit (register-allocated scalars, sp-relative frames,
-// compare-and-branch loop control, short-circuit boolean evaluation).
-//
-// Language summary:
-//
-//	int g = 3; float eps; int a[100]; float m[10][20];   // globals
-//	int f(int x, float y, int v[]) { ... }               // functions
-//	locals: int/float scalars and arrays (declared first in a body)
-//	statements: if/else, while, do-while, for, switch/case/default,
-//	            break, continue, return, blocks, expression statements
-//	expressions: || && | ^ & == != < <= > >= << >> + - * / %
-//	             unary - ! ~, x++ / x-- / op= statements, calls,
-//	             1-D/2-D indexing, int<->float implicit conversion
-//	intrinsics: print(x), printc(c), sqrt(x), fabs(x), abs(x),
-//	            itof(x), ftoi(x)
 package minic
 
 type tokKind int

@@ -1,0 +1,12 @@
+// Package opt implements a conservative post-codegen optimizer over
+// assembled programs: block-local copy propagation, constant/immediate
+// fusion, store-to-load forwarding, redundant-load elimination and
+// liveness-based dead-code removal.  It models the "-O" code quality of
+// the compilers the paper used, and provides the compiler-quality
+// ablation axis for the limit study.
+//
+// All transformations are semantics-preserving for valid programs; dead
+// loads are removed like any other dead write (a program relying on a
+// dead load to trap is considered invalid, as every real optimizer
+// assumes).
+package opt

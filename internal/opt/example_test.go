@@ -1,0 +1,33 @@
+package opt_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/opt"
+)
+
+// ExampleOptimize removes a dead computation: $t1 is written and never
+// read, so liveness-based dead-code removal deletes it.
+func ExampleOptimize() {
+	p, err := asm.Assemble(`
+.data
+out: .space 1
+.proc main
+	li   $t0, 3
+	add  $t1, $t0, $t0
+	la   $t2, out
+	sw   $t0, 0($t2)
+	halt
+.endproc
+`)
+	if err != nil {
+		panic(err)
+	}
+	r, err := opt.Optimize(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Removed > 0, r.Program.Validate() == nil)
+	// Output: true true
+}

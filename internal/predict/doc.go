@@ -1,0 +1,18 @@
+// Package predict implements the paper's branch prediction model
+// (§4.4.2): static, profile-based prediction with the profile collected on
+// the same inputs as the measurement run — an upper bound for static
+// prediction.  Computed jumps are never predicted.
+//
+// The normal flow is profile-then-predict: NewProfile returns a Profile
+// whose Record visitor tallies branch outcomes during a VM run, and
+// Profile.Predictor freezes the majority direction of every conditional
+// branch into a Predictor.  The analyzers then ask
+// Predictor.Mispredicted for each dynamic branch event; a mispredicted
+// branch is where the SP machine models serialize.
+//
+// Two alternatives support the prediction-scheme ablation study:
+// BTFN (backward-taken/forward-not-taken, no profile needed) and the
+// Oracle interface, whose implementations see the actual outcome
+// (perfect prediction) or invert the profile (worst case).  DynamicProfile
+// models the paper's two-bit counter comparison.
+package predict

@@ -1,0 +1,46 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/predict"
+	"ilplimit/internal/vm"
+)
+
+// ExampleProfile is the paper's prediction flow end to end: profile a run,
+// freeze the majority direction per branch, then count mispredictions on
+// the same trace.  A ten-iteration loop branch is taken nine times, so
+// the frozen taken-prediction misses exactly once, on loop exit.
+func ExampleProfile() {
+	p, err := asm.Assemble(`
+.proc main
+	li   $t0, 10
+loop:
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	halt
+.endproc
+`)
+	if err != nil {
+		panic(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	prof := predict.NewProfile(p)
+	if err := machine.Run(prof.Record); err != nil {
+		panic(err)
+	}
+	pred := prof.Predictor()
+	machine.Reset()
+	mis := 0
+	err = machine.Run(func(ev vm.Event) {
+		if pred.Mispredicted(ev) {
+			mis++
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(mis)
+	// Output: 1
+}

@@ -1,7 +1,3 @@
-// Package predict implements the paper's branch prediction model
-// (§4.4.2): static, profile-based prediction with the profile collected on
-// the same inputs as the measurement run — an upper bound for static
-// prediction.  Computed jumps are never predicted.
 package predict
 
 import (

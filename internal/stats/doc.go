@@ -1,0 +1,10 @@
+// Package stats provides the small statistical and formatting helpers the
+// reports share: harmonic means, cumulative distributions and fixed-width
+// text tables shaped like the paper's.
+//
+// The harmonic mean is the paper's summary statistic for parallelism
+// (slowdown-weighted, so one serial benchmark drags the suite mean the
+// way it would drag a real workload); Table renders the fixed-width
+// layout every table, figure and study report uses, including the
+// telemetry report of `ilplimit -metrics`.
+package stats

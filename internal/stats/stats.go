@@ -1,6 +1,3 @@
-// Package stats provides the small statistical and formatting helpers the
-// reports share: harmonic means, cumulative distributions and fixed-width
-// text tables shaped like the paper's.
 package stats
 
 import (

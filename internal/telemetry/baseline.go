@@ -1,0 +1,30 @@
+package telemetry
+
+// BenchBaseline is the top-level document of the committed benchmark
+// baseline (BENCH_limits.json), shared between cmd/benchjson (which
+// writes it from `go test -bench` output) and any tooling that diffs
+// baselines.  It carries the same schema_version as Snapshot so both
+// JSON artifacts version together.
+type BenchBaseline struct {
+	SchemaVersion int    `json:"schema_version"`
+	Goos          string `json:"goos,omitempty"`
+	Goarch        string `json:"goarch,omitempty"`
+	Pkg           string `json:"pkg,omitempty"`
+	CPU           string `json:"cpu,omitempty"`
+	// Benchmarks holds one record per result line, in input order.
+	Benchmarks []BenchRecord `json:"benchmarks"`
+}
+
+// BenchRecord is one benchmark result line of the baseline.
+type BenchRecord struct {
+	// Name is the benchmark path with the -GOMAXPROCS suffix split off.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when the runner printed none).
+	Procs int `json:"procs"`
+	// Iterations is the b.N the reported values were averaged over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit ("ns/op", "B/op", "allocs/op", and custom units
+	// such as "instrs/op" or the ring-telemetry "ring-hwm") to the
+	// reported value.
+	Metrics map[string]float64 `json:"metrics"`
+}

@@ -1,0 +1,28 @@
+// Package telemetry is the pipeline's lightweight metrics layer: atomic
+// counters, gauges and fixed-bucket histograms collected in a Registry
+// and exported as an immutable Snapshot.
+//
+// The package is built around one invariant: instrumentation that is
+// switched off must cost a single nil check on the hot path.  Every
+// metric handle (*Counter, *Gauge, *Histogram) and the *Registry itself
+// are nil-safe — methods on nil receivers are no-ops that allocate
+// nothing — so instrumented code obtains its handles once and calls them
+// unconditionally:
+//
+//	var c *telemetry.Counter // nil: recording is a no-op
+//	if reg != nil {
+//		c = reg.Counter("ring.chunks")
+//	}
+//	c.Inc() // safe either way
+//
+// Registries are cheap, concurrency-safe, and compose: WithPrefix
+// returns a scoped view that shares the underlying metric table while
+// prepending a name prefix, which is how the harness gives every
+// benchmark, pipeline stage and VM pass its own namespace
+// ("bench.espresso.vm.profile.instructions").  Snapshot() captures all
+// values at once for embedding in results, JSON emission, or the
+// expvar endpoint (PublishExpvar).
+//
+// See DESIGN.md §9 for the metric catalogue and the hot-path cost of
+// each instrumentation site.
+package telemetry

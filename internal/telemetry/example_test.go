@@ -1,0 +1,30 @@
+package telemetry_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/telemetry"
+)
+
+// A registry scopes metric names with WithPrefix and captures values
+// with Snapshot; a nil registry disables everything at the cost of a
+// nil check.
+func ExampleRegistry() {
+	reg := telemetry.NewRegistry()
+	scope := reg.WithPrefix("bench.awk.")
+	scope.Counter("vm.instructions").Add(1234)
+	scope.Gauge("ring.occupancy_hwm").SetMax(6)
+
+	s := reg.Snapshot()
+	for _, name := range s.CounterNames() {
+		fmt.Println(name, s.Counters[name])
+	}
+	fmt.Println("hwm", s.Gauges["bench.awk.ring.occupancy_hwm"])
+
+	var off *telemetry.Registry // disabled: all handles are inert
+	off.Counter("never").Inc()
+
+	// Output:
+	// bench.awk.vm.instructions 1234
+	// hwm 6
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("a") != c {
+		t.Error("Counter not idempotent by name")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.SetMax(3)
+	if got := g.Load(); got != 7 {
+		t.Errorf("SetMax(3) lowered gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Load(); got != 9 {
+		t.Errorf("SetMax(9) = %d, want 9", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket convention: bucket i
+// counts v <= bounds[i], boundary values land in the lower bucket, and
+// values above the last bound go to the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 100, 1000})
+	for _, v := range []int64{-5, 0, 10, 11, 100, 101, 1000, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	wantCounts := []int64{3, 2, 2, 2} // (-inf,10], (10,100], (100,1000], (1000,+inf)
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d (bounds %v)", i, s.Counts[i], want, s.Bounds)
+		}
+	}
+	if s.Count != 9 {
+		t.Errorf("Count = %d, want 9", s.Count)
+	}
+	wantSum := int64(-5 + 0 + 10 + 11 + 100 + 101 + 1000 + 1001 + 1<<40)
+	if s.Sum != wantSum {
+		t.Errorf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+// TestNilFastPath asserts the whole disabled surface is inert: a nil
+// registry, nil handles from it, and nil scoped views all no-op.
+func TestNilFastPath(t *testing.T) {
+	var r *Registry
+	scoped := r.WithPrefix("x.")
+	if scoped != nil {
+		t.Error("WithPrefix on nil registry should stay nil")
+	}
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", LatencyBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(3)
+	if c.Load() != 0 || g.Load() != 0 {
+		t.Error("nil handles accumulated values")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	var s *Snapshot
+	if s.Filter("x") != nil || s.CounterNames() != nil {
+		t.Error("nil snapshot methods should return nil")
+	}
+	r.PublishExpvar("nil-registry") // must not panic or publish
+}
+
+func TestWithPrefix(t *testing.T) {
+	r := NewRegistry()
+	bench := r.WithPrefix("bench.awk.")
+	vmScope := bench.WithPrefix("vm.")
+	vmScope.Counter("instructions").Add(100)
+	bench.Counter("stage.compile_ns").Add(5)
+	s := r.Snapshot()
+	if s.Counters["bench.awk.vm.instructions"] != 100 {
+		t.Errorf("nested prefix missing: %v", s.Counters)
+	}
+	if s.Counters["bench.awk.stage.compile_ns"] != 5 {
+		t.Errorf("prefix missing: %v", s.Counters)
+	}
+	// Shared table: the unscoped registry reaches the same counter.
+	if r.Counter("bench.awk.vm.instructions") != vmScope.Counter("instructions") {
+		t.Error("scoped and unscoped views disagree on the same name")
+	}
+}
+
+func TestSnapshotFilter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bench.awk.x").Add(1)
+	r.Counter("bench.gcc.x").Add(2)
+	r.Gauge("bench.awk.g").Set(3)
+	r.Histogram("bench.awk.h", []int64{1}).Observe(0)
+	f := r.Snapshot().Filter("bench.awk.")
+	if len(f.Counters) != 1 || f.Counters["x"] != 1 {
+		t.Errorf("filtered counters = %v", f.Counters)
+	}
+	if f.Gauges["g"] != 3 {
+		t.Errorf("filtered gauges = %v", f.Gauges)
+	}
+	if _, ok := f.Histograms["h"]; !ok {
+		t.Errorf("filtered histograms = %v", f.Histograms)
+	}
+}
+
+// TestSnapshotJSONDeterministic relies on encoding/json sorting map
+// keys: two snapshots with the same values must encode byte-identically.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n).Add(int64(len(n)))
+		}
+		b, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := build([]string{"a", "b", "c"})
+	b := build([]string{"c", "a", "b"})
+	if string(a) != string(b) {
+		t.Errorf("snapshot JSON depends on registration order:\n%s\n%s", a, b)
+	}
+}
+
+func TestConcurrentRegistryUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("hwm").SetMax(int64(j))
+				r.Histogram("lat", LatencyBuckets).Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared"] != 8000 {
+		t.Errorf("shared = %d, want 8000", s.Counters["shared"])
+	}
+	if s.Gauges["hwm"] != 999 {
+		t.Errorf("hwm = %d, want 999", s.Gauges["hwm"])
+	}
+	if s.Histograms["lat"].Count != 8000 {
+		t.Errorf("lat count = %d, want 8000", s.Histograms["lat"].Count)
+	}
+}

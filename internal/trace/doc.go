@@ -1,0 +1,12 @@
+// Package trace classifies dynamic instructions for the two program
+// transformations the paper applies to traces (§4.2):
+//
+//   - perfect inlining: calls, returns, and stack-pointer adjustments are
+//     removed from the trace;
+//   - perfect loop unrolling: induction-variable updates, comparisons of
+//     induction variables with loop invariants, and branches on those
+//     comparisons are removed (computed by internal/dataflow).
+//
+// Removed instructions contribute to neither the sequential nor the
+// parallel execution time.
+package trace

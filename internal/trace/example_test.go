@@ -1,0 +1,34 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"ilplimit/internal/trace"
+	"ilplimit/internal/vm"
+)
+
+// ExampleWriter round-trips events through the on-disk trace format and
+// replays them with Visit.
+func ExampleWriter() {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		panic(err)
+	}
+	if err := w.Write(vm.Event{Seq: 0, Idx: 1}); err != nil {
+		panic(err)
+	}
+	if err := w.Write(vm.Event{Seq: 1, Idx: 2, Addr: 64}); err != nil {
+		panic(err)
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	n, err := trace.Visit(&buf, func(vm.Event) {})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output: 2
+}

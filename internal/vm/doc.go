@@ -1,0 +1,18 @@
+// Package vm interprets assembled programs and streams a dynamic
+// instruction trace.  It plays the role that the MIPS pixie tool played in
+// the paper: each retired instruction is reported with its static index,
+// its effective memory address (for loads and stores) and its branch
+// outcome (for conditional branches and computed jumps).
+//
+// Run drives the whole trace through a visitor callback; RunContext adds
+// cooperative cancellation, checked every CheckInterval retired
+// instructions so the dispatch loop stays branch-light.  The same
+// checkpoint hosts the two optional observation points: StepHook
+// (deterministic fault injection, internal/faultinject) and Metrics
+// (run-level telemetry, internal/telemetry).  Both are nil in production
+// runs and cost one nil check.
+//
+// A VM is deterministic: the same program always retires the same event
+// sequence, which is what lets the serial and parallel analysis paths
+// (internal/limits) be compared bit for bit.
+package vm

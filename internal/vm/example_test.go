@@ -1,0 +1,32 @@
+package vm_test
+
+import (
+	"fmt"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/vm"
+)
+
+// ExampleVM_Run streams the dynamic trace of a small loop: the visitor
+// sees exactly one event per retired instruction.
+func ExampleVM_Run() {
+	p, err := asm.Assemble(`
+.proc main
+	li   $t0, 5
+loop:
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	halt
+.endproc
+`)
+	if err != nil {
+		panic(err)
+	}
+	machine := vm.NewSized(p, 1<<12)
+	events := int64(0)
+	if err := machine.Run(func(vm.Event) { events++ }); err != nil {
+		panic(err)
+	}
+	fmt.Println(events > 0, events == machine.Steps)
+	// Output: true true
+}

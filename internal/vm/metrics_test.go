@@ -1,0 +1,59 @@
+package vm
+
+import (
+	"context"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/telemetry"
+)
+
+// TestRunContextMetrics ties the VM counters to ground truth the VM
+// itself reports: instructions executed must equal Steps, run counts
+// accumulate across Reset, and the hook timer only exists when a
+// StepHook is installed.
+func TestRunContextMetrics(t *testing.T) {
+	p, err := asm.Assemble(`
+.proc main
+	li   $t0, 100
+loop:
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	halt
+.endproc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewSized(p, 1<<12)
+	reg := telemetry.NewRegistry()
+	m.Metrics = reg
+	if err := m.RunContext(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["instructions"]; got != m.Steps {
+		t.Errorf("instructions = %d, want Steps = %d", got, m.Steps)
+	}
+	if got := s.Counters["runs"]; got != 1 {
+		t.Errorf("runs = %d, want 1", got)
+	}
+	if s.Counters["run_ns"] <= 0 {
+		t.Error("run_ns was not recorded")
+	}
+
+	// Second run accumulates; a step hook adds hook_ns.
+	first := m.Steps
+	m.Reset()
+	m.StepHook = func(int64) error { return nil }
+	if err := m.RunContext(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	s = reg.Snapshot()
+	if got, want := s.Counters["instructions"], first+m.Steps; got != want {
+		t.Errorf("instructions after second run = %d, want %d", got, want)
+	}
+	if got := s.Counters["runs"]; got != 2 {
+		t.Errorf("runs = %d, want 2", got)
+	}
+}

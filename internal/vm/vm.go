@@ -1,8 +1,3 @@
-// Package vm interprets assembled programs and streams a dynamic
-// instruction trace.  It plays the role that the MIPS pixie tool played in
-// the paper: each retired instruction is reported with its static index,
-// its effective memory address (for loads and stores) and its branch
-// outcome (for conditional branches and computed jumps).
 package vm
 
 import (
@@ -11,8 +6,10 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"ilplimit/internal/isa"
+	"ilplimit/internal/telemetry"
 )
 
 // Event describes one retired instruction.
@@ -68,7 +65,17 @@ type VM struct {
 	// with that error wrapped.  It exists for deterministic fault
 	// injection (internal/faultinject) and stays nil in production runs.
 	StepHook func(steps int64) error
-	out      strings.Builder
+	// Metrics, when non-nil, receives per-run telemetry: "instructions"
+	// and "run_ns" counters (their ratio is instructions/sec), "runs",
+	// and — when StepHook is set — "hook_ns", the time spent inside the
+	// hook.  The VM registers bare names; owners scope them with
+	// Registry.WithPrefix (the harness uses "vm.profile." and
+	// "vm.analysis.").  All recording happens at run boundaries and at
+	// the existing CheckInterval checkpoints, so the per-instruction
+	// dispatch loop is untouched; a nil Metrics costs one nil check per
+	// run.
+	Metrics *telemetry.Registry
+	out     strings.Builder
 }
 
 // New creates a VM for the program with default memory.
@@ -128,6 +135,16 @@ func (vm *VM) RunContext(ctx context.Context, visit func(Event)) error {
 	limit := vm.StepLimit
 	if limit == 0 {
 		limit = DefaultStepLimit
+	}
+	var hookNs *telemetry.Counter
+	if vm.Metrics != nil {
+		hookNs = vm.Metrics.Counter("hook_ns")
+		vm.Metrics.Counter("runs").Inc()
+		start, startSteps := time.Now(), vm.Steps
+		defer func() {
+			vm.Metrics.Counter("run_ns").AddDuration(time.Since(start))
+			vm.Metrics.Counter("instructions").Add(vm.Steps - startSteps)
+		}()
 	}
 	done := ctx.Done()
 	hook := vm.StepHook
@@ -368,7 +385,15 @@ func (vm *VM) RunContext(ctx context.Context, visit func(Event)) error {
 				}
 			}
 			if hook != nil {
-				if err := hook(vm.Steps); err != nil {
+				var t0 time.Time
+				if hookNs != nil {
+					t0 = time.Now()
+				}
+				err := hook(vm.Steps)
+				if hookNs != nil {
+					hookNs.AddDuration(time.Since(t0))
+				}
+				if err != nil {
 					return fmt.Errorf("vm: step hook at step %d: %w", vm.Steps, err)
 				}
 			}
