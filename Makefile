@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet docs check race faultcheck bench bench-baseline
+.PHONY: build test vet docs check race faultcheck soak bench bench-baseline
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ docs:
 	$(GO) run ./cmd/doccheck . ./internal/* ./cmd/*
 
 # The default local gate: everything short of the long benchmarks.
-check: build docs test race
+check: build docs test race soak
 
 # Concurrency gate: the parallel trace fan-out (internal/limits) and the
 # suite-level job fan-out (internal/harness) must stay race-clean.
@@ -35,6 +35,14 @@ race: faultcheck
 faultcheck:
 	$(GO) test -race ./internal/faultinject
 	$(GO) test -fuzz FuzzReader -fuzztime 10s -run FuzzReader ./internal/trace
+
+# Resilience gate: the crash-safe journal, retry, and resume paths under
+# the race detector, then the kill-9/resume CLI round-trip twice — the
+# second pass catches state the first one leaks.
+soak: faultcheck
+	$(GO) test -race ./internal/journal
+	$(GO) test -race -run 'Resume|Retr|Invariant|Watchdog' ./internal/harness
+	$(GO) test -race -count 2 -run TestCLIKillResume .
 
 # Group-scheduling benchmarks: serial visitor vs chunked parallel replay.
 bench:

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmd compiles one of the repository's commands into t's temp dir.
@@ -228,6 +229,85 @@ func TestCLIDebugAddr(t *testing.T) {
 	}()
 	if err := cmd.Wait(); err != nil {
 		t.Fatalf("run with -debug-addr failed: %v", err)
+	}
+}
+
+// TestCLIKillResume drives the crash-safe journal end to end: a suite
+// run with -resume is killed with SIGKILL mid-run (no cleanup, no
+// deferred writes — the crash the journal exists for), its journal tail
+// is corrupted the way a torn write would, and the resumed run must
+// still skip the benchmarks that completed before the kill and emit
+// output byte-identical to an uninterrupted run.
+func TestCLIKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "ilplimit")
+	benches := "awk,ccom,eqntott,irsim,latex"
+
+	// Reference: the uninterrupted run's exact bytes.
+	ref, err := exec.Command(bin, "-bench", benches, "-json").Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Interrupted run: SIGKILL as soon as the journal holds at least one
+	// completed benchmark.
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.ilpj")
+	cmd := exec.Command(bin, "-bench", benches, "-json", "-resume", dir)
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(jpath); err == nil && strings.Contains(string(data), " bench ") {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			t.Fatal("no benchmark journaled within the deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// Simulate the torn write a crash mid-append leaves behind: a record
+	// fragment with no trailing newline.  Recovery must drop it and keep
+	// every complete record before it.
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("ilpj1 deadbeef bench {\"name\":\"tru"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed run: must salvage the journal, skip completed work, and
+	// reproduce the reference bytes exactly.
+	resumed := exec.Command(bin, "-bench", benches, "-json", "-resume", dir, "-v")
+	var stderr strings.Builder
+	resumed.Stderr = &stderr
+	out, err := resumed.Output()
+	if err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "corrupt tail") {
+		t.Errorf("resumed run did not report the corrupt-tail salvage:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resumed from journal") {
+		t.Errorf("resumed run re-ran everything:\n%s", stderr.String())
+	}
+	if string(out) != string(ref) {
+		t.Errorf("resumed output differs from the uninterrupted run (%d vs %d bytes)", len(out), len(ref))
 	}
 }
 

@@ -14,6 +14,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -26,10 +27,18 @@ import (
 var procSuffix = regexp.MustCompile(`-(\d+)$`)
 
 func main() {
+	source := flag.String("source", "go test -bench | benchjson",
+		"invocation recorded in the baseline's meta block")
+	flag.Parse()
 	// The document schema (telemetry.BenchBaseline) is shared with the
-	// metrics snapshots so both JSON artifacts version together.
+	// metrics snapshots so both JSON artifacts version together.  The
+	// meta block stamps the baseline with the revision and toolchain
+	// that produced it, so a committed BENCH_limits.json says which
+	// commit its numbers measure.
+	meta := telemetry.NewRunMeta(*source)
 	base := telemetry.BenchBaseline{
 		SchemaVersion: telemetry.SchemaVersion,
+		Meta:          &meta,
 		Benchmarks:    []telemetry.BenchRecord{},
 	}
 	sc := bufio.NewScanner(os.Stdin)

@@ -9,16 +9,29 @@
 //	ilplimit -table 3                # one table
 //	ilplimit -figure 6               # one figure
 //	ilplimit -bench espresso         # restrict the suite to one benchmark
+//	ilplimit -bench awk,ccom,latex   # or to a comma-separated list
 //	ilplimit -scale 4                # larger workloads
 //	ilplimit -serial                 # single-goroutine analysis (debugging/measurement)
 //	ilplimit -timeout 2m             # abort cleanly if the run exceeds a deadline
 //	ilplimit -metrics                # pipeline telemetry report after the run
 //	ilplimit -debug-addr 127.0.0.1:6060  # live expvar + pprof during the run
+//	ilplimit -resume state/          # crash-safe run: journal results, skip completed ones
+//	ilplimit -retries 2              # re-run transiently-failed benchmarks
+//	ilplimit -watchdog 30s           # detach analyzers making no chunk progress
 //	ilplimit -v                      # progress on stderr
 //
 // When some benchmarks fail and others succeed, the surviving results are
 // still rendered, a per-benchmark failure summary goes to stderr, and the
 // process exits non-zero.
+//
+// -resume names a directory holding the run journal: every completed
+// benchmark is checkpointed there (checksummed and fsync'd), and a rerun
+// after a crash — even kill -9 — skips the journaled benchmarks and
+// reproduces the uninterrupted run's output byte for byte.  The journal
+// is bound to the result-affecting configuration (scale, models,
+// benchmark list, step limit); resuming with a different configuration
+// is refused.  -resume cannot be combined with -study, whose passes vary
+// the configuration per run.
 package main
 
 import (
@@ -33,12 +46,19 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr server
 	"os"
+	"strings"
 
 	"ilplimit/internal/bench"
 	"ilplimit/internal/harness"
+	"ilplimit/internal/journal"
 	"ilplimit/internal/limits"
 	"ilplimit/internal/telemetry"
 )
+
+// jnl is the run journal when -resume is active, package-level so fail()
+// can record why a run ended before exiting: an interrupted journal then
+// explains itself when inspected or resumed.
+var jnl *journal.Journal
 
 func main() {
 	var (
@@ -53,6 +73,9 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 30s; 0 = no limit)")
 		metrics  = flag.Bool("metrics", false, "print a pipeline telemetry report (stage timings, VM throughput, ring stats) after the run")
 		debug    = flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. 127.0.0.1:6060) for the lifetime of the run")
+		resume   = flag.String("resume", "", "journal completed benchmarks in this directory and skip ones already journaled by an interrupted run")
+		retries  = flag.Int("retries", 0, "re-run a transiently-failed benchmark up to this many extra times")
+		watchdog = flag.Duration("watchdog", 0, "detach an analyzer making no chunk progress for this long and fail its benchmark (0 = off)")
 		verbose  = flag.Bool("v", false, "log pipeline progress to stderr")
 	)
 	flag.Parse()
@@ -66,7 +89,39 @@ func main() {
 	if *verbose {
 		progress = os.Stderr
 	}
-	opt := harness.Options{Scale: *scale, Progress: progress, Models: limits.AllModels(), Optimize: *optimize, Serial: *serial}
+	opt := harness.Options{
+		Scale: *scale, Progress: progress, Models: limits.AllModels(),
+		Optimize: *optimize, Serial: *serial,
+		Retries: *retries, Watchdog: *watchdog,
+	}
+	if *name != "" {
+		// A restricted benchmark list still runs through RunSuite, so
+		// journaling, retries, and degraded rendering all apply to it.
+		for _, n := range strings.Split(*name, ",") {
+			b, err := bench.ByName(strings.TrimSpace(n))
+			if err != nil {
+				fail(err)
+			}
+			opt.Benchmarks = append(opt.Benchmarks, b)
+		}
+	}
+	if *resume != "" {
+		if *study != "" {
+			fail(fmt.Errorf("-resume cannot be combined with -study: study passes vary the configuration the journal is bound to"))
+		}
+		j, err := journal.Open(*resume, opt.JournalMeta(telemetry.GitRevision()))
+		if err != nil {
+			fail(err)
+		}
+		jnl = j
+		opt.Journal = j
+		if n := j.Recovered(); n > 0 && progress != nil {
+			fmt.Fprintf(progress, "ilplimit: journal holds %d completed benchmark(s); resuming\n", n)
+		}
+		if t := j.Truncated(); t > 0 {
+			fmt.Fprintf(os.Stderr, "ilplimit: journal: dropped %d corrupt tail byte(s) from an interrupted write\n", t)
+		}
+	}
 	if *metrics || *debug != "" {
 		opt.Metrics = telemetry.NewRegistry()
 		// The report covers every benchmark the process ran — including
@@ -87,7 +142,7 @@ func main() {
 		opt.Metrics.PublishExpvar("ilplimit")
 		ln, err := net.Listen("tcp", *debug)
 		if err != nil {
-			fail(err)
+			fail(fmt.Errorf("debug-addr %s: %w", *debug, err))
 		}
 		fmt.Fprintf(os.Stderr, "ilplimit: debug server listening on %s\n", ln.Addr())
 		go func() { _ = http.Serve(ln, nil) }()
@@ -153,27 +208,13 @@ func main() {
 		fail(fmt.Errorf("unknown study %q (want prediction, window, latency, guarded, quality, width, or scale)", *study))
 	}
 
-	suite := &harness.SuiteResult{Models: opt.Models}
 	// A degraded suite (some benchmarks failed, some succeeded) still
 	// renders whatever survived; the failure summary goes to stderr and
 	// the process exits non-zero.
 	var degraded *harness.SuiteError
-	if *name != "" {
-		b, err := bench.ByName(*name)
-		if err != nil {
-			fail(err)
-		}
-		r, err := harness.RunBenchmark(b, opt)
-		if err != nil {
-			fail(err)
-		}
-		suite.Benchmarks = append(suite.Benchmarks, *r)
-	} else {
-		s, err := harness.RunSuite(opt)
-		if err != nil && !errors.As(err, &degraded) {
-			fail(err)
-		}
-		suite = s
+	suite, err := harness.RunSuite(opt)
+	if err != nil && !errors.As(err, &degraded) {
+		fail(err)
 	}
 
 	if *jsonOut {
@@ -210,11 +251,27 @@ func main() {
 	if degraded != nil {
 		fmt.Fprintln(os.Stderr, "ilplimit:", degraded)
 		fmt.Fprint(os.Stderr, suite.FailureSummary())
+		if jnl != nil {
+			_ = jnl.AppendNote("run degraded: " + degraded.Error())
+			_ = jnl.Close()
+		}
 		os.Exit(1)
+	}
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ilplimit: journal:", err)
+		}
 	}
 }
 
+// fail reports a fatal error on stderr and exits non-zero.  When a run
+// journal is open it records the reason first, so an interrupted -resume
+// directory explains why its run ended.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "ilplimit:", err)
+	if jnl != nil {
+		_ = jnl.AppendNote("run failed: " + err.Error())
+		_ = jnl.Close()
+	}
 	os.Exit(1)
 }

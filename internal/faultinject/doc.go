@@ -1,7 +1,10 @@
 // Package faultinject builds deterministic fault plans for the pipeline's
 // resilience tests: trap the VM at a chosen step, panic a chosen analyzer
-// worker at a chosen event, corrupt a published replay chunk, or stall a
-// consumer long enough to exercise the broadcast ring's flow control.
+// worker at a chosen event, corrupt a published replay chunk, stall a
+// consumer long enough to exercise the broadcast ring's flow control (or
+// the stall watchdog's detach path), slow a consumer steadily below the
+// watchdog deadline, or starve one analyzer of trace events to seed a
+// model-ordering invariant violation.
 //
 // A Plan is pure data; it acts only when wired into the two test-only
 // hooks the pipeline exposes — vm.VM.StepHook (via Plan.StepHook) and the

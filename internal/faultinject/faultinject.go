@@ -42,7 +42,25 @@ type Plan struct {
 	StallAtSeq    int64
 	StallFor      time.Duration
 
-	trapped, panicked, corrupted, stalled atomic.Int64
+	// SlowEvery > 0 makes consumer SlowConsumer sleep SlowFor before
+	// stepping every event whose sequence number is a multiple of
+	// SlowEvery — steady sub-deadline progress rather than the one-shot
+	// stall above, so a watchdog deadline can be probed at finer
+	// granularity than its timeout (a slow-but-moving consumer must
+	// survive; a stalled one must not).
+	SlowConsumer int
+	SlowEvery    int64
+	SlowFor      time.Duration
+
+	// DropFromSeq > 0 makes consumer DropConsumer silently skip every
+	// event from that sequence number on.  An analyzer fed a truncated
+	// trace computes a bogus schedule while its siblings see the whole
+	// trace — the cheapest deterministic way to seed a model-ordering
+	// invariant violation for limits.CheckOrdering.
+	DropConsumer int
+	DropFromSeq  int64
+
+	trapped, panicked, corrupted, stalled, slowed, dropped atomic.Int64
 }
 
 // StepHook returns a vm.VM StepHook implementing TrapAtStep, or nil when
@@ -77,17 +95,31 @@ func (p *Plan) Hooks() *limits.ReplayHooks {
 			}
 		}
 	}
-	if p.PanicAtSeq > 0 || p.StallAtSeq > 0 {
+	if p.PanicAtSeq > 0 || p.StallAtSeq > 0 || p.SlowEvery > 0 {
 		armed = true
 		h.BeforeStep = func(id int, ev vm.Event) {
 			if p.StallAtSeq > 0 && id == p.StallConsumer && ev.Seq == p.StallAtSeq {
 				p.stalled.Add(1)
 				time.Sleep(p.StallFor)
 			}
+			if p.SlowEvery > 0 && id == p.SlowConsumer && ev.Seq%p.SlowEvery == 0 {
+				p.slowed.Add(1)
+				time.Sleep(p.SlowFor)
+			}
 			if p.PanicAtSeq > 0 && id == p.PanicConsumer && ev.Seq == p.PanicAtSeq {
 				p.panicked.Add(1)
 				panic(fmt.Sprintf("faultinject: planned panic in consumer %d at seq %d", id, ev.Seq))
 			}
+		}
+	}
+	if p.DropFromSeq > 0 {
+		armed = true
+		h.DropStep = func(id int, ev vm.Event) bool {
+			if id == p.DropConsumer && ev.Seq >= p.DropFromSeq {
+				p.dropped.Add(1)
+				return true
+			}
+			return false
 		}
 	}
 	if !armed {
@@ -101,3 +133,9 @@ func (p *Plan) Hooks() *limits.ReplayHooks {
 func (p *Plan) Fired() (trapped, panicked, corrupted, stalled int64) {
 	return p.trapped.Load(), p.panicked.Load(), p.corrupted.Load(), p.stalled.Load()
 }
+
+// FiredSlow reports how many events the slow-consumer plan delayed.
+func (p *Plan) FiredSlow() int64 { return p.slowed.Load() }
+
+// FiredDropped reports how many events the drop plan skipped.
+func (p *Plan) FiredDropped() int64 { return p.dropped.Load() }

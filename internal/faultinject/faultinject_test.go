@@ -308,3 +308,115 @@ func TestCancellationUnblocksStalledRing(t *testing.T) {
 		t.Fatalf("stall fired %d times, want 1", stalled)
 	}
 }
+
+// TestWatchdogDetachesStalledConsumer proves the stall watchdog's core
+// promise: a consumer wedged mid-chunk is detached within the deadline
+// (not after its sleep finally ends), the replay finishes for everyone
+// else with correct results, and the failure surfaces as a structured
+// *limits.StallError.
+func TestWatchdogDetachesStalledConsumer(t *testing.T) {
+	f := build(t)
+	const n = 3
+	ref := f.serialResults(t, n)
+	plan := &Plan{
+		StallConsumer: 1,
+		StallAtSeq:    limits.ChunkEvents + 3,
+		StallFor:      3 * time.Second, // far beyond the deadline
+	}
+	as := f.analyzers(n)
+	hooks := plan.Hooks()
+	hooks.Metrics = telemetry.NewRegistry()
+	start := time.Now()
+	err := limits.ReplayWith(context.Background(),
+		limits.ReplayOptions{Hooks: hooks, Watchdog: 100 * time.Millisecond},
+		f.machine.RunContext, as...)
+	elapsed := time.Since(start)
+
+	var se *limits.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("Replay error = %v, want *limits.StallError", err)
+	}
+	if len(se.Consumers) != 1 || se.Consumers[0] != plan.StallConsumer {
+		t.Fatalf("StallError.Consumers = %v, want [%d]", se.Consumers, plan.StallConsumer)
+	}
+	if se.Deadline != 100*time.Millisecond {
+		t.Errorf("StallError.Deadline = %v", se.Deadline)
+	}
+	if elapsed >= plan.StallFor {
+		t.Fatalf("replay took %v: it waited out the stall instead of detaching", elapsed)
+	}
+	if _, _, _, stalled := plan.Fired(); stalled != 1 {
+		t.Fatalf("stall fired %d times, want 1", stalled)
+	}
+	s := hooks.Metrics.Snapshot()
+	if got := s.Counters["ring.watchdog_detaches"]; got != 1 {
+		t.Errorf("ring.watchdog_detaches = %d, want 1", got)
+	}
+	if got := s.Counters["ring.detaches"]; got != 1 {
+		t.Errorf("ring.detaches = %d, want 1", got)
+	}
+	// Every surviving consumer drained the full trace.
+	for i, a := range as {
+		if i == plan.StallConsumer {
+			continue
+		}
+		if !reflect.DeepEqual(a.Result(), ref[i]) {
+			t.Errorf("surviving analyzer %d diverged after watchdog detach", i)
+		}
+	}
+}
+
+// TestWatchdogToleratesSlowConsumer drives the SlowConsumer plan: a
+// consumer that is delayed on every chunk but keeps completing them
+// within the deadline must never be detached, and the replay must end
+// with every analyzer correct.
+func TestWatchdogToleratesSlowConsumer(t *testing.T) {
+	f := build(t)
+	const n = 3
+	ref := f.serialResults(t, n)
+	plan := &Plan{
+		SlowConsumer: 0,
+		SlowEvery:    limits.ChunkEvents * 8, // a handful of delays across the trace
+		SlowFor:      20 * time.Millisecond,  // well inside the deadline
+	}
+	as := f.analyzers(n)
+	err := limits.ReplayWith(context.Background(),
+		limits.ReplayOptions{Hooks: plan.Hooks(), Watchdog: 500 * time.Millisecond},
+		f.machine.RunContext, as...)
+	if err != nil {
+		t.Fatalf("Replay error = %v, want nil (slow progress is not a stall)", err)
+	}
+	if plan.FiredSlow() == 0 {
+		t.Fatal("slow-consumer plan never fired")
+	}
+	for i, a := range as {
+		if !reflect.DeepEqual(a.Result(), ref[i]) {
+			t.Errorf("analyzer %d diverged under the slow-consumer plan", i)
+		}
+	}
+}
+
+// TestDropPlanStarvesOneConsumer checks the drop plan skews exactly the
+// chosen consumer and leaves its siblings on the reference schedule.
+func TestDropPlanStarvesOneConsumer(t *testing.T) {
+	f := build(t)
+	const n = 3
+	ref := f.serialResults(t, n)
+	plan := &Plan{DropConsumer: 2, DropFromSeq: limits.ChunkEvents + 1}
+	as := f.analyzers(n)
+	if err := limits.ReplayFaults(context.Background(), plan.Hooks(), f.machine.RunContext, as...); err != nil {
+		t.Fatal(err)
+	}
+	if plan.FiredDropped() == 0 {
+		t.Fatal("drop plan never fired")
+	}
+	for i, a := range as {
+		same := reflect.DeepEqual(a.Result(), ref[i])
+		if i == plan.DropConsumer && same {
+			t.Errorf("starved analyzer %d still matches the full-trace reference", i)
+		}
+		if i != plan.DropConsumer && !same {
+			t.Errorf("analyzer %d diverged though only consumer %d was starved", i, plan.DropConsumer)
+		}
+	}
+}

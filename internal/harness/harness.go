@@ -2,15 +2,20 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"ilplimit/internal/asm"
 	"ilplimit/internal/bench"
+	"ilplimit/internal/journal"
 	"ilplimit/internal/limits"
 	"ilplimit/internal/minic"
 	optimizer "ilplimit/internal/opt"
@@ -64,6 +69,35 @@ type Options struct {
 	// default) keeps all hot paths on their nil-check fast path.  See
 	// DESIGN.md §9 for the catalogue and MetricsReport for rendering.
 	Metrics *telemetry.Registry
+	// Benchmarks restricts RunSuite to these suite entries, in order
+	// (default: bench.All()).  Results and failure reporting follow this
+	// slice's order exactly as they would the full suite's.
+	Benchmarks []bench.Benchmark
+	// Journal, when non-nil, makes RunSuite crash-safe: every completed
+	// benchmark's result is appended to the journal (checksummed and
+	// fsync'd before the suite moves on), and benchmarks already present
+	// in the journal — recovered from a previous interrupted run of the
+	// same configuration — are reused without re-running, reproducing
+	// the uninterrupted run's SuiteResult byte for byte.  Open the
+	// journal with the fingerprint from Options.JournalMeta.
+	Journal *journal.Journal
+	// Retries re-runs a benchmark that failed with a transient error
+	// (worker panic, injected fault, watchdog stall) up to this many
+	// extra times before recording the failure.  Deterministic failures
+	// — cancellation, step-limit overruns, model-ordering invariant
+	// violations — are never retried.  Attempt counts surface through
+	// the "bench.<name>.retries" counter and BenchFailure.Attempts.
+	Retries int
+	// RetryBackoff is the delay before the first retry (default 100ms),
+	// doubling per attempt with jitter drawn from the upper half of the
+	// interval, so concurrent benchmarks retrying together spread out.
+	RetryBackoff time.Duration
+	// Watchdog, when positive, arms the replay ring's per-consumer stall
+	// watchdog: an analyzer worker that completes no chunk while one is
+	// available for this long is detached like a panicked worker and the
+	// benchmark fails with a *limits.StallError (a transient failure,
+	// eligible for Retries).  Zero disables the watchdog.
+	Watchdog time.Duration
 }
 
 // benchStartHook, when non-nil, runs at the top of every RunBenchmark; a
@@ -71,6 +105,13 @@ type Options struct {
 // resilience tests can fault one benchmark of a suite deterministically,
 // and stays nil in production.
 var benchStartHook func(name string) error
+
+// analyzeHooks, when non-nil, installs fault-injection hooks into every
+// RunBenchmark analysis replay (parallel path only).  Resilience tests
+// use it to seed analyzer-level faults — stalls, starved consumers that
+// violate the model-ordering invariant — through internal/faultinject;
+// it stays nil in production.
+var analyzeHooks *limits.ReplayHooks
 
 // syncWriter serializes Progress writes from benchmarks running
 // concurrently under RunSuite, which would otherwise race on the shared
@@ -102,6 +143,12 @@ func (o Options) withDefaults() Options {
 	if o.StepLimit == 0 {
 		o.StepLimit = 1 << 32
 	}
+	if o.Benchmarks == nil {
+		o.Benchmarks = bench.All()
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
 	if o.Progress != nil {
 		if _, ok := o.Progress.(*syncWriter); !ok {
 			o.Progress = &syncWriter{w: o.Progress}
@@ -116,6 +163,33 @@ func (o Options) ctx() context.Context {
 		return o.Context
 	}
 	return context.Background()
+}
+
+// JournalMeta derives the resume-compatibility fingerprint of this run
+// configuration, for journal.Open.  Only fields that change benchmark
+// results participate: Scale, MemWords, Optimize, StepLimit, the model
+// set and the benchmark list.  Concurrency and observability knobs
+// (Jobs, Serial, Progress, Metrics, Retries, Watchdog) are excluded —
+// the serial and parallel paths produce identical results, so a resumed
+// run may change them freely.  gitSHA is recorded for provenance but
+// does not gate resumption.
+func (o Options) JournalMeta(gitSHA string) journal.Meta {
+	o = o.withDefaults()
+	m := journal.Meta{
+		SchemaVersion: journal.SchemaVersion,
+		GitSHA:        gitSHA,
+		Scale:         o.Scale,
+		MemWords:      o.MemWords,
+		Optimize:      o.Optimize,
+		StepLimit:     o.StepLimit,
+	}
+	for _, md := range o.Models {
+		m.Models = append(m.Models, md.String())
+	}
+	for _, b := range o.Benchmarks {
+		m.Benchmarks = append(m.Benchmarks, b.Name)
+	}
+	return m
 }
 
 // BenchResult holds everything the paper reports about one benchmark.
@@ -165,6 +239,14 @@ type BenchFailure struct {
 	// the message there.
 	Err   error `json:"-"`
 	Error string
+	// Attempts counts how many times the benchmark ran before the suite
+	// gave up: 1 when it failed outright, more when Options.Retries
+	// re-ran a transient failure.
+	Attempts int `json:",omitempty"`
+	// Violations lists the model-ordering invariant violations behind
+	// this failure, one rendered pair per entry, when Err wraps a
+	// *limits.InvariantError.
+	Violations []string `json:",omitempty"`
 }
 
 // SuiteError is the aggregate error of a partially-failed suite run: the
@@ -211,7 +293,13 @@ func (s *SuiteResult) FailureSummary() string {
 		if i := strings.IndexByte(msg, '\n'); i >= 0 {
 			msg = msg[:i] + " [stack truncated; see Failures[].Err]"
 		}
+		if f.Attempts > 1 {
+			msg += fmt.Sprintf(" [after %d attempts]", f.Attempts)
+		}
 		fmt.Fprintf(&b, "  FAILED %-12s %s\n", f.Name, msg)
+		for _, v := range f.Violations {
+			fmt.Fprintf(&b, "    invariant violated: %s\n", v)
+		}
 	}
 	return b.String()
 }
@@ -321,7 +409,11 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 		all := make([]*limits.Analyzer, 0, len(unrolled.Analyzers)+len(plain.Analyzers))
 		all = append(all, unrolled.Analyzers...)
 		all = append(all, plain.Analyzers...)
-		err = limits.ReplayObserved(ctx, scope, machine.RunContext, all...)
+		err = limits.ReplayWith(ctx, limits.ReplayOptions{
+			Metrics:  scope,
+			Hooks:    analyzeHooks,
+			Watchdog: opt.Watchdog,
+		}, machine.RunContext, all...)
 	}
 	analyzeDone()
 	if err != nil {
@@ -355,6 +447,14 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 		res.ParNoUnroll[r.Model] = r.Parallelism()
 		recordAnalyzer(scope, r)
 	}
+	// A weaker model outperforming a strictly stronger one means the
+	// analysis itself is broken (corrupted replay, starved analyzer);
+	// refuse to report the numbers.
+	viol := limits.CheckOrdering(res.Par, true)
+	viol = append(viol, limits.CheckOrdering(res.ParNoUnroll, false)...)
+	if len(viol) > 0 {
+		return nil, fmt.Errorf("%s: %w", b.Name, &limits.InvariantError{Violations: viol})
+	}
 	benchDone()
 	if opt.Metrics != nil {
 		res.Telemetry = opt.Metrics.Snapshot().Filter("bench." + b.Name + ".")
@@ -381,6 +481,53 @@ func runBenchmarkIsolated(b bench.Benchmark, opt Options) (res *BenchResult, err
 	return RunBenchmark(b, opt)
 }
 
+// retryable reports whether a benchmark failure is transient — worth
+// re-running — or deterministic.  Cancellation and step-limit overruns
+// reproduce exactly; an invariant violation means the analysis computed
+// wrong numbers, and a retry that happened to pass would hide a bug.
+// Panics, injected faults, and watchdog stalls are environmental and
+// retry.
+func retryable(err error) bool {
+	var inv *limits.InvariantError
+	switch {
+	case errors.As(err, &inv),
+		errors.Is(err, vm.ErrCanceled),
+		errors.Is(err, vm.ErrStepLimit):
+		return false
+	}
+	return true
+}
+
+// runBenchmarkResilient wraps runBenchmarkIsolated with the suite's
+// bounded-retry policy: up to opt.Retries extra attempts for transient
+// failures, exponential backoff with jitter between them.  It returns
+// the result of the last attempt and how many attempts were made.
+func runBenchmarkResilient(b bench.Benchmark, opt Options) (*BenchResult, int, error) {
+	ctx := opt.ctx()
+	retries := opt.Metrics.Counter("bench." + b.Name + ".retries")
+	for attempt := 1; ; attempt++ {
+		res, err := runBenchmarkIsolated(b, opt)
+		if err == nil || attempt > opt.Retries || !retryable(err) {
+			return res, attempt, err
+		}
+		// Exponential backoff, jittered into the upper half of the
+		// interval so concurrent benchmarks retrying together spread out.
+		backoff := opt.RetryBackoff << (attempt - 1)
+		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		retries.Add(1)
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "[%s] attempt %d failed (%v); retrying in %v\n",
+				b.Name, attempt, err, delay)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, attempt, fmt.Errorf("%s: %w: retry canceled (%v)",
+				b.Name, vm.ErrCanceled, ctx.Err())
+		}
+	}
+}
+
 // RunSuite executes the pipeline for every benchmark in the suite,
 // analyzing up to Options.Jobs benchmarks concurrently.  Results are
 // deterministic and reported in suite order regardless of scheduling.
@@ -393,12 +540,43 @@ func runBenchmarkIsolated(b bench.Benchmark, opt Options) (res *BenchResult, err
 func RunSuite(opt Options) (*SuiteResult, error) {
 	opt = opt.withDefaults()
 	ctx := opt.ctx()
-	benches := bench.All()
+	benches := opt.Benchmarks
 	results := make([]*BenchResult, len(benches))
 	errs := make([]error, len(benches))
+	attempts := make([]int, len(benches))
+
+	// Resume: benchmarks already journaled by an interrupted run of the
+	// same configuration are reused verbatim instead of re-run.
+	skip := make([]bool, len(benches))
+	if opt.Journal != nil {
+		var resumed int64
+		for i, b := range benches {
+			raw, ok := opt.Journal.Lookup(b.Name)
+			if !ok {
+				continue
+			}
+			var res BenchResult
+			if err := json.Unmarshal(raw, &res); err != nil {
+				// CRC-clean but unparseable: schema drift the meta
+				// fingerprint missed.  Re-run the benchmark.
+				continue
+			}
+			results[i], skip[i], resumed = &res, true, resumed+1
+			if opt.Progress != nil {
+				fmt.Fprintf(opt.Progress, "[%s] resumed from journal\n", b.Name)
+			}
+		}
+		if resumed > 0 {
+			opt.Metrics.Counter("suite.resumed").Add(resumed)
+		}
+	}
+
 	sem := make(chan struct{}, opt.Jobs)
 	var wg sync.WaitGroup
 	for i := range benches {
+		if skip[i] {
+			continue
+		}
 		// Acquire before spawning: a large suite queues here instead of
 		// materializing one idle goroutine per benchmark up front, and a
 		// canceled run stops admitting work at all.
@@ -413,7 +591,15 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = runBenchmarkIsolated(benches[i], opt)
+			results[i], attempts[i], errs[i] = runBenchmarkResilient(benches[i], opt)
+			if errs[i] == nil && opt.Journal != nil {
+				// Checkpoint before the suite moves on; a benchmark whose
+				// result cannot be made durable counts as failed, because a
+				// resumed run could not reproduce this one.
+				if err := opt.Journal.AppendBench(benches[i].Name, results[i]); err != nil {
+					errs[i] = fmt.Errorf("%s: journal: %w", benches[i].Name, err)
+				}
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -423,9 +609,17 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 	}
 	for i := range benches {
 		if errs[i] != nil {
-			out.Failures = append(out.Failures, BenchFailure{
+			f := BenchFailure{
 				Name: benches[i].Name, Err: errs[i], Error: errs[i].Error(),
-			})
+				Attempts: attempts[i],
+			}
+			var inv *limits.InvariantError
+			if errors.As(errs[i], &inv) {
+				for _, v := range inv.Violations {
+					f.Violations = append(f.Violations, v.String())
+				}
+			}
+			out.Failures = append(out.Failures, f)
 			continue
 		}
 		out.Benchmarks = append(out.Benchmarks, *results[i])

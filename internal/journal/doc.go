@@ -1,0 +1,17 @@
+// Package journal provides the crash-safe run journal behind the suite
+// runner's resume support.  A journal is an append-only log of
+// checksummed, fsync'd JSON records in a directory: one meta record
+// fingerprinting the run configuration, then one bench record per
+// completed benchmark.  Because every append is durable before it
+// returns, a killed run loses at most the benchmark in flight; reopening
+// the directory salvages every complete record — dropping a truncated or
+// bad-CRC tail — and lets the harness skip finished work, reproducing
+// the uninterrupted run's results byte for byte.
+//
+// The on-disk format is line-oriented for inspectability:
+//
+//	ilpj1 <crc32:08x> <kind> <payload-json>\n
+//
+// where the CRC covers everything after it on the line.  See DESIGN.md
+// §10 for the resilience model this package anchors.
+package journal

@@ -1,0 +1,49 @@
+package journal_test
+
+import (
+	"fmt"
+	"os"
+
+	"ilplimit/internal/journal"
+)
+
+// Example records two benchmark results, then resumes the journal as a
+// second run of the same configuration would.
+func Example() {
+	dir, err := os.MkdirTemp("", "journal-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	meta := journal.Meta{
+		SchemaVersion: journal.SchemaVersion,
+		Scale:         1,
+		MemWords:      1 << 20,
+		Models:        []string{"SP", "ORACLE"},
+		Benchmarks:    []string{"awk", "ccom"},
+	}
+	j, err := journal.Open(dir, meta)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	type result struct{ Parallelism float64 }
+	_ = j.AppendBench("awk", result{Parallelism: 4.4})
+	_ = j.AppendBench("ccom", result{Parallelism: 5.8})
+	_ = j.Close()
+
+	resumed, err := journal.Open(dir, meta)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resumed.Close()
+	fmt.Println("recovered:", resumed.Recovered())
+	raw, ok := resumed.Lookup("awk")
+	fmt.Println("awk:", ok, string(raw))
+	// Output:
+	// recovered: 2
+	// awk: true {"Parallelism":4.4}
+}

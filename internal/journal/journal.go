@@ -1,0 +1,330 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Magic prefixes every record line and names the on-disk format version.
+const Magic = "ilpj1"
+
+// SchemaVersion identifies the JSON schema of the journal's meta and
+// bench payloads.  Bump it when a payload field changes meaning; a
+// journal written under a different schema never resumes.
+const SchemaVersion = 1
+
+// FileName is the journal file inside the journal directory.
+const FileName = "journal.ilpj"
+
+// ErrMetaMismatch is returned by Open when the directory already holds a
+// journal written by a run with a different configuration fingerprint —
+// resuming it would splice results from incompatible runs.
+var ErrMetaMismatch = errors.New("journal: existing journal belongs to a different run configuration")
+
+// Meta is the configuration fingerprint a journal belongs to.  Open
+// refuses to resume a journal whose recovered Meta differs in any field
+// that changes benchmark results; GitSHA is informational (a rebuild of
+// the same configuration may resume) and excluded from the match.
+type Meta struct {
+	// SchemaVersion is the journal payload schema (SchemaVersion).
+	SchemaVersion int `json:"schema_version"`
+	// GitSHA records the source revision of the writing binary, so a
+	// resumed run is distinguishable from a fresh one in the artifacts.
+	GitSHA string `json:"git_sha,omitempty"`
+	// Scale, MemWords, Optimize and StepLimit are the Options fields that
+	// change benchmark results.
+	Scale     int   `json:"scale"`
+	MemWords  int   `json:"mem_words"`
+	Optimize  bool  `json:"optimize,omitempty"`
+	StepLimit int64 `json:"step_limit,omitempty"`
+	// Models and Benchmarks pin the analyzed model set and the suite
+	// entries, in run order.
+	Models     []string `json:"models"`
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// fingerprint is the canonical comparison form of a Meta: its JSON with
+// the informational fields cleared.
+func (m Meta) fingerprint() []byte {
+	m.GitSHA = ""
+	b, _ := json.Marshal(m)
+	return b
+}
+
+// Journal is a crash-safe, append-only record log for one suite run.
+// Every Append writes one checksummed line and fsyncs before returning,
+// so a record is either fully on disk or absent: a kill -9 can lose at
+// most the benchmark in flight.  All methods are safe for concurrent use.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	meta      Meta
+	benches   map[string]json.RawMessage // completed benchmark payloads by name
+	order     []string                   // bench record names in journal order
+	recovered int
+	truncated int64 // corrupt tail bytes dropped during recovery (0 = clean)
+}
+
+// benchPayload is the JSON payload of a "bench" record.
+type benchPayload struct {
+	Name   string          `json:"name"`
+	Result json.RawMessage `json:"result"`
+}
+
+// notePayload is the JSON payload of a "note" record.
+type notePayload struct {
+	Note string `json:"note"`
+}
+
+// Open creates or resumes the journal in dir.  A fresh directory gets a
+// new journal stamped with meta; an existing journal is recovered — every
+// complete, checksum-valid record is salvaged, a corrupted (truncated or
+// bad-CRC) tail is dropped and the file truncated back to the last good
+// record — and must carry a matching meta fingerprint (ErrMetaMismatch
+// otherwise).  Recovered returns how many benchmark records survived.
+func Open(dir string, meta Meta) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		path:    filepath.Join(dir, FileName),
+		meta:    meta,
+		benches: make(map[string]json.RawMessage),
+	}
+	data, err := os.ReadFile(j.path)
+	switch {
+	case errors.Is(err, os.ErrNotExist) || (err == nil && len(data) == 0):
+		return j.create()
+	case err != nil:
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return j.recover(data)
+}
+
+// create starts a new journal whose first record is the meta fingerprint.
+func (j *Journal) create() (*Journal, error) {
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	payload, err := json.Marshal(j.meta)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := j.append("meta", payload); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(j.path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// recover salvages the valid prefix of an existing journal, verifies its
+// meta fingerprint, truncates any corrupt tail, and reopens for append.
+func (j *Journal) recover(data []byte) (*Journal, error) {
+	valid := int64(0)
+	sawMeta := false
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // incomplete final line: the record never finished writing
+		}
+		kind, payload, ok := parseRecord(data[:nl])
+		if !ok {
+			break // corrupt record: salvage stops at the first bad line
+		}
+		switch kind {
+		case "meta":
+			var m Meta
+			if err := json.Unmarshal(payload, &m); err != nil {
+				return nil, fmt.Errorf("journal: meta record: %w", err)
+			}
+			if !bytes.Equal(m.fingerprint(), j.meta.fingerprint()) {
+				return nil, fmt.Errorf("%w\n  journal: %s\n  run:     %s",
+					ErrMetaMismatch, m.fingerprint(), j.meta.fingerprint())
+			}
+			sawMeta = true
+		case "bench":
+			var b benchPayload
+			if err := json.Unmarshal(payload, &b); err != nil || b.Name == "" {
+				break
+			}
+			if _, dup := j.benches[b.Name]; !dup {
+				j.order = append(j.order, b.Name)
+			}
+			j.benches[b.Name] = b.Result
+		case "note":
+			// informational only
+		}
+		data = data[nl+1:]
+		valid += int64(nl + 1)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("journal: %s has no valid meta record", j.path)
+	}
+	j.recovered = len(j.benches)
+	f, err := os.OpenFile(j.path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		j.truncated = fi.Size() - valid
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating corrupt tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// parseRecord splits one line (without its newline) into kind and
+// payload, verifying the magic and the CRC32 of everything after it.
+func parseRecord(line []byte) (kind string, payload []byte, ok bool) {
+	rest, found := bytes.CutPrefix(line, []byte(Magic+" "))
+	if !found || len(rest) < 9 || rest[8] != ' ' {
+		return "", nil, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(rest[:8]), "%08x", &sum); err != nil {
+		return "", nil, false
+	}
+	body := rest[9:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return "", nil, false
+	}
+	k, p, found := bytes.Cut(body, []byte(" "))
+	if !found {
+		return "", nil, false
+	}
+	return string(k), p, true
+}
+
+// append writes one checksummed record line and fsyncs.  Callers hold no
+// lock; append takes it.
+func (j *Journal) append(kind string, payload []byte) error {
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return fmt.Errorf("journal: payload for %q record contains a newline", kind)
+	}
+	body := append(append([]byte(kind), ' '), payload...)
+	line := fmt.Sprintf("%s %08x %s\n", Magic, crc32.ChecksumIEEE(body), body)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.WriteString(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// AppendBench durably records one completed benchmark result.  The
+// result must marshal to JSON; the record is fsync'd before AppendBench
+// returns, so a crash immediately after still resumes past it.
+func (j *Journal) AppendBench(name string, result interface{}) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	payload, err := json.Marshal(benchPayload{Name: name, Result: raw})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.append("bench", payload); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if _, dup := j.benches[name]; !dup {
+		j.order = append(j.order, name)
+	}
+	j.benches[name] = raw
+	j.mu.Unlock()
+	return nil
+}
+
+// AppendNote durably records a run-level annotation (for example a
+// startup failure), so an interrupted run's journal explains itself.
+func (j *Journal) AppendNote(note string) error {
+	payload, err := json.Marshal(notePayload{Note: note})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return j.append("note", payload)
+}
+
+// Lookup returns the journaled result payload for one benchmark, or
+// false when the benchmark has not completed in any prior run.
+func (j *Journal) Lookup(name string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, ok := j.benches[name]
+	return raw, ok
+}
+
+// Benchmarks lists the journaled benchmark names in record order.
+func (j *Journal) Benchmarks() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.order...)
+}
+
+// Recovered reports how many benchmark records Open salvaged from a
+// previous run (0 for a fresh journal).
+func (j *Journal) Recovered() int { return j.recovered }
+
+// Truncated reports how many corrupt tail bytes Open dropped during
+// recovery (0 when the journal was clean).
+func (j *Journal) Truncated() int64 { return j.truncated }
+
+// Meta returns the fingerprint the journal was opened with.
+func (j *Journal) Meta() Meta { return j.meta }
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the journal file.  Appended records are already
+// durable; Close adds nothing beyond releasing the descriptor.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a freshly created journal file survives
+// a crash of the whole machine, not just the process.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %s: %w", dir, err)
+	}
+	return nil
+}

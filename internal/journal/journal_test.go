@@ -1,0 +1,212 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testMeta() Meta {
+	return Meta{
+		SchemaVersion: SchemaVersion,
+		GitSHA:        "abc123",
+		Scale:         2,
+		MemWords:      1 << 20,
+		StepLimit:     1 << 32,
+		Models:        []string{"SP", "SP-CD", "ORACLE"},
+		Benchmarks:    []string{"awk", "ccom", "latex"},
+	}
+}
+
+type fakeResult struct {
+	Name string
+	Par  float64
+}
+
+// write populates a journal with n bench records and closes it,
+// returning the journal file path.
+func write(t *testing.T, dir string, n int) string {
+	t.Helper()
+	j, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := testMeta().Benchmarks
+	for i := 0; i < n; i++ {
+		if err := j.AppendBench(names[i], fakeResult{Name: names[i], Par: float64(i) + 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, FileName)
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, 2)
+
+	j, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Recovered() != 2 {
+		t.Fatalf("Recovered = %d, want 2", j.Recovered())
+	}
+	if j.Truncated() != 0 {
+		t.Fatalf("Truncated = %d, want 0", j.Truncated())
+	}
+	raw, ok := j.Lookup("ccom")
+	if !ok {
+		t.Fatal("ccom not recovered")
+	}
+	var r fakeResult
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatal(err)
+	}
+	if want := (fakeResult{Name: "ccom", Par: 1.5}); r != want {
+		t.Fatalf("recovered ccom = %+v, want %+v", r, want)
+	}
+	if _, ok := j.Lookup("latex"); ok {
+		t.Fatal("latex was never journaled but Lookup found it")
+	}
+	if got, want := j.Benchmarks(), []string{"awk", "ccom"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Benchmarks = %v, want %v", got, want)
+	}
+	// Appending after recovery extends the same log.
+	if err := j.AppendBench("latex", fakeResult{Name: "latex", Par: 9}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Recovered() != 3 {
+		t.Fatalf("after append+reopen Recovered = %d, want 3", j2.Recovered())
+	}
+}
+
+func TestTruncatedTailSalvagesCompleteRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the tail mid-record, as a kill -9 during a write would.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Recovered() != 2 {
+		t.Fatalf("Recovered = %d, want 2 (last record was truncated)", j.Recovered())
+	}
+	if j.Truncated() == 0 {
+		t.Fatal("Truncated = 0, want the dropped tail length")
+	}
+	// The corrupt tail must be gone from disk so new appends are valid.
+	if err := j.AppendBench("latex", fakeResult{Name: "latex", Par: 7}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Recovered() != 3 || j2.Truncated() != 0 {
+		t.Fatalf("reopen after salvage: Recovered = %d Truncated = %d, want 3 and 0",
+			j2.Recovered(), j2.Truncated())
+	}
+}
+
+func TestBadCRCTailSalvagesCompleteRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit inside the final record: the line still parses
+	// but its checksum no longer matches.
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	corrupted := strings.Replace(last, "latex", "lateX", 1)
+	if corrupted == last {
+		t.Fatal("test fixture: final record does not mention latex")
+	}
+	lines[len(lines)-1] = corrupted
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Recovered() != 2 {
+		t.Fatalf("Recovered = %d, want 2 (bad-CRC record dropped)", j.Recovered())
+	}
+	if j.Truncated() == 0 {
+		t.Fatal("Truncated = 0, want the dropped tail length")
+	}
+}
+
+func TestMetaMismatchRefusesResume(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, 1)
+	other := testMeta()
+	other.Scale = 4
+	if _, err := Open(dir, other); !errors.Is(err, ErrMetaMismatch) {
+		t.Fatalf("Open with different scale = %v, want ErrMetaMismatch", err)
+	}
+	// A different git SHA alone is informational and must still resume.
+	rebuilt := testMeta()
+	rebuilt.GitSHA = "def456"
+	j, err := Open(dir, rebuilt)
+	if err != nil {
+		t.Fatalf("Open with different git SHA = %v, want success", err)
+	}
+	j.Close()
+}
+
+func TestFreshDirectoryStartsEmpty(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "run")
+	j, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Recovered() != 0 {
+		t.Fatalf("Recovered = %d, want 0", j.Recovered())
+	}
+	if err := j.AppendNote("started"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedJournalRefusesAppend(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.AppendBench("awk", fakeResult{}); err == nil {
+		t.Fatal("AppendBench after Close succeeded")
+	}
+}

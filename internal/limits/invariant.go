@@ -1,0 +1,97 @@
+package limits
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The seven models form two provable parallelism orderings (each model in
+// a chain schedules under a strict subset of the next one's constraints,
+// so its parallel execution time can only be shorter):
+//
+//	ORACLE >= SP-CD-MF >= SP-CD >= SP
+//	CD-MF  >= CD       >= BASE
+//
+// Every production run re-verifies these chains instead of trusting the
+// analyzers silently: a violation means an analyzer bug or a corrupted
+// replay, never a property of the workload.
+var orderedChains = [][]Model{
+	{Oracle, SPCDMF, SPCD, SP},
+	{CDMF, CD, Base},
+}
+
+// OrderingTolerance is the relative slack CheckOrdering allows before
+// flagging a violation, absorbing float64 division noise.  The
+// underlying cycle counts are exact integers, so any genuine violation
+// exceeds it by orders of magnitude.
+const OrderingTolerance = 1e-9
+
+// InvariantViolation records one breach of the model-ordering invariant:
+// a provably stronger model reported less parallelism than a weaker one.
+type InvariantViolation struct {
+	// Stronger and Weaker are the models whose ordering inverted.
+	Stronger, Weaker Model
+	// StrongerPar and WeakerPar are the offending parallelism values.
+	StrongerPar, WeakerPar float64
+	// Unrolled records which unroll configuration the violation is from.
+	Unrolled bool
+}
+
+// String renders the violation as one line of the failure summary.
+func (v InvariantViolation) String() string {
+	cfg := "no-unroll"
+	if v.Unrolled {
+		cfg = "unrolled"
+	}
+	return fmt.Sprintf("%s (%.4f) < %s (%.4f) [%s]",
+		v.Stronger, v.StrongerPar, v.Weaker, v.WeakerPar, cfg)
+}
+
+// InvariantError aggregates the ordering violations of one analysis as a
+// structured error, so a suite's FailureSummary can list each inverted
+// pair rather than an opaque message.
+type InvariantError struct {
+	Violations []InvariantViolation
+}
+
+// Error summarizes the violations on one line; the structured list stays
+// available through the Violations field.
+func (e *InvariantError) Error() string {
+	parts := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("limits: model-ordering invariant violated: %s",
+		strings.Join(parts, "; "))
+}
+
+// CheckOrdering verifies the model-ordering invariant over one
+// configuration's parallelism map (as computed by a Group run), returning
+// every violated pair.  Models missing from the map are skipped, so a
+// restricted analysis checks whatever subset of the chains it ran.  A nil
+// or empty return means the invariant holds.
+func CheckOrdering(par map[Model]float64, unrolled bool) []InvariantViolation {
+	var out []InvariantViolation
+	for _, chain := range orderedChains {
+		for i := 0; i < len(chain); i++ {
+			sp, ok := par[chain[i]]
+			if !ok {
+				continue
+			}
+			for k := i + 1; k < len(chain); k++ {
+				wp, ok := par[chain[k]]
+				if !ok {
+					continue
+				}
+				if sp < wp*(1-OrderingTolerance) {
+					out = append(out, InvariantViolation{
+						Stronger: chain[i], Weaker: chain[k],
+						StrongerPar: sp, WeakerPar: wp,
+						Unrolled: unrolled,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

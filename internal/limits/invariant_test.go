@@ -1,0 +1,72 @@
+package limits
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckOrderingHolds(t *testing.T) {
+	par := map[Model]float64{
+		Base: 1.8, CD: 2.8, CDMF: 3.9,
+		SP: 5.5, SPCD: 6.9, SPCDMF: 39.6, Oracle: 158.2,
+	}
+	if v := CheckOrdering(par, true); v != nil {
+		t.Fatalf("valid ordering flagged: %v", v)
+	}
+	// Equal values along a chain are not violations.
+	par[Oracle] = par[SPCDMF]
+	if v := CheckOrdering(par, false); v != nil {
+		t.Fatalf("equal values flagged: %v", v)
+	}
+	// Float noise inside the tolerance is not a violation.
+	par[Oracle] = par[SPCDMF] * (1 - 1e-12)
+	if v := CheckOrdering(par, false); v != nil {
+		t.Fatalf("sub-tolerance noise flagged: %v", v)
+	}
+}
+
+func TestCheckOrderingFlagsViolations(t *testing.T) {
+	par := map[Model]float64{
+		Base: 1.8, CD: 1.2, // CD below BASE: violation
+		SP: 5.5, SPCD: 6.9, SPCDMF: 39.6, Oracle: 7.0, // ORACLE below SP-CD-MF
+	}
+	v := CheckOrdering(par, true)
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want exactly the CD<BASE and ORACLE<SP-CD-MF pairs", v)
+	}
+	find := func(s, w Model) *InvariantViolation {
+		for i := range v {
+			if v[i].Stronger == s && v[i].Weaker == w {
+				return &v[i]
+			}
+		}
+		return nil
+	}
+	if find(CD, Base) == nil || find(Oracle, SPCDMF) == nil {
+		t.Fatalf("violations = %v, missing an expected pair", v)
+	}
+	got := find(Oracle, SPCDMF)
+	if !got.Unrolled || got.StrongerPar != 7.0 || got.WeakerPar != 39.6 {
+		t.Errorf("violation detail = %+v", *got)
+	}
+	if s := got.String(); !strings.Contains(s, "ORACLE") || !strings.Contains(s, "[unrolled]") {
+		t.Errorf("String() = %q", s)
+	}
+	err := &InvariantError{Violations: v}
+	if msg := err.Error(); !strings.Contains(msg, "model-ordering invariant violated") {
+		t.Errorf("Error() = %q", msg)
+	}
+}
+
+func TestCheckOrderingSkipsMissingModels(t *testing.T) {
+	// A restricted analysis (only SP present) has nothing to compare.
+	if v := CheckOrdering(map[Model]float64{SP: 4.2}, false); v != nil {
+		t.Fatalf("single-model map flagged: %v", v)
+	}
+	// Non-adjacent pairs are still checked when the middle model is absent.
+	par := map[Model]float64{SP: 9.0, Oracle: 2.0}
+	v := CheckOrdering(par, false)
+	if len(v) != 1 || v[0].Stronger != Oracle || v[0].Weaker != SP {
+		t.Fatalf("violations = %v, want ORACLE < SP", v)
+	}
+}

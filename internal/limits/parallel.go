@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -48,6 +49,7 @@ type eventRing struct {
 	slots   [RingSlots][]vm.Event
 	head    int64   // chunks published so far
 	tails   []int64 // per-consumer chunks fully consumed
+	cut     []bool  // per-consumer: detached (panicked or watchdog-killed)
 	closed  bool
 	aborted bool
 	met     *ringMetrics // nil unless the replay is observed
@@ -63,7 +65,8 @@ type ringMetrics struct {
 	events     *telemetry.Counter   // "ring.events": events published
 	prodStalls *telemetry.Counter   // "ring.producer_stalls": reserves that blocked
 	consStalls *telemetry.Counter   // "ring.consumer_stalls": nexts that blocked, all consumers
-	detaches   *telemetry.Counter   // "ring.detaches": consumers removed after a panic
+	detaches   *telemetry.Counter   // "ring.detaches": consumers removed after a panic or stall
+	wdDetaches *telemetry.Counter   // "ring.watchdog_detaches": detaches forced by the stall watchdog
 	occupancy  *telemetry.Gauge     // "ring.occupancy_hwm": high-water mark of buffered chunks
 	latency    *telemetry.Histogram // "ring.chunk_latency_ns": publish→fully-drained per chunk
 	perCons    []*telemetry.Counter // "ring.consumerNN.stalls": per-analyzer stall counts
@@ -80,6 +83,7 @@ func newRingMetrics(m *telemetry.Registry, consumers int) *ringMetrics {
 		prodStalls: m.Counter("ring.producer_stalls"),
 		consStalls: m.Counter("ring.consumer_stalls"),
 		detaches:   m.Counter("ring.detaches"),
+		wdDetaches: m.Counter("ring.watchdog_detaches"),
 		occupancy:  m.Gauge("ring.occupancy_hwm"),
 		latency:    m.Histogram("ring.chunk_latency_ns", telemetry.LatencyBuckets),
 	}
@@ -90,7 +94,7 @@ func newRingMetrics(m *telemetry.Registry, consumers int) *ringMetrics {
 }
 
 func newEventRing(consumers int, met *ringMetrics) *eventRing {
-	r := &eventRing{tails: make([]int64, consumers), met: met}
+	r := &eventRing{tails: make([]int64, consumers), cut: make([]bool, consumers), met: met}
 	r.avail = sync.NewCond(&r.mu)
 	r.ready = sync.NewCond(&r.mu)
 	for i := range r.slots {
@@ -169,18 +173,19 @@ func (r *eventRing) abort() {
 	r.mu.Unlock()
 }
 
-// next returns consumer id's next chunk, or nil at end of stream.  The
-// consumer must call advance after processing the chunk.
+// next returns consumer id's next chunk, or nil at end of stream (or
+// once the consumer has been detached).  The consumer must call advance
+// after processing the chunk.
 func (r *eventRing) next(id int) []vm.Event {
 	r.mu.Lock()
-	if r.met != nil && r.tails[id] == r.head && !r.closed && !r.aborted {
+	if r.met != nil && r.tails[id] == r.head && !r.closed && !r.aborted && !r.cut[id] {
 		r.met.consStalls.Inc()
 		r.met.perCons[id].Inc()
 	}
-	for r.tails[id] == r.head && !r.closed && !r.aborted {
+	for r.tails[id] == r.head && !r.closed && !r.aborted && !r.cut[id] {
 		r.ready.Wait()
 	}
-	if r.tails[id] == r.head || r.aborted {
+	if r.tails[id] == r.head || r.aborted || r.cut[id] {
 		r.mu.Unlock()
 		return nil
 	}
@@ -190,9 +195,14 @@ func (r *eventRing) next(id int) []vm.Event {
 }
 
 // advance releases consumer id's current chunk, potentially freeing its
-// slot for the producer.
+// slot for the producer.  A detached consumer's advance is a no-op: its
+// tail is already parked past every chunk.
 func (r *eventRing) advance(id int) {
 	r.mu.Lock()
+	if r.cut[id] {
+		r.mu.Unlock()
+		return
+	}
 	var oldMin int64
 	if r.met != nil {
 		oldMin = r.minTail()
@@ -215,15 +225,38 @@ func (r *eventRing) advance(id int) {
 }
 
 // detach removes consumer id from the flow-control accounting so a dead
-// consumer (its goroutine panicked) can never block the producer.
+// consumer (its goroutine panicked, or the stall watchdog gave up on it)
+// can never block the producer.  Idempotent: only the first detach of a
+// consumer counts.
 func (r *eventRing) detach(id int) {
 	r.mu.Lock()
+	r.detachLocked(id, false)
+	r.mu.Unlock()
+}
+
+// detachLocked is detach with r.mu held.  byWatchdog additionally counts
+// the detach against the watchdog metric and covers the one hazard a
+// watchdog kill has that a panic does not: the stuck goroutine may wake
+// later and keep reading its current chunk, so that chunk's slot gets a
+// fresh buffer — the producer recycles the new one while the zombie
+// consumer keeps the old backing array to itself.
+func (r *eventRing) detachLocked(id int, byWatchdog bool) {
+	if r.cut[id] {
+		return
+	}
+	r.cut[id] = true
+	if byWatchdog && r.tails[id] < r.head {
+		r.slots[r.tails[id]%RingSlots] = make([]vm.Event, 0, ChunkEvents)
+	}
 	r.tails[id] = int64(1) << 62
 	if r.met != nil {
 		r.met.detaches.Inc()
+		if byWatchdog {
+			r.met.wdDetaches.Inc()
+		}
 	}
 	r.avail.Signal()
-	r.mu.Unlock()
+	r.ready.Broadcast()
 }
 
 // RunFunc drives a trace producer under a context; (*vm.VM).RunContext
@@ -241,10 +274,51 @@ type ReplayHooks struct {
 	// BeforeStep runs in consumer id's goroutine before each event is
 	// stepped; it may stall or panic.
 	BeforeStep func(id int, ev vm.Event)
+	// DropStep runs in consumer id's goroutine before each event;
+	// returning true skips stepping that event for that consumer only,
+	// desynchronizing one analyzer from the trace (the fault behind a
+	// seeded model-ordering violation).
+	DropStep func(id int, ev vm.Event) bool
 	// Metrics, when non-nil, observes the faulted replay exactly as
 	// ReplayObserved would, so fault-injection tests can assert that
 	// counters survive a recovery (panic + detach) intact.
 	Metrics *telemetry.Registry
+}
+
+// ReplayOptions bundles the optional knobs of a replay; the zero value
+// is a plain ReplayContext.
+type ReplayOptions struct {
+	// Metrics, when non-nil, records ring telemetry under "ring."; see
+	// ReplayObserved.
+	Metrics *telemetry.Registry
+	// Hooks installs fault-injection hooks; see ReplayHooks.  When both
+	// Metrics fields are set, ReplayOptions.Metrics wins.
+	Hooks *ReplayHooks
+	// Watchdog, when positive, arms the per-consumer stall watchdog: a
+	// consumer that completes no chunk while one is available for this
+	// long is detached exactly like a panicked worker — the producer and
+	// the surviving analyzers keep going — and the replay returns a
+	// *StallError naming the detached consumers.  The stuck goroutine is
+	// abandoned; it exits at its next ring interaction.  Only the
+	// fan-out path has a watchdog (a single analyzer steps inline in the
+	// producer, where there is no independent progress to watch).
+	Watchdog time.Duration
+}
+
+// StallError reports consumers detached by the replay watchdog.  The
+// surviving analyzers hold complete results, but the replay as a whole
+// failed: the stalled analyzers' schedules are partial.
+type StallError struct {
+	// Consumers are the detached consumer ids, ascending.
+	Consumers []int
+	// Deadline is the watchdog deadline that expired.
+	Deadline time.Duration
+}
+
+// Error names the stalled consumers and the deadline they missed.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("limits: watchdog detached stalled consumer(s) %v: no chunk progress within %v",
+		e.Consumers, e.Deadline)
 }
 
 // PanicError carries a panic raised on an analyzer worker goroutine
@@ -278,7 +352,7 @@ func Replay(run func(visit func(vm.Event)) error, analyzers ...*Analyzer) error 
 // consumers blocked on an empty ring.  ReplayContext does not return
 // until every worker goroutine has stopped, canceled or not.
 func ReplayContext(ctx context.Context, run RunFunc, analyzers ...*Analyzer) error {
-	return replay(ctx, nil, nil, run, analyzers...)
+	return ReplayWith(ctx, ReplayOptions{}, run, analyzers...)
 }
 
 // ReplayObserved is ReplayContext with ring telemetry: the replay
@@ -289,7 +363,7 @@ func ReplayContext(ctx context.Context, run RunFunc, analyzers ...*Analyzer) err
 // boundaries under the ring's existing mutex, so the per-event path is
 // unchanged; a nil m is exactly ReplayContext.
 func ReplayObserved(ctx context.Context, m *telemetry.Registry, run RunFunc, analyzers ...*Analyzer) error {
-	return replay(ctx, nil, m, run, analyzers...)
+	return ReplayWith(ctx, ReplayOptions{Metrics: m}, run, analyzers...)
 }
 
 // ReplayFaults is ReplayContext with fault-injection hooks installed
@@ -297,18 +371,25 @@ func ReplayObserved(ctx context.Context, m *telemetry.Registry, run RunFunc, ana
 // internal/faultinject's resilience tests; production callers use
 // Replay, ReplayContext or ReplayObserved.
 func ReplayFaults(ctx context.Context, hooks *ReplayHooks, run RunFunc, analyzers ...*Analyzer) error {
-	var m *telemetry.Registry
+	o := ReplayOptions{Hooks: hooks}
 	if hooks != nil {
-		m = hooks.Metrics
+		o.Metrics = hooks.Metrics
 	}
-	return replay(ctx, hooks, m, run, analyzers...)
+	return ReplayWith(ctx, o, run, analyzers...)
 }
 
-func replay(ctx context.Context, hooks *ReplayHooks, m *telemetry.Registry, run RunFunc, analyzers ...*Analyzer) error {
+// ReplayWith is the fully-general replay: ReplayContext plus whichever
+// of o's knobs — ring telemetry, fault hooks, stall watchdog — are set.
+// The other Replay variants are thin wrappers over it.
+func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...*Analyzer) error {
 	var beforeStep func(int, vm.Event)
+	var dropStep func(int, vm.Event) bool
 	var onPublish func(int64, []vm.Event)
-	if hooks != nil {
-		beforeStep, onPublish = hooks.BeforeStep, hooks.OnPublish
+	if o.Hooks != nil {
+		beforeStep, dropStep, onPublish = o.Hooks.BeforeStep, o.Hooks.DropStep, o.Hooks.OnPublish
+	}
+	if o.Metrics == nil && o.Hooks != nil {
+		o.Metrics = o.Hooks.Metrics
 	}
 	switch len(analyzers) {
 	case 0:
@@ -316,13 +397,21 @@ func replay(ctx context.Context, hooks *ReplayHooks, m *telemetry.Registry, run 
 	case 1:
 		// A lone analyzer gains nothing from the ring; step it inline.
 		a := analyzers[0]
-		if beforeStep != nil {
-			return canceledErr(ctx, run(ctx, func(ev vm.Event) { beforeStep(0, ev); a.Step(ev) }))
+		if beforeStep != nil || dropStep != nil {
+			return canceledErr(ctx, run(ctx, func(ev vm.Event) {
+				if beforeStep != nil {
+					beforeStep(0, ev)
+				}
+				if dropStep != nil && dropStep(0, ev) {
+					return
+				}
+				a.Step(ev)
+			}))
 		}
 		return canceledErr(ctx, run(ctx, func(ev vm.Event) { a.Step(ev) }))
 	}
 
-	r := newEventRing(len(analyzers), newRingMetrics(m, len(analyzers)))
+	r := newEventRing(len(analyzers), newRingMetrics(o.Metrics, len(analyzers)))
 	// A canceled context must unblock a producer waiting for a free slot
 	// and consumers waiting for the next chunk; condition variables cannot
 	// select on ctx.Done(), so a watcher trips the ring's abort flag.
@@ -339,14 +428,17 @@ func replay(ctx context.Context, hooks *ReplayHooks, m *telemetry.Registry, run 
 	}
 
 	var (
-		wg          sync.WaitGroup
 		panicMu     sync.Mutex
 		workerPanic *PanicError
 	)
+	done := make([]chan struct{}, len(analyzers))
+	killed := make([]chan struct{}, len(analyzers))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
 	for i, a := range analyzers {
-		wg.Add(1)
 		go func(id int, a *Analyzer) {
-			defer wg.Done()
+			defer close(done[id])
 			defer func() {
 				// A panicking Step must not strand the producer waiting
 				// for this consumer's slot; capture the first panic (with
@@ -370,11 +462,75 @@ func replay(ctx context.Context, hooks *ReplayHooks, m *telemetry.Registry, run 
 					if beforeStep != nil {
 						beforeStep(id, ev)
 					}
+					if dropStep != nil && dropStep(id, ev) {
+						continue
+					}
 					a.Step(ev)
 				}
 				r.advance(id)
 			}
 		}(i, a)
+	}
+
+	// The stall watchdog samples per-consumer chunk progress: a consumer
+	// with a chunk available that completes none of it within the
+	// deadline is detached like a panicked worker, so one wedged analyzer
+	// cannot stall the producer and the surviving consumers forever.
+	var stalls struct {
+		sync.Mutex
+		ids []int
+	}
+	if o.Watchdog > 0 {
+		for i := range killed {
+			killed[i] = make(chan struct{})
+		}
+		stopWd := make(chan struct{})
+		defer close(stopWd)
+		go func() {
+			tick := o.Watchdog / 4
+			if tick < time.Millisecond {
+				tick = time.Millisecond
+			}
+			ticker := time.NewTicker(tick)
+			defer ticker.Stop()
+			lastTail := make([]int64, len(analyzers))
+			lastMove := make([]time.Time, len(analyzers))
+			start := time.Now()
+			for i := range lastMove {
+				lastMove[i] = start
+			}
+			for {
+				select {
+				case <-stopWd:
+					return
+				case <-ticker.C:
+				}
+				var fired []int
+				r.mu.Lock()
+				now := time.Now()
+				for id := range r.tails {
+					switch {
+					case r.cut[id]:
+						// Already detached (panic or earlier firing).
+					case r.tails[id] >= r.head:
+						// No chunk pending: idle at the ring, not stalled.
+						lastTail[id], lastMove[id] = r.tails[id], now
+					case r.tails[id] != lastTail[id]:
+						lastTail[id], lastMove[id] = r.tails[id], now
+					case now.Sub(lastMove[id]) >= o.Watchdog:
+						r.detachLocked(id, true)
+						fired = append(fired, id)
+					}
+				}
+				r.mu.Unlock()
+				for _, id := range fired {
+					stalls.Lock()
+					stalls.ids = append(stalls.ids, id)
+					stalls.Unlock()
+					close(killed[id])
+				}
+			}
+		}()
 	}
 
 	var err error
@@ -417,11 +573,31 @@ func replay(ctx context.Context, hooks *ReplayHooks, m *telemetry.Registry, run 
 			r.publish(buf)
 		}
 	}()
-	wg.Wait()
-	if workerPanic != nil {
-		panic(workerPanic)
+	// Wait for every worker — except those the watchdog gave up on, whose
+	// goroutines are abandoned (they exit at their next ring interaction;
+	// their slot buffers were handed off at detach, so the producer never
+	// races them).
+	for i := range analyzers {
+		select {
+		case <-done[i]:
+		case <-killed[i]: // nil (never ready) unless the watchdog is armed
+		}
 	}
-	return canceledErr(ctx, err)
+	panicMu.Lock()
+	rethrow := workerPanic
+	panicMu.Unlock()
+	if rethrow != nil {
+		panic(rethrow)
+	}
+	err = canceledErr(ctx, err)
+	stalls.Lock()
+	stalled := append([]int(nil), stalls.ids...)
+	stalls.Unlock()
+	if err == nil && len(stalled) > 0 {
+		sort.Ints(stalled)
+		return &StallError{Consumers: stalled, Deadline: o.Watchdog}
+	}
+	return err
 }
 
 // canceledErr maps a nil producer error under a dead context to

@@ -1,16 +1,80 @@
 package telemetry
 
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// RunMeta stamps a JSON artifact with the provenance of the run that
+// produced it: which revision of this repository, which Go toolchain,
+// and what invocation.  It shares SchemaVersion with Snapshot and
+// BenchBaseline so every committed artifact versions together.
+type RunMeta struct {
+	SchemaVersion int    `json:"schema_version"`
+	GitSHA        string `json:"git_sha,omitempty"`
+	GoVersion     string `json:"go_version,omitempty"`
+	// Source describes the command or pipeline that produced the
+	// artifact, e.g. "go test -bench Group | benchjson".
+	Source string `json:"source,omitempty"`
+}
+
+// NewRunMeta builds a RunMeta for the current process, resolving the
+// git revision with GitRevision.
+func NewRunMeta(source string) RunMeta {
+	return RunMeta{
+		SchemaVersion: SchemaVersion,
+		GitSHA:        GitRevision(),
+		GoVersion:     runtime.Version(),
+		Source:        source,
+	}
+}
+
+// GitRevision returns the VCS revision of the running binary, preferring
+// the revision stamped into the build info (exact, and available without
+// a git checkout) and falling back to `git rev-parse HEAD` — `go run`
+// and test binaries are often built without VCS stamping.  Returns ""
+// when neither source is available; provenance is best-effort.
+func GitRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 // BenchBaseline is the top-level document of the committed benchmark
 // baseline (BENCH_limits.json), shared between cmd/benchjson (which
 // writes it from `go test -bench` output) and any tooling that diffs
 // baselines.  It carries the same schema_version as Snapshot so both
 // JSON artifacts version together.
 type BenchBaseline struct {
-	SchemaVersion int    `json:"schema_version"`
-	Goos          string `json:"goos,omitempty"`
-	Goarch        string `json:"goarch,omitempty"`
-	Pkg           string `json:"pkg,omitempty"`
-	CPU           string `json:"cpu,omitempty"`
+	SchemaVersion int `json:"schema_version"`
+	// Meta records the provenance of the run that produced the baseline
+	// (git revision, Go toolchain, invocation); absent in baselines
+	// written before the field existed.
+	Meta   *RunMeta `json:"meta,omitempty"`
+	Goos   string   `json:"goos,omitempty"`
+	Goarch string   `json:"goarch,omitempty"`
+	Pkg    string   `json:"pkg,omitempty"`
+	CPU    string   `json:"cpu,omitempty"`
 	// Benchmarks holds one record per result line, in input order.
 	Benchmarks []BenchRecord `json:"benchmarks"`
 }

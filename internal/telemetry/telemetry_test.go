@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -172,5 +173,29 @@ func TestConcurrentRegistryUse(t *testing.T) {
 	}
 	if s.Histograms["lat"].Count != 8000 {
 		t.Errorf("lat count = %d, want 8000", s.Histograms["lat"].Count)
+	}
+}
+
+func TestNewRunMeta(t *testing.T) {
+	m := NewRunMeta("unit test")
+	if m.SchemaVersion != SchemaVersion {
+		t.Errorf("schema = %d, want %d", m.SchemaVersion, SchemaVersion)
+	}
+	if m.GoVersion == "" || m.Source != "unit test" {
+		t.Errorf("meta = %+v, missing toolchain or source", m)
+	}
+	// GitSHA is best-effort ("" outside a checkout without build info),
+	// but when present it must look like a hex revision.
+	if m.GitSHA != "" {
+		rev := strings.TrimSuffix(m.GitSHA, "-dirty")
+		if len(rev) < 7 {
+			t.Errorf("GitSHA = %q, not a revision", m.GitSHA)
+		}
+		for _, c := range rev {
+			if !strings.ContainsRune("0123456789abcdef", c) {
+				t.Errorf("GitSHA = %q, not hex", m.GitSHA)
+				break
+			}
+		}
 	}
 }
