@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet docs check race faultcheck soak bench bench-baseline
+.PHONY: build test vet docs check race faultcheck soak bench bench-baseline benchdiff
+
+# Benchmarks captured in BENCH_limits.json and gated by benchdiff: the
+# group-scheduling fan-out plus the per-model analyzer hot loop.
+BENCH_PATTERN = 'BenchmarkGroup|BenchmarkAnalyzerStep'
 
 build:
 	$(GO) build ./...
@@ -44,12 +48,19 @@ soak: faultcheck
 	$(GO) test -race -run 'Resume|Retr|Invariant|Watchdog' ./internal/harness
 	$(GO) test -race -count 2 -run TestCLIKillResume .
 
-# Group-scheduling benchmarks: serial visitor vs chunked parallel replay.
+# Group-scheduling benchmarks (serial visitor vs chunked parallel
+# replay) plus the per-model analyzer hot-loop microbenchmarks.
 bench:
-	$(GO) test -bench BenchmarkGroup -benchmem -benchtime 3x -run '^$$' .
+	$(GO) test -bench $(BENCH_PATTERN) -benchmem -benchtime 3x -run '^$$' .
 
 # Refresh the committed baseline from this machine.
 bench-baseline:
-	$(GO) test -bench BenchmarkGroup -benchmem -benchtime 3x -run '^$$' . \
+	$(GO) test -bench $(BENCH_PATTERN) -benchmem -benchtime 3x -run '^$$' . \
 		| $(GO) run ./cmd/benchjson > BENCH_limits.json
 	cat BENCH_limits.json
+
+# Regression gate: rerun the baseline benchmarks and fail if any shared
+# benchmark's ns/op regressed more than 15% vs BENCH_limits.json.
+benchdiff:
+	$(GO) test -bench $(BENCH_PATTERN) -benchmem -benchtime 3x -run '^$$' . \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_limits.json -threshold 15

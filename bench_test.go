@@ -342,6 +342,38 @@ func BenchmarkGroupParallelObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzerStep measures one analyzer's annotated hot loop per
+// machine model over the captured ccom trace: events are pre-decoded
+// once outside the timed region (the producer's job in a replay), so
+// ns/op isolates StepAnnotated — the per-model cost the slowest ring
+// consumer bounds the whole parallel replay with.
+func BenchmarkAnalyzerStep(b *testing.B) {
+	tr := loadGroupTrace(b, "ccom")
+	for _, m := range limits.AllModels() {
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			// Annotate once with a throwaway analyzer of the same
+			// (Static, lane 0) shape every fresh analyzer gets.
+			an := limits.NewAnnotator(limits.NewAnalyzer(tr.st, m, false, tr.memWords))
+			annotated := make([]limits.AnnotatedEvent, 0, len(tr.events))
+			for _, ev := range tr.events {
+				annotated = append(annotated, an.Annotate(ev))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := limits.NewAnalyzer(tr.st, m, false, tr.memWords)
+				for _, ae := range annotated {
+					a.StepAnnotated(ae)
+				}
+				if a.Result().Cycles == 0 {
+					b.Fatal("empty result")
+				}
+			}
+			b.ReportMetric(float64(len(tr.events)), "instrs/op")
+		})
+	}
+}
+
 // BenchmarkPipelineSingle measures the per-benchmark pipeline cost under
 // all models — the unit of work every table above is built from.
 func BenchmarkPipelineSingle(b *testing.B) {

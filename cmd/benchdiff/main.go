@@ -1,0 +1,98 @@
+// Command benchdiff compares a fresh `go test -bench` run on stdin
+// against the committed baseline (BENCH_limits.json) and fails when any
+// shared benchmark's ns/op regressed past the threshold — the
+// regression gate behind `make benchdiff`:
+//
+//	go test -bench 'BenchmarkGroup|BenchmarkAnalyzerStep' -benchmem -benchtime 3x -run '^$' . \
+//		| go run ./cmd/benchdiff -baseline BENCH_limits.json
+//
+// Each benchmark present in both runs prints one line with the baseline
+// and current ns/op and the relative delta (negative is faster).
+// Benchmarks present on only one side are listed but never fail the
+// gate, so adding or retiring a benchmark does not require refreshing
+// the baseline in the same change.  The exit status is 1 when at least
+// one shared benchmark slowed down by more than -threshold percent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ilplimit/internal/telemetry"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_limits.json",
+		"committed baseline to compare against")
+	threshold := flag.Float64("threshold", 15,
+		"maximum tolerated ns/op regression in percent")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	f, err := os.Open(*baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	base, err := telemetry.ReadBenchBaseline(f)
+	f.Close()
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", *baselinePath, err))
+	}
+	cur, err := telemetry.ParseBenchOutput(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark results on stdin (pipe `go test -bench` output in)"))
+	}
+
+	baseNs := map[string]float64{}
+	for _, r := range base.Benchmarks {
+		if v, ok := r.Metrics["ns/op"]; ok {
+			baseNs[r.Name] = v
+		}
+	}
+	if meta := base.Meta; meta != nil && meta.GitSHA != "" {
+		fmt.Printf("baseline %s (rev %.12s)\n", *baselinePath, meta.GitSHA)
+	} else {
+		fmt.Printf("baseline %s\n", *baselinePath)
+	}
+
+	regressions := 0
+	seen := map[string]bool{}
+	for _, r := range cur.Benchmarks {
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		seen[r.Name] = true
+		old, ok := baseNs[r.Name]
+		if !ok {
+			fmt.Printf("  %-44s %14.0f ns/op  (not in baseline)\n", r.Name, ns)
+			continue
+		}
+		delta := 100 * (ns - old) / old
+		verdict := "ok"
+		if delta > *threshold {
+			verdict = fmt.Sprintf("REGRESSION (> %g%%)", *threshold)
+			regressions++
+		}
+		fmt.Printf("  %-44s %14.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+			r.Name, old, ns, delta, verdict)
+	}
+	for _, r := range base.Benchmarks {
+		if _, ok := r.Metrics["ns/op"]; ok && !seen[r.Name] {
+			fmt.Printf("  %-44s (in baseline, not in this run)\n", r.Name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %g%% vs %s\n",
+			regressions, *threshold, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no ns/op regression beyond %g%%\n", *threshold)
+}

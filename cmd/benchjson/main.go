@@ -8,89 +8,35 @@
 // folded into the environment block or ignored.  The output document is
 // a telemetry.BenchBaseline and carries the shared "schema_version"
 // field, so the committed baseline versions together with the metrics
-// snapshots in -json suite output.
+// snapshots in -json suite output.  The parsing itself lives in
+// telemetry.ParseBenchOutput, shared with cmd/benchdiff.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
 
 	"ilplimit/internal/telemetry"
 )
-
-var procSuffix = regexp.MustCompile(`-(\d+)$`)
 
 func main() {
 	source := flag.String("source", "go test -bench | benchjson",
 		"invocation recorded in the baseline's meta block")
 	flag.Parse()
+	base, err := telemetry.ParseBenchOutput(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	// The document schema (telemetry.BenchBaseline) is shared with the
 	// metrics snapshots so both JSON artifacts version together.  The
 	// meta block stamps the baseline with the revision and toolchain
 	// that produced it, so a committed BENCH_limits.json says which
 	// commit its numbers measure.
 	meta := telemetry.NewRunMeta(*source)
-	base := telemetry.BenchBaseline{
-		SchemaVersion: telemetry.SchemaVersion,
-		Meta:          &meta,
-		Benchmarks:    []telemetry.BenchRecord{},
-	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "":
-			continue
-		case strings.HasPrefix(line, "goos:"):
-			base.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-			continue
-		case strings.HasPrefix(line, "goarch:"):
-			base.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-			continue
-		case strings.HasPrefix(line, "pkg:"):
-			base.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-			continue
-		case strings.HasPrefix(line, "cpu:"):
-			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-			continue
-		case !strings.HasPrefix(line, "Benchmark"):
-			continue
-		}
-		fields := strings.Fields(line)
-		// Name  N  value unit  [value unit ...]
-		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
-			continue
-		}
-		b := telemetry.BenchRecord{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
-		if m := procSuffix.FindStringSubmatch(b.Name); m != nil {
-			b.Procs, _ = strconv.Atoi(m[1])
-			b.Name = strings.TrimSuffix(b.Name, m[0])
-		}
-		n, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		b.Iterations = n
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			b.Metrics[fields[i+1]] = v
-		}
-		base.Benchmarks = append(base.Benchmarks, b)
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	base.Meta = &meta
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(base); err != nil {

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"ilplimit/internal/limits"
-	"ilplimit/internal/vm"
 )
 
 // ErrInjectedTrap is the sentinel a TrapAtStep plan makes the VM return,
@@ -85,11 +84,20 @@ func (p *Plan) Hooks() *limits.ReplayHooks {
 	armed := false
 	if p.CorruptAtSeq > 0 {
 		armed = true
-		h.OnPublish = func(_ int64, events []vm.Event) {
+		h.OnPublish = func(_ int64, events []limits.AnnotatedEvent) {
 			for i := range events {
 				if events[i].Seq == p.CorruptAtSeq {
+					// Flip the same trace facts a corrupted raw chunk
+					// would have carried: the address bit, the branch
+					// outcome, and — since chunks now arrive
+					// pre-decoded — every lane's misprediction bit, so
+					// speculative consumers observe the inverted
+					// outcome exactly as if they had re-derived it.
 					events[i].Addr ^= 1
-					events[i].Taken = !events[i].Taken
+					events[i].Flags ^= limits.FlagTaken
+					if events[i].Flags&limits.FlagBranch != 0 {
+						events[i].Flags ^= limits.FlagMispredAll
+					}
 					p.corrupted.Add(1)
 				}
 			}
@@ -97,7 +105,7 @@ func (p *Plan) Hooks() *limits.ReplayHooks {
 	}
 	if p.PanicAtSeq > 0 || p.StallAtSeq > 0 || p.SlowEvery > 0 {
 		armed = true
-		h.BeforeStep = func(id int, ev vm.Event) {
+		h.BeforeStep = func(id int, ev limits.AnnotatedEvent) {
 			if p.StallAtSeq > 0 && id == p.StallConsumer && ev.Seq == p.StallAtSeq {
 				p.stalled.Add(1)
 				time.Sleep(p.StallFor)
@@ -114,7 +122,7 @@ func (p *Plan) Hooks() *limits.ReplayHooks {
 	}
 	if p.DropFromSeq > 0 {
 		armed = true
-		h.DropStep = func(id int, ev vm.Event) bool {
+		h.DropStep = func(id int, ev limits.AnnotatedEvent) bool {
 			if id == p.DropConsumer && ev.Seq >= p.DropFromSeq {
 				p.dropped.Add(1)
 				return true

@@ -384,7 +384,12 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	}
 
 	pred := prof.Predictor()
+	// The pre-decode stage: CFG/RDF construction plus the fused
+	// per-instruction metadata table every analyzer and the annotation
+	// pass consume (see limits/predecode.go).
+	predecodeDone := stageTimer(scope, "predecode")
 	st, err := limits.NewStatic(prog, pred)
+	predecodeDone()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
@@ -398,17 +403,18 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	analyzeDone := stageTimer(scope, "analyze")
 	unrolled := limits.NewGroup(st, len(machine.Mem), opt.Models, true)
 	plain := limits.NewGroup(st, len(machine.Mem), opt.Models, false)
+	// Both paths pre-decode each event exactly once for all analyzers of
+	// both unroll configs; consumer/analyzer order is the unrolled
+	// analyzers in model order, then the plain ones.
+	all := make([]*limits.Analyzer, 0, len(unrolled.Analyzers)+len(plain.Analyzers))
+	all = append(all, unrolled.Analyzers...)
+	all = append(all, plain.Analyzers...)
 	if opt.Serial {
-		uv, pv := unrolled.Visitor(), plain.Visitor()
-		err = machine.RunContext(ctx, func(ev vm.Event) { uv(ev); pv(ev) })
+		err = machine.RunContext(ctx, limits.SerialVisitor(all...))
 	} else {
-		// Replay the trace once, fanning chunks out to all analyzers of
-		// both unroll configs, each scheduling on its own goroutine.
-		// Ring consumer ids follow this slice order: the unrolled
-		// analyzers in model order, then the plain ones.
-		all := make([]*limits.Analyzer, 0, len(unrolled.Analyzers)+len(plain.Analyzers))
-		all = append(all, unrolled.Analyzers...)
-		all = append(all, plain.Analyzers...)
+		// Replay the trace once, fanning annotated chunks out to all
+		// analyzers, each scheduling on its own goroutine.  Ring
+		// consumer ids follow the slice order above.
 		err = limits.ReplayWith(ctx, limits.ReplayOptions{
 			Metrics:  scope,
 			Hooks:    analyzeHooks,

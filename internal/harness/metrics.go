@@ -45,7 +45,7 @@ func recordAnalyzer(scope *telemetry.Registry, r limits.Result) {
 // stageColumns is the rendering order of the per-benchmark stage-timing
 // table; "wall" covers the whole pipeline including the untimed gaps
 // between stages.
-var stageColumns = []string{"compile", "optimize", "profile", "analyze", "wall"}
+var stageColumns = []string{"compile", "optimize", "profile", "predecode", "analyze", "wall"}
 
 // MetricsReport renders a telemetry snapshot as the human-readable
 // stage-timing report behind `ilplimit -metrics`: one row per benchmark
@@ -128,6 +128,16 @@ func MetricsReport(s *telemetry.Snapshot) string {
 			fmt.Fprintf(&b, "vm %-8s %12d instrs in %8.1f ms  (%.1f Minstr/s)\n",
 				pass, instrs, float64(ns)/1e6, float64(instrs)/(float64(ns)/1e3))
 		}
+	}
+	if dec := sum("decode.events"); dec > 0 {
+		var lanes int64
+		for name, v := range s.Gauges {
+			if strings.HasSuffix(name, "decode.lanes") && v > lanes {
+				lanes = v
+			}
+		}
+		fmt.Fprintf(&b, "decode      %12d events annotated once (%d branches, %d mispredict flags, %d predictor lane(s))\n",
+			dec, sum("decode.branches"), sum("decode.mispredict_flags"), lanes)
 	}
 	if chunks := sum("ring.chunks"); chunks > 0 {
 		var hwm int64

@@ -101,6 +101,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of opcodes, for sizing per-opcode lookup tables
+// (e.g. the analyzers' precomputed latency tables).
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	NOP: "nop",
 	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",

@@ -86,8 +86,45 @@ func DefaultLatencies(op isa.Op) int64 {
 	}
 }
 
+// ctrlKind selects the model-specific control constraint of the
+// annotated fast path.  It is resolved once at construction, so the hot
+// loop's model dispatch is a dense switch on a small integer instead of
+// a chain of Model comparisons and capability checks.
+type ctrlKind uint8
+
+const (
+	ctrlNone             ctrlKind = iota // Oracle: no control constraint
+	ctrlLastBranch                       // Base: every prior branch serializes
+	ctrlCDOrdered                        // CD: control dependence, branches ordered
+	ctrlCD                               // CD-MF: control dependence only
+	ctrlLastMispred                      // SP: prior mispredictions serialize
+	ctrlCDMispredOrdered                 // SP-CD: CD mispredictions, mispredictions ordered
+	ctrlCDMispred                        // SP-CD-MF: CD mispredictions only
+)
+
+// ctrlKindOf maps a machine model to its control-constraint kind.
+func ctrlKindOf(m Model) ctrlKind {
+	switch m {
+	case Base:
+		return ctrlLastBranch
+	case CD:
+		return ctrlCDOrdered
+	case CDMF:
+		return ctrlCD
+	case SP:
+		return ctrlLastMispred
+	case SPCD:
+		return ctrlCDMispredOrdered
+	case SPCDMF:
+		return ctrlCDMispred
+	default:
+		return ctrlNone
+	}
+}
+
 // Analyzer schedules one dynamic trace under one machine model.
-// Feed it every VM event via Step, then read Result.
+// Feed it every VM event via Step (or pre-decoded events via
+// StepAnnotated), then read Result.
 type Analyzer struct {
 	st        *Static
 	model     Model
@@ -95,7 +132,21 @@ type Analyzer struct {
 	window    int
 	ring      []int64 // completion times of the last `window` instructions
 	ringPos   int
-	latency   func(op isa.Op) int64
+
+	// Annotated fast-path dispatch state, fixed at construction.
+	ctrl ctrlKind
+	// skip masks the flags that remove an event from the schedule for
+	// this analyzer (inline filter, plus the unroll filter when
+	// unrolling); attention additionally covers call/return and — for
+	// CD models — block leaders, so the hot loop tests one mask to
+	// bypass the whole slow block.
+	skip      uint32
+	attention uint32
+	// mispredMask selects this analyzer's predictor lane bit in
+	// AnnotatedEvent.Flags; 0 means no lane (re-derive per event).
+	mispredMask uint32
+	// latTab is the per-opcode latency table (nil for unit latency).
+	latTab []int64
 
 	// Greedy schedule state: last-write times.  memTime is paged so the
 	// per-analyzer footprint tracks the benchmark's working set instead of
@@ -153,11 +204,26 @@ func NewAnalyzerConfig(st *Static, cfg Config) *Analyzer {
 		model:     cfg.Model,
 		unrolling: cfg.Unrolling,
 		window:    cfg.Window,
-		latency:   cfg.Latency,
 		memTime:   newTimeTable(cfg.MemWords),
 		rec:       make([]blockRec, st.numBlocks),
 		needCD:    cfg.Model.usesCD(),
 		spec:      cfg.Model.usesSpec(),
+	}
+	a.ctrl = ctrlKindOf(cfg.Model)
+	a.skip = FlagInline
+	if cfg.Unrolling {
+		a.skip |= FlagUnroll
+	}
+	a.attention = a.skip | FlagCall | FlagReturn
+	if a.needCD {
+		a.attention |= FlagLeader
+	}
+	a.setLane(0)
+	if cfg.Latency != nil {
+		a.latTab = make([]int64, isa.NumOps)
+		for op := range a.latTab {
+			a.latTab[op] = cfg.Latency(isa.Op(op))
+		}
 	}
 	if a.window > 0 {
 		a.ring = make([]int64, a.window)
@@ -179,114 +245,153 @@ func NewAnalyzerConfig(st *Static, cfg Config) *Analyzer {
 // Model returns the machine model this analyzer simulates.
 func (a *Analyzer) Model() Model { return a.model }
 
-// Step schedules one dynamic instruction.
+// setLane assigns the analyzer's predictor lane in the annotated event
+// flags; a lane out of range clears the mask, making StepAnnotated
+// re-derive mispredictions through the predictor (the correctness
+// fallback for replays with more distinct predictors than lanes).
+func (a *Analyzer) setLane(lane int) {
+	if lane < 0 || lane >= MaxLanes {
+		a.mispredMask = 0
+		return
+	}
+	a.mispredMask = 1 << (laneShift + uint(lane))
+}
+
+// Step schedules one dynamic instruction from a raw VM event.  It
+// derives the event's annotation inline — the fused metadata flags plus
+// this analyzer's own misprediction lane — and delegates to
+// StepAnnotated, so standalone steppers compute results bit-identical
+// to pre-decoded replays.
 func (a *Analyzer) Step(ev vm.Event) {
-	st := a.st
-	idx := ev.Idx
-	in := &st.Prog.Instrs[idx]
-	op := in.Op
-
-	if a.needCD && st.isLeader[idx] {
-		a.enterBlock(st.blockOf[idx])
+	flags := a.st.meta[ev.Idx].flags
+	if ev.Taken {
+		flags |= FlagTaken
 	}
+	if a.spec && flags&FlagBranch != 0 && a.mispredMask != 0 && a.st.Pred.Mispredicted(ev) {
+		flags |= a.mispredMask
+	}
+	a.StepAnnotated(AnnotatedEvent{Seq: ev.Seq, Addr: ev.Addr, Idx: ev.Idx, Flags: flags})
+}
 
-	// Calls and returns never schedule (the inlining filter removes them)
-	// but they drive the interprocedural control-dependence stack.
-	if op.IsCall() {
-		if a.needCD {
-			a.stack = append(a.stack, frame{
-				savedCD:       a.curCD,
-				savedInherit:  a.inheritCD,
-				savedProcSeq:  a.curProcSeq,
-				savedBlockSeq: a.curBlockSeq,
-			})
-			a.inheritCD = a.curCD
-			a.curProcSeq = a.seqCounter + 1
+// StepAnnotated schedules one pre-decoded dynamic instruction — the hot
+// loop of a replay.  All per-event facts arrive resolved in the
+// annotation and the fused metadata record, so the common case (a
+// plain scheduled instruction) runs branch-light: one attention-mask
+// test bypasses the block/call/filter handling, operands come from one
+// 16-byte metadata load, and the model's control constraint is a dense
+// table-driven switch.
+func (a *Analyzer) StepAnnotated(ae AnnotatedEvent) {
+	flags := ae.Flags
+	m := &a.st.meta[ae.Idx]
+
+	// Events needing attention beyond pure scheduling: block leaders
+	// (CD models), calls/returns (control-dependence stack), and
+	// instructions the inline/unroll filters remove.
+	if flags&a.attention != 0 {
+		if a.needCD && flags&FlagLeader != 0 {
+			a.enterBlock(m.block)
 		}
-		return
-	}
-	if op.IsReturn() {
-		if a.needCD {
-			if n := len(a.stack); n > 0 {
-				f := a.stack[n-1]
-				a.stack = a.stack[:n-1]
-				a.curCD = f.savedCD
-				a.inheritCD = f.savedInherit
-				a.curProcSeq = f.savedProcSeq
-				a.curBlockSeq = f.savedBlockSeq
+		// Calls and returns never schedule (the inlining filter removes
+		// them) but they drive the interprocedural control-dependence
+		// stack.
+		if flags&FlagCall != 0 {
+			if a.needCD {
+				a.stack = append(a.stack, frame{
+					savedCD:       a.curCD,
+					savedInherit:  a.inheritCD,
+					savedProcSeq:  a.curProcSeq,
+					savedBlockSeq: a.curBlockSeq,
+				})
+				a.inheritCD = a.curCD
+				a.curProcSeq = a.seqCounter + 1
 			}
+			return
 		}
-		return
-	}
-
-	isBr := op.IsBranchConstraint()
-	if st.inline[idx] || (a.unrolling && st.unroll[idx]) {
-		if isBr && a.needCD {
-			// A loop branch removed by perfect unrolling is transparent:
-			// dependents inherit the branch's own control dependence
-			// instead of waiting for the branch.
-			a.rec[st.blockOf[idx]] = blockRec{
-				seq:      a.curBlockSeq,
-				termT:    a.curCD.time,
-				mispredT: a.curCD.mispredT,
-				procSeq:  a.curProcSeq,
+		if flags&FlagReturn != 0 {
+			if a.needCD {
+				if n := len(a.stack); n > 0 {
+					f := a.stack[n-1]
+					a.stack = a.stack[:n-1]
+					a.curCD = f.savedCD
+					a.inheritCD = f.savedInherit
+					a.curProcSeq = f.savedProcSeq
+					a.curBlockSeq = f.savedBlockSeq
+				}
 			}
+			return
 		}
-		return
+		if flags&a.skip != 0 {
+			if flags&FlagBranch != 0 && a.needCD {
+				// A loop branch removed by perfect unrolling is transparent:
+				// dependents inherit the branch's own control dependence
+				// instead of waiting for the branch.
+				a.rec[m.block] = blockRec{
+					seq:      a.curBlockSeq,
+					termT:    a.curCD.time,
+					mispredT: a.curCD.mispredT,
+					procSeq:  a.curProcSeq,
+				}
+			}
+			return
+		}
 	}
 
 	// Data dependences: sources plus, for loads, the last write to the
 	// effective address.
 	var t int64
-	s1, s2, s3, n := in.SrcRegs()
-	if n > 0 {
-		if rt := a.regTime[s1]; rt > t {
+	if n := m.nsrc; n > 0 {
+		if rt := a.regTime[m.src1]; rt > t {
 			t = rt
 		}
 		if n > 1 {
-			if rt := a.regTime[s2]; rt > t {
+			if rt := a.regTime[m.src2]; rt > t {
 				t = rt
 			}
-		}
-		if n > 2 {
-			if rt := a.regTime[s3]; rt > t {
-				t = rt
+			if n > 2 {
+				if rt := a.regTime[m.src3]; rt > t {
+					t = rt
+				}
 			}
 		}
 	}
-	if op.IsLoad() {
-		if mt := a.memTime.load(ev.Addr); mt > t {
+	if flags&FlagLoad != 0 {
+		if mt := a.memTime.load(ae.Addr); mt > t {
 			t = mt
 		}
 	}
 
-	// Control-flow constraint.
+	// Control-flow constraint: the annotation carries this analyzer's
+	// misprediction fact in its predictor lane bit (laneless analyzers
+	// re-derive it — the MaxLanes-overflow fallback).
+	isBr := flags&FlagBranch != 0
 	mispred := false
 	if a.spec && isBr {
-		mispred = st.Pred.Mispredicted(ev)
+		if a.mispredMask != 0 {
+			mispred = flags&a.mispredMask != 0
+		} else {
+			mispred = a.st.Pred.Mispredicted(ae.Event())
+		}
 	}
 	var ctrl int64
-	switch a.model {
-	case Base:
+	switch a.ctrl {
+	case ctrlLastBranch:
 		ctrl = a.lastBranchT
-	case CD:
+	case ctrlCDOrdered:
 		ctrl = a.curCD.time
 		if isBr && a.lastBranchT > ctrl {
 			ctrl = a.lastBranchT
 		}
-	case CDMF:
+	case ctrlCD:
 		ctrl = a.curCD.time
-	case SP:
+	case ctrlLastMispred:
 		ctrl = a.lastMispredT
-	case SPCD:
+	case ctrlCDMispredOrdered:
 		ctrl = a.curCD.mispredT
 		if mispred && a.lastMispredT > ctrl {
 			ctrl = a.lastMispredT
 		}
-	case SPCDMF:
+	case ctrlCDMispred:
 		ctrl = a.curCD.mispredT
-	case Oracle:
-		ctrl = 0
 	}
 	if ctrl > t {
 		t = ctrl
@@ -301,8 +406,8 @@ func (a *Analyzer) Step(ev vm.Event) {
 	T := t + 1
 	// Completion time under the latency model (equals T for unit latency).
 	C := T
-	if a.latency != nil {
-		C = T + a.latency(op) - 1
+	if a.latTab != nil {
+		C = T + a.latTab[m.op] - 1
 	}
 	if a.window > 0 {
 		a.ring[a.ringPos] = C
@@ -313,22 +418,31 @@ func (a *Analyzer) Step(ev vm.Event) {
 	}
 
 	// Record the schedule.
-	if d, ok := in.DestReg(); ok {
+	if d := m.dest; d != 0 {
 		a.regTime[d] = C
 	}
-	if op.IsStore() {
-		a.memTime.store(ev.Addr, C)
+	if flags&FlagStore != 0 {
+		a.memTime.store(ae.Addr, C)
 	}
 	a.count++
 	if C > a.maxT {
 		a.maxT = C
 	}
 	if a.OnSchedule != nil {
-		a.OnSchedule(idx, C)
+		a.OnSchedule(ae.Idx, C)
 	}
 	if a.widths != nil {
-		for int64(len(a.widths)) <= T {
-			a.widths = append(a.widths, make([]int32, len(a.widths))...)
+		if int64(len(a.widths)) <= T {
+			// Grow once to the next power of two past T instead of
+			// doubling repeatedly — each doubling step used to build a
+			// fresh throwaway slice just to append it.
+			n := int64(len(a.widths)) * 2
+			for n <= T {
+				n *= 2
+			}
+			grown := make([]int32, n)
+			copy(grown, a.widths)
+			a.widths = grown
 		}
 		a.widths[T]++
 	}
@@ -346,7 +460,7 @@ func (a *Analyzer) Step(ev vm.Event) {
 			if mispred {
 				mt = C
 			}
-			a.rec[st.blockOf[idx]] = blockRec{
+			a.rec[m.block] = blockRec{
 				seq:      a.curBlockSeq,
 				termT:    C,
 				mispredT: mt,
@@ -460,13 +574,11 @@ func NewGroup(st *Static, memWords int, models []Model, unrolling bool) *Group {
 	return g
 }
 
-// Visitor returns a VM visitor that feeds every analyzer.
+// Visitor returns a VM visitor that feeds every analyzer through the
+// shared annotation pass (see SerialVisitor): each event is pre-decoded
+// once, not once per analyzer.
 func (g *Group) Visitor() func(vm.Event) {
-	return func(ev vm.Event) {
-		for _, a := range g.Analyzers {
-			a.Step(ev)
-		}
-	}
+	return SerialVisitor(g.Analyzers...)
 }
 
 // Results collects the analyses in analyzer order.

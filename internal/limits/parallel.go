@@ -36,17 +36,32 @@ const (
 	RingSlots = 8
 )
 
+// chunkPool recycles chunk buffers across replays and across watchdog
+// detaches: a detach hands the abandoned consumer's current slot a
+// fresh buffer, and every replay returns its slot buffers at the end,
+// so steady-state suites allocate no new chunk storage.  Buffers are
+// stored at full capacity and re-sliced to length 0 on reuse.
+var chunkPool = sync.Pool{
+	New: func() interface{} { return make([]AnnotatedEvent, 0, ChunkEvents) },
+}
+
+// getChunkBuf takes an empty ChunkEvents-capacity buffer from the pool.
+func getChunkBuf() []AnnotatedEvent {
+	return chunkPool.Get().([]AnnotatedEvent)[:0]
+}
+
 // eventRing is a bounded single-producer/multi-consumer broadcast ring of
-// event chunks.  Every consumer observes every chunk, in order.  Slot
-// buffers are recycled: the producer reuses a slot only after all
-// consumers have drained the chunk that last occupied it, so a full
-// replay allocates RingSlots buffers total.
+// pre-decoded event chunks.  Every consumer observes every chunk, in
+// order.  Slot buffers are recycled: the producer reuses a slot only
+// after all consumers have drained the chunk that last occupied it, so a
+// full replay holds RingSlots buffers total (drawn from chunkPool and
+// returned at the end).
 type eventRing struct {
 	mu    sync.Mutex
 	avail *sync.Cond // producer waits here for a free slot
 	ready *sync.Cond // consumers wait here for the next chunk (or close)
 
-	slots   [RingSlots][]vm.Event
+	slots   [RingSlots][]AnnotatedEvent
 	head    int64   // chunks published so far
 	tails   []int64 // per-consumer chunks fully consumed
 	cut     []bool  // per-consumer: detached (panicked or watchdog-killed)
@@ -98,9 +113,24 @@ func newEventRing(consumers int, met *ringMetrics) *eventRing {
 	r.avail = sync.NewCond(&r.mu)
 	r.ready = sync.NewCond(&r.mu)
 	for i := range r.slots {
-		r.slots[i] = make([]vm.Event, 0, ChunkEvents)
+		r.slots[i] = getChunkBuf()
 	}
 	return r
+}
+
+// recycle returns the ring's slot buffers to chunkPool once the replay
+// is over.  Buffers handed off to abandoned (watchdog-detached)
+// consumers were already replaced at detach and stay with their zombie
+// goroutine, so nothing recycled here can still be read.
+func (r *eventRing) recycle() {
+	r.mu.Lock()
+	for i := range r.slots {
+		if r.slots[i] != nil {
+			chunkPool.Put(r.slots[i])
+			r.slots[i] = nil
+		}
+	}
+	r.mu.Unlock()
 }
 
 func (r *eventRing) minTail() int64 {
@@ -117,7 +147,7 @@ func (r *eventRing) minTail() int64 {
 // consumer has drained the chunk that previously occupied its slot.  It
 // returns nil once the ring is aborted, so a producer blocked on flow
 // control cannot outlive a canceled replay.
-func (r *eventRing) reserve() []vm.Event {
+func (r *eventRing) reserve() []AnnotatedEvent {
 	r.mu.Lock()
 	if r.met != nil && r.minTail()+RingSlots <= r.head && !r.aborted {
 		r.met.prodStalls.Inc()
@@ -136,7 +166,7 @@ func (r *eventRing) reserve() []vm.Event {
 
 // publish makes the chunk built in a reserve()d buffer visible to every
 // consumer.
-func (r *eventRing) publish(buf []vm.Event) {
+func (r *eventRing) publish(buf []AnnotatedEvent) {
 	r.mu.Lock()
 	if !r.aborted {
 		r.slots[r.head%RingSlots] = buf
@@ -176,7 +206,7 @@ func (r *eventRing) abort() {
 // next returns consumer id's next chunk, or nil at end of stream (or
 // once the consumer has been detached).  The consumer must call advance
 // after processing the chunk.
-func (r *eventRing) next(id int) []vm.Event {
+func (r *eventRing) next(id int) []AnnotatedEvent {
 	r.mu.Lock()
 	if r.met != nil && r.tails[id] == r.head && !r.closed && !r.aborted && !r.cut[id] {
 		r.met.consStalls.Inc()
@@ -246,7 +276,7 @@ func (r *eventRing) detachLocked(id int, byWatchdog bool) {
 	}
 	r.cut[id] = true
 	if byWatchdog && r.tails[id] < r.head {
-		r.slots[r.tails[id]%RingSlots] = make([]vm.Event, 0, ChunkEvents)
+		r.slots[r.tails[id]%RingSlots] = getChunkBuf()
 	}
 	r.tails[id] = int64(1) << 62
 	if r.met != nil {
@@ -269,16 +299,17 @@ type RunFunc func(ctx context.Context, visit func(vm.Event)) error
 // hooks; only ReplayFaults installs them.
 type ReplayHooks struct {
 	// OnPublish runs in the producer goroutine right before chunk
-	// (zero-based) becomes visible; it may mutate the events in place.
-	OnPublish func(chunk int64, events []vm.Event)
+	// (zero-based) becomes visible; it may mutate the annotated events
+	// in place (AnnotatedEvent.Event recovers the raw trace facts).
+	OnPublish func(chunk int64, events []AnnotatedEvent)
 	// BeforeStep runs in consumer id's goroutine before each event is
 	// stepped; it may stall or panic.
-	BeforeStep func(id int, ev vm.Event)
+	BeforeStep func(id int, ev AnnotatedEvent)
 	// DropStep runs in consumer id's goroutine before each event;
 	// returning true skips stepping that event for that consumer only,
 	// desynchronizing one analyzer from the trace (the fault behind a
 	// seeded model-ordering violation).
-	DropStep func(id int, ev vm.Event) bool
+	DropStep func(id int, ev AnnotatedEvent) bool
 	// Metrics, when non-nil, observes the faulted replay exactly as
 	// ReplayObserved would, so fault-injection tests can assert that
 	// counters survive a recovery (panic + detach) intact.
@@ -382,9 +413,9 @@ func ReplayFaults(ctx context.Context, hooks *ReplayHooks, run RunFunc, analyzer
 // of o's knobs — ring telemetry, fault hooks, stall watchdog — are set.
 // The other Replay variants are thin wrappers over it.
 func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...*Analyzer) error {
-	var beforeStep func(int, vm.Event)
-	var dropStep func(int, vm.Event) bool
-	var onPublish func(int64, []vm.Event)
+	var beforeStep func(int, AnnotatedEvent)
+	var dropStep func(int, AnnotatedEvent) bool
+	var onPublish func(int64, []AnnotatedEvent)
 	if o.Hooks != nil {
 		beforeStep, dropStep, onPublish = o.Hooks.BeforeStep, o.Hooks.DropStep, o.Hooks.OnPublish
 	}
@@ -395,23 +426,30 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 	case 0:
 		return canceledErr(ctx, run(ctx, func(vm.Event) {}))
 	case 1:
-		// A lone analyzer gains nothing from the ring; step it inline.
+		// A lone analyzer gains nothing from the ring; annotate and step
+		// it inline in the producer.
 		a := analyzers[0]
+		an := NewAnnotator(a)
+		defer an.flush(o.Metrics)
 		if beforeStep != nil || dropStep != nil {
 			return canceledErr(ctx, run(ctx, func(ev vm.Event) {
+				ae := an.Annotate(ev)
 				if beforeStep != nil {
-					beforeStep(0, ev)
+					beforeStep(0, ae)
 				}
-				if dropStep != nil && dropStep(0, ev) {
+				if dropStep != nil && dropStep(0, ae) {
 					return
 				}
-				a.Step(ev)
+				a.StepAnnotated(ae)
 			}))
 		}
-		return canceledErr(ctx, run(ctx, func(ev vm.Event) { a.Step(ev) }))
+		return canceledErr(ctx, run(ctx, func(ev vm.Event) { a.StepAnnotated(an.Annotate(ev)) }))
 	}
 
+	an := NewAnnotator(analyzers...)
+	defer an.flush(o.Metrics)
 	r := newEventRing(len(analyzers), newRingMetrics(o.Metrics, len(analyzers)))
+	defer r.recycle()
 	// A canceled context must unblock a producer waiting for a free slot
 	// and consumers waiting for the next chunk; condition variables cannot
 	// select on ctx.Done(), so a watcher trips the ring's abort flag.
@@ -453,19 +491,31 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 					r.detach(id)
 				}
 			}()
+			if beforeStep != nil || dropStep != nil {
+				for {
+					chunk := r.next(id)
+					if chunk == nil {
+						return
+					}
+					for _, ae := range chunk {
+						if beforeStep != nil {
+							beforeStep(id, ae)
+						}
+						if dropStep != nil && dropStep(id, ae) {
+							continue
+						}
+						a.StepAnnotated(ae)
+					}
+					r.advance(id)
+				}
+			}
 			for {
 				chunk := r.next(id)
 				if chunk == nil {
 					return
 				}
-				for _, ev := range chunk {
-					if beforeStep != nil {
-						beforeStep(id, ev)
-					}
-					if dropStep != nil && dropStep(id, ev) {
-						continue
-					}
-					a.Step(ev)
+				for _, ae := range chunk {
+					a.StepAnnotated(ae)
 				}
 				r.advance(id)
 			}
@@ -549,7 +599,7 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 				// floor until it returns.
 				return
 			}
-			buf = append(buf, ev)
+			buf = append(buf, an.Annotate(ev))
 			if len(buf) == ChunkEvents {
 				if onPublish != nil {
 					onPublish(chunk, buf)

@@ -1,0 +1,266 @@
+package limits
+
+import (
+	"ilplimit/internal/predict"
+	"ilplimit/internal/telemetry"
+	"ilplimit/internal/vm"
+)
+
+// Trace pre-decode.
+//
+// Every analyzer of a replay derives the same per-event facts from the
+// raw vm.Event: the instruction's operand registers and op class, the
+// leader/inline/unroll filter bits, and — for every speculative model —
+// a full predictor evaluation.  With 7 models × 2 unroll configs that
+// is O(models × trace) rediscovery of information knowable once per
+// event.  The pre-decode stage hoists it into the single producer:
+//
+//   - NewStatic fuses the per-static-instruction lookups (SrcRegs,
+//     DestReg, op classification, blockOf, isLeader, inline, unroll)
+//     into one packed instrMeta record, so the analyzer hot loop pays
+//     one indexed load instead of five slice walks and two method-call
+//     switches.
+//   - An Annotator stamps each dynamic event once with the static flag
+//     set plus the dynamic facts: the branch outcome and one
+//     misprediction bit per predictor "lane" (distinct *Static in the
+//     replay), resolved through a single predict.OutcomeStream pass.
+//   - Analyzers consume the resulting AnnotatedEvent via StepAnnotated,
+//     a branch-light greedy max-schedule whose model-specific control
+//     constraint is a small table-driven switch.
+//
+// Results are bit-identical to stepping raw events: Step is now a thin
+// wrapper that self-annotates and calls StepAnnotated.
+
+// Annotation flag bits of AnnotatedEvent.Flags.  The low half carries
+// per-event facts (static instruction class plus the dynamic branch
+// outcome); bits laneShift and up carry one misprediction bit per
+// predictor lane.
+const (
+	// FlagLeader marks the first instruction of a basic block.
+	FlagLeader uint32 = 1 << iota
+	// FlagBranch marks a branch constraint (conditional branch or
+	// computed jump).
+	FlagBranch
+	// FlagLoad marks a memory load.
+	FlagLoad
+	// FlagStore marks a memory store.
+	FlagStore
+	// FlagCall marks a procedure call.
+	FlagCall
+	// FlagReturn marks a procedure return.
+	FlagReturn
+	// FlagInline marks an instruction removed by the inlining filter.
+	FlagInline
+	// FlagUnroll marks an instruction removed by perfect loop unrolling
+	// (only honored by unrolling analyzers).
+	FlagUnroll
+	// FlagTaken carries the dynamic outcome of a conditional branch,
+	// preserving the information needed to reconstruct the vm.Event.
+	FlagTaken
+)
+
+const (
+	// laneShift is the bit position of predictor lane 0's misprediction
+	// flag.
+	laneShift = 16
+	// MaxLanes is how many distinct predictors one annotation pass can
+	// serve.  Replays with more distinct *Static contexts than lanes
+	// fall back to per-analyzer predictor calls for the overflow — a
+	// correctness-preserving slow path that no current caller hits
+	// (harness replays share one Static; the prediction study uses 3).
+	MaxLanes = 32 - laneShift
+	// FlagMispredAll masks every lane's misprediction bit.
+	FlagMispredAll uint32 = (1<<MaxLanes - 1) << laneShift
+)
+
+// AnnotatedEvent is one retired instruction stamped with its pre-decoded
+// facts.  It is what the replay ring broadcasts: consumers treat the
+// chunk slices as read-only and never re-derive what the producer
+// already resolved.  The raw event is fully recoverable via Event, so
+// seam code keyed on trace positions (fault injection, journals) keeps
+// working on annotated chunks.
+type AnnotatedEvent struct {
+	// Seq is the zero-based dynamic trace position (vm.Event.Seq).
+	Seq int64
+	// Addr is the effective address or resolved jump target
+	// (vm.Event.Addr).
+	Addr int64
+	// Idx is the static instruction index (vm.Event.Idx).
+	Idx int32
+	// Flags carries the Flag* bits plus per-lane misprediction bits.
+	Flags uint32
+}
+
+// Event reconstructs the raw vm.Event the annotation was stamped from.
+func (ae AnnotatedEvent) Event() vm.Event {
+	return vm.Event{Seq: ae.Seq, Addr: ae.Addr, Idx: ae.Idx, Taken: ae.Flags&FlagTaken != 0}
+}
+
+// instrMeta is the fused per-static-instruction metadata record, built
+// once in NewStatic.  It collapses the five per-event lookups of the
+// old hot loop (SrcRegs, DestReg, opcode classification, blockOf +
+// isLeader, inline/unroll filters) into a single 16-byte load.
+type instrMeta struct {
+	// block is the program-global basic-block id.
+	block int32
+	// flags holds the static Flag* bits (everything except FlagTaken
+	// and the lane bits, which are dynamic).
+	flags uint32
+	// src1..src3 are the operand registers; nsrc how many are valid.
+	src1, src2, src3 uint8
+	nsrc             uint8
+	// dest is the written register, 0 (the hardwired zero register,
+	// whose writes are discarded) when the instruction writes nothing.
+	dest uint8
+	// op is the opcode, kept for latency-table indexing.
+	op uint8
+}
+
+// buildMeta fuses the static per-instruction tables; called at the end
+// of NewStatic once every constituent table exists.
+func (st *Static) buildMeta() {
+	st.meta = make([]instrMeta, len(st.Prog.Instrs))
+	for i := range st.Prog.Instrs {
+		in := &st.Prog.Instrs[i]
+		m := &st.meta[i]
+		m.block = st.blockOf[i]
+		m.op = uint8(in.Op)
+		s1, s2, s3, n := in.SrcRegs()
+		m.src1, m.src2, m.src3, m.nsrc = uint8(s1), uint8(s2), uint8(s3), uint8(n)
+		if d, ok := in.DestReg(); ok {
+			m.dest = uint8(d)
+		}
+		if st.isLeader[i] {
+			m.flags |= FlagLeader
+		}
+		if in.Op.IsBranchConstraint() {
+			m.flags |= FlagBranch
+		}
+		if in.Op.IsLoad() {
+			m.flags |= FlagLoad
+		}
+		if in.Op.IsStore() {
+			m.flags |= FlagStore
+		}
+		if in.Op.IsCall() {
+			m.flags |= FlagCall
+		}
+		if in.Op.IsReturn() {
+			m.flags |= FlagReturn
+		}
+		if st.inline[i] {
+			m.flags |= FlagInline
+		}
+		if st.unroll[i] {
+			m.flags |= FlagUnroll
+		}
+	}
+}
+
+// Annotator stamps raw VM events with their pre-decoded annotation: the
+// static flag set from the fused metadata table plus, for branch
+// events, one misprediction bit per predictor lane, each resolved
+// through a single predict.OutcomeStream.  One Annotator serves every
+// analyzer of a replay; it is single-goroutine (the producer's) and
+// counts its work for the decode telemetry.
+type Annotator struct {
+	st      *Static
+	streams []predict.OutcomeStream
+
+	// Decode counters, flushed to telemetry by the replay.
+	events      int64
+	branches    int64
+	mispredicts int64
+}
+
+// NewAnnotator builds the shared annotation pass for the analyzers of
+// one replay and assigns each speculative analyzer its predictor lane.
+// All analyzers must target the same program; analyzers sharing a
+// *Static share a lane (the common case: one lane total).  Analyzers
+// beyond MaxLanes distinct Statics keep mispredicting-bit resolution
+// local (they re-derive it per event), preserving results at reduced
+// sharing.  NewAnnotator panics when called with no analyzers.
+func NewAnnotator(analyzers ...*Analyzer) *Annotator {
+	if len(analyzers) == 0 {
+		panic("limits: NewAnnotator needs at least one analyzer")
+	}
+	an := &Annotator{st: analyzers[0].st}
+	lanes := make(map[*Static]int)
+	for _, a := range analyzers {
+		if a.st.Prog != an.st.Prog {
+			panic("limits: analyzers of one replay must share a program")
+		}
+		if !a.spec {
+			continue
+		}
+		lane, ok := lanes[a.st]
+		if !ok {
+			lane = -1
+			if len(an.streams) < MaxLanes {
+				lane = len(an.streams)
+				an.streams = append(an.streams, predict.StreamOutcomes(a.st.Pred))
+			}
+			lanes[a.st] = lane
+		}
+		a.setLane(lane)
+	}
+	return an
+}
+
+// Annotate stamps one event.  Called once per dynamic instruction, on
+// the producer side of a replay (or inline from SerialVisitor).
+func (an *Annotator) Annotate(ev vm.Event) AnnotatedEvent {
+	flags := an.st.meta[ev.Idx].flags
+	if ev.Taken {
+		flags |= FlagTaken
+	}
+	if flags&FlagBranch != 0 {
+		an.branches++
+		for i, stream := range an.streams {
+			if stream(ev) {
+				flags |= 1 << (laneShift + uint(i))
+				an.mispredicts++
+			}
+		}
+	}
+	an.events++
+	return AnnotatedEvent{Seq: ev.Seq, Addr: ev.Addr, Idx: ev.Idx, Flags: flags}
+}
+
+// Lanes reports how many predictor lanes the annotation pass resolves
+// per branch event — the number of distinct (Static, predictor)
+// contexts shared by the analyzers, not the number of analyzers.
+func (an *Annotator) Lanes() int { return len(an.streams) }
+
+// flush publishes the decode counters; m may be nil.
+func (an *Annotator) flush(m *telemetry.Registry) {
+	if m == nil {
+		return
+	}
+	m.Counter("decode.events").Add(an.events)
+	m.Counter("decode.branches").Add(an.branches)
+	m.Counter("decode.mispredict_flags").Add(an.mispredicts)
+	m.Gauge("decode.lanes").SetMax(int64(len(an.streams)))
+}
+
+// SerialVisitor returns a VM visitor that annotates each event once and
+// steps every analyzer's annotated fast path — the single-goroutine
+// counterpart of the replay ring's producer-side pre-decode, so the
+// `-serial` escape hatch computes identical results with the same
+// shared-decode structure.  With no analyzers the visitor is a no-op.
+func SerialVisitor(analyzers ...*Analyzer) func(vm.Event) {
+	if len(analyzers) == 0 {
+		return func(vm.Event) {}
+	}
+	an := NewAnnotator(analyzers...)
+	if len(analyzers) == 1 {
+		a := analyzers[0]
+		return func(ev vm.Event) { a.StepAnnotated(an.Annotate(ev)) }
+	}
+	return func(ev vm.Event) {
+		ae := an.Annotate(ev)
+		for _, a := range analyzers {
+			a.StepAnnotated(ae)
+		}
+	}
+}

@@ -30,6 +30,13 @@ type Static struct {
 
 	inline []bool
 	unroll []bool
+
+	// meta is the fused per-instruction metadata table consumed by the
+	// analyzer hot loop and the annotation pass (see predecode.go): one
+	// packed record per static instruction replaces the separate
+	// blockOf/isLeader/inline/unroll lookups and the SrcRegs/DestReg
+	// opcode switches.
+	meta []instrMeta
 }
 
 // NewStatic builds the static context: per-procedure CFGs, the flattened
@@ -75,6 +82,7 @@ func NewStatic(p *isa.Program, pred predict.Oracle) (*Static, error) {
 		}
 	}
 	st.unroll = dataflow.UnrollMarks(p, st.Graphs)
+	st.buildMeta()
 	return st, nil
 }
 

@@ -1,0 +1,100 @@
+package predict
+
+import (
+	"ilplimit/internal/isa"
+	"ilplimit/internal/vm"
+)
+
+// OutcomeStream is a single-pass tap on an Oracle: a function the trace
+// producer calls once per dynamic event to learn whether that event was
+// mispredicted.  It exists so the replay's pre-decode stage can resolve
+// every speculative analyzer's misprediction facts in one predictor
+// pass instead of one pass per analyzer.  A stream may carry
+// precomputed per-instruction state, so obtain one per replay rather
+// than caching it across programs.
+type OutcomeStream func(ev vm.Event) bool
+
+// streamer is implemented by oracles that can hand out an optimized
+// single-pass tap; StreamOutcomes prefers it over the interface call.
+type streamer interface {
+	Stream() OutcomeStream
+}
+
+// StreamOutcomes returns a single-pass tap on the oracle, preferring an
+// oracle-specific fast path (Predictor and TraceOutcomes precompute a
+// per-instruction branch-kind table, turning the per-event opcode
+// classification into one byte load) and falling back to the plain
+// Mispredicted interface call.  A nil oracle streams "never
+// mispredicted", matching the non-speculative models' needs.
+func StreamOutcomes(o Oracle) OutcomeStream {
+	if s, ok := o.(streamer); ok {
+		return s.Stream()
+	}
+	if o == nil {
+		return func(vm.Event) bool { return false }
+	}
+	return o.Mispredicted
+}
+
+// Branch kinds precomputed by the stream fast paths.
+const (
+	kindOther uint8 = iota // never mispredicted
+	kindCond               // compare outcome against the prediction
+	kindJump               // computed jump: always mispredicted
+)
+
+// branchKinds classifies every instruction of the program once, so a
+// stream resolves an event's kind with a single indexed load.
+func branchKinds(p *isa.Program) []uint8 {
+	kinds := make([]uint8, len(p.Instrs))
+	for i := range p.Instrs {
+		op := p.Instrs[i].Op
+		switch {
+		case op.IsCondBranch():
+			kinds[i] = kindCond
+		case op.IsComputedJump():
+			kinds[i] = kindJump
+		}
+	}
+	return kinds
+}
+
+// Stream returns the static predictor's single-pass tap; see
+// StreamOutcomes.
+func (p *Predictor) Stream() OutcomeStream {
+	kinds := branchKinds(p.prog)
+	take := p.predictTake
+	return func(ev vm.Event) bool {
+		switch kinds[ev.Idx] {
+		case kindCond:
+			return ev.Taken != take[ev.Idx]
+		case kindJump:
+			return true
+		}
+		return false
+	}
+}
+
+// Stream returns the recorded-outcome tap; see StreamOutcomes.
+func (t *TraceOutcomes) Stream() OutcomeStream {
+	kinds := branchKinds(t.prog)
+	bits := t.bits
+	return func(ev vm.Event) bool {
+		switch kinds[ev.Idx] {
+		case kindCond:
+			word := ev.Seq >> 6
+			if word >= int64(len(bits)) {
+				return false
+			}
+			return bits[word]&(1<<uint(ev.Seq&63)) != 0
+		case kindJump:
+			return true
+		}
+		return false
+	}
+}
+
+var (
+	_ streamer = (*Predictor)(nil)
+	_ streamer = (*TraceOutcomes)(nil)
+)

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ReadBenchBaseline decodes a committed BenchBaseline document (the
+// BENCH_limits.json format written by cmd/benchjson), rejecting
+// documents from a newer schema than this binary understands.
+func ReadBenchBaseline(r io.Reader) (BenchBaseline, error) {
+	var base BenchBaseline
+	if err := json.NewDecoder(r).Decode(&base); err != nil {
+		return base, err
+	}
+	if base.SchemaVersion > SchemaVersion {
+		return base, fmt.Errorf("baseline schema_version %d is newer than supported %d",
+			base.SchemaVersion, SchemaVersion)
+	}
+	return base, nil
+}
+
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// ParseBenchOutput parses `go test -bench` text output into a
+// BenchBaseline document: environment header lines (goos/goarch/pkg/cpu)
+// fill the environment block, each result line becomes one BenchRecord,
+// and everything else (headers, PASS/ok trailers, test logs) is ignored.
+// It is the shared reader behind cmd/benchjson (which writes baselines)
+// and cmd/benchdiff (which compares a fresh run against one).  The
+// returned document carries no Meta block; writers stamp their own.
+func ParseBenchOutput(r io.Reader) (BenchBaseline, error) {
+	base := BenchBaseline{
+		SchemaVersion: SchemaVersion,
+		Benchmarks:    []BenchRecord{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			base.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			base.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			base.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name  N  value unit  [value unit ...]
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		b := BenchRecord{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+		if m := procSuffix.FindStringSubmatch(b.Name); m != nil {
+			b.Procs, _ = strconv.Atoi(m[1])
+			b.Name = strings.TrimSuffix(b.Name, m[0])
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b.Iterations = n
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		base.Benchmarks = append(base.Benchmarks, b)
+	}
+	return base, sc.Err()
+}

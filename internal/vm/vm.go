@@ -12,16 +12,19 @@ import (
 	"ilplimit/internal/telemetry"
 )
 
-// Event describes one retired instruction.
+// Event describes one retired instruction.  Field order groups the two
+// 8-byte words first so the struct packs into 24 bytes — events are
+// batched into multi-thousand-entry chunks by the replay ring, where a
+// third of the footprint is measurable cache traffic.
 type Event struct {
 	// Seq is the zero-based position of the instruction in the dynamic
 	// trace (stable across replays of the same program).
 	Seq int64
-	// Idx is the static instruction index into the program.
-	Idx int32
 	// Addr is the effective word address for loads and stores, and the
 	// resolved target instruction index for computed jumps.
 	Addr int64
+	// Idx is the static instruction index into the program.
+	Idx int32
 	// Taken reports the outcome of a conditional branch.
 	Taken bool
 }
