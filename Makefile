@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: build test vet docs check race faultcheck soak bench bench-baseline benchdiff
+.PHONY: build test vet docs check generate generate-check race faultcheck soak \
+	bench bench-baseline benchdiff bench-smoke
 
 # Benchmarks captured in BENCH_limits.json and gated by benchdiff: the
-# group-scheduling fan-out plus the per-model analyzer hot loop.
-BENCH_PATTERN = 'BenchmarkGroup|BenchmarkAnalyzerStep'
+# group-scheduling fan-out, the per-model analyzer hot loop, and the
+# producer-side annotate/predecode stage.
+BENCH_PATTERN = 'BenchmarkGroup|BenchmarkAnalyzerStep|BenchmarkAnnotate'
 
 build:
 	$(GO) build ./...
@@ -24,8 +26,19 @@ docs:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) run ./cmd/doccheck . ./internal/* ./cmd/*
 
+# Regenerate all go:generate outputs (the specialized analyzer steppers
+# in internal/limits/step_gen.go).
+generate:
+	$(GO) generate ./...
+
+# Drift gate: regenerating must be a no-op against the committed
+# outputs, so cmd/stepgen and step_gen.go can never fall out of sync.
+generate-check: generate
+	@git diff --exit-code -- '*_gen.go' || \
+		{ echo "generated code is stale: run 'make generate' and commit"; exit 1; }
+
 # The default local gate: everything short of the long benchmarks.
-check: build docs test race soak
+check: build generate-check docs test race soak
 
 # Concurrency gate: the parallel trace fan-out (internal/limits) and the
 # suite-level job fan-out (internal/harness) must stay race-clean.
@@ -64,3 +77,11 @@ bench-baseline:
 benchdiff:
 	$(GO) test -bench $(BENCH_PATTERN) -benchmem -benchtime 3x -run '^$$' . \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_limits.json -threshold 15
+
+# CI smoke: one iteration of every baseline benchmark, parsed through
+# benchdiff with the gate disabled (-threshold 0 would still fail on
+# noise at 1 iteration, so a generous bar just proves the bench + diff
+# plumbing runs end to end on shared runners).
+bench-smoke:
+	$(GO) test -bench $(BENCH_PATTERN) -benchmem -benchtime 1x -run '^$$' . \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_limits.json -threshold 400

@@ -272,12 +272,16 @@ func benchGroupScheduling(b *testing.B, serial bool) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				unrolled, plain, all := benchGroups(tr)
+				unrolled, _, all := benchGroups(tr)
 				if serial {
-					uv, pv := unrolled.Visitor(), plain.Visitor()
-					for _, ev := range tr.events {
-						uv(ev)
-						pv(ev)
+					err := limits.SerialReplay(context.Background(), func(_ context.Context, visit func(vm.Event)) error {
+						for _, ev := range tr.events {
+							visit(ev)
+						}
+						return nil
+					}, all...)
+					if err != nil {
+						b.Fatal(err)
 					}
 				} else {
 					err := limits.Replay(func(visit func(vm.Event)) error {
@@ -342,32 +346,81 @@ func BenchmarkGroupParallelObserved(b *testing.B) {
 	}
 }
 
-// BenchmarkAnalyzerStep measures one analyzer's annotated hot loop per
+// chunkTrace pre-decodes a captured trace into columnar chunks with a
+// throwaway analyzer of the same (Static, lane 0) shape every fresh
+// analyzer gets — the producer's job in a replay, done once outside the
+// timed region.
+func chunkTrace(tr *groupTrace, m limits.Model) []*limits.Chunk {
+	an := limits.NewAnnotator(limits.NewAnalyzer(tr.st, m, false, tr.memWords))
+	var chunks []*limits.Chunk
+	c := limits.NewChunk(limits.ChunkEvents)
+	for _, ev := range tr.events {
+		c.Append(an.Annotate(ev))
+		if c.Len() == limits.ChunkEvents {
+			chunks = append(chunks, c)
+			c = limits.NewChunk(limits.ChunkEvents)
+		}
+	}
+	if c.Len() > 0 {
+		chunks = append(chunks, c)
+	}
+	return chunks
+}
+
+// BenchmarkAnalyzerStep measures one analyzer's columnar hot loop per
 // machine model over the captured ccom trace: events are pre-decoded
-// once outside the timed region (the producer's job in a replay), so
-// ns/op isolates StepAnnotated — the per-model cost the slowest ring
-// consumer bounds the whole parallel replay with.
+// into chunks once outside the timed region, so ns/op isolates
+// StepChunk — the generated per-model stepper whose cost the slowest
+// ring consumer bounds the whole parallel replay with.
 func BenchmarkAnalyzerStep(b *testing.B) {
 	tr := loadGroupTrace(b, "ccom")
 	for _, m := range limits.AllModels() {
 		b.Run(m.String(), func(b *testing.B) {
 			b.ReportAllocs()
-			// Annotate once with a throwaway analyzer of the same
-			// (Static, lane 0) shape every fresh analyzer gets.
-			an := limits.NewAnnotator(limits.NewAnalyzer(tr.st, m, false, tr.memWords))
-			annotated := make([]limits.AnnotatedEvent, 0, len(tr.events))
-			for _, ev := range tr.events {
-				annotated = append(annotated, an.Annotate(ev))
-			}
+			chunks := chunkTrace(tr, m)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				a := limits.NewAnalyzer(tr.st, m, false, tr.memWords)
-				for _, ae := range annotated {
-					a.StepAnnotated(ae)
+				for _, c := range chunks {
+					a.StepChunk(c)
 				}
 				if a.Result().Cycles == 0 {
 					b.Fatal("empty result")
 				}
+			}
+			b.ReportMetric(float64(len(tr.events)), "instrs/op")
+		})
+	}
+}
+
+// BenchmarkAnnotate measures the producer-side pre-decode path in
+// isolation: one Annotator pass streaming the captured trace into a
+// recycled columnar chunk, exactly the per-event work the replay
+// producer performs between VM dispatch and ring publish.  With the
+// analyzer hot loops specialized, this is the floor the producer puts
+// under every replay — it is gated in BENCH_limits.json so the
+// annotator cannot silently regress behind the analyzer wins.
+func BenchmarkAnnotate(b *testing.B) {
+	for _, name := range []string{"espresso", "ccom"} {
+		tr := loadGroupTrace(b, name)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			// One speculative analyzer pins the common lane shape (all
+			// harness analyzers share one Static, hence one lane).
+			a := limits.NewAnalyzer(tr.st, limits.SPCDMF, false, tr.memWords)
+			c := limits.NewChunk(limits.ChunkEvents)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The outcome streams are single-pass: a fresh Annotator
+				// per iteration, as every replay creates one.
+				an := limits.NewAnnotator(a)
+				for _, ev := range tr.events {
+					c.Append(an.Annotate(ev))
+					if c.Len() == limits.ChunkEvents {
+						c.Reset()
+					}
+				}
+				c.Reset()
 			}
 			b.ReportMetric(float64(len(tr.events)), "instrs/op")
 		})

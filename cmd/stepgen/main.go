@@ -1,0 +1,432 @@
+// Command stepgen generates the specialized columnar analyzer steppers
+// in internal/limits/step_gen.go.
+//
+// The generic limits.StepAnnotated pays, on every one of the ~10⁶
+// events × 14 analyzer instances of a benchmark, a dense control-kind
+// switch, per-model attention-mask tests, misprediction-lane checks and
+// a latency-table indirection — even though every one of those choices
+// is a constant of the analyzer's (model, unrolling, latency)
+// configuration.  stepgen folds them away at build time: for each of
+// the paper's seven machine models × {plain, unrolled} × {unit
+// latency, latency table} it emits one branch-free chunk stepper that
+// streams the columnar lanes of a limits.Chunk, plus the dispatch
+// table limits.NewAnalyzerConfig resolves once at construction.
+//
+// The emitted code is derived mechanically from the generic
+// StepAnnotated (the equivalence oracle): each specialization is the
+// generic body with the model's constants substituted and the dead
+// branches deleted.  step_gen_test.go pins generated-vs-generic result
+// equality for every configuration, and `make generate-check` fails
+// the build when the committed output drifts from this generator.
+//
+// Usage (normally via `go generate ./internal/limits` or `make generate`):
+//
+//	go run ilplimit/cmd/stepgen -out internal/limits/step_gen.go
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/format"
+	"log"
+	"os"
+	"strings"
+)
+
+// modelSpec describes one machine model's constants: exactly the facts
+// NewAnalyzerConfig derives from limits.Model and the generator folds
+// into the emitted stepper.
+type modelSpec struct {
+	// ident is the limits.Model constant name (and function-name stem).
+	ident string
+	// paper is the paper's model name, for comments.
+	paper string
+	// ctrl selects the control-constraint emission (the folded
+	// ctrlKind): none, lastBranch, cdOrdered, cd, lastMispred,
+	// cdMispredOrdered or cdMispred.
+	ctrl string
+	// needCD: the model tracks dynamic control dependences (leader
+	// handling, call/return stack, rec table).
+	needCD bool
+	// spec: the model speculates, so branch events carry a
+	// misprediction fact in the analyzer's predictor lane.
+	spec bool
+	// segments: the model aggregates misprediction-distance segments
+	// (SP only; NewAnalyzerConfig sets trackSegments iff model == SP).
+	segments bool
+	// updBranchT: some constraint of this model reads lastBranchT, so
+	// branch completion must keep it current.
+	updBranchT bool
+	// updMispredT: some constraint reads lastMispredT.
+	updMispredT bool
+}
+
+// models lists the paper's seven machines with the constants the
+// generic path re-derives per event.
+var models = []modelSpec{
+	{ident: "Base", paper: "BASE", ctrl: "lastBranch", updBranchT: true},
+	{ident: "CD", paper: "CD", ctrl: "cdOrdered", needCD: true, updBranchT: true},
+	{ident: "CDMF", paper: "CD-MF", ctrl: "cd", needCD: true},
+	{ident: "SP", paper: "SP", ctrl: "lastMispred", spec: true, segments: true, updMispredT: true},
+	{ident: "SPCD", paper: "SP-CD", ctrl: "cdMispredOrdered", needCD: true, spec: true, updMispredT: true},
+	{ident: "SPCDMF", paper: "SP-CD-MF", ctrl: "cdMispred", needCD: true, spec: true},
+	{ident: "Oracle", paper: "ORACLE", ctrl: "none"},
+}
+
+// gen accumulates emitted source; go/format normalizes the layout.
+type gen struct {
+	buf bytes.Buffer
+}
+
+// p emits one line.
+func (g *gen) p(format string, args ...interface{}) {
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteByte('\n')
+}
+
+// funcName builds the stepper identifier for one configuration.
+func funcName(m modelSpec, unroll, lat bool) string {
+	u, l := "plain", "unit"
+	if unroll {
+		u = "unroll"
+	}
+	if lat {
+		l = "lat"
+	}
+	return fmt.Sprintf("step%s_%s_%s", m.ident, u, l)
+}
+
+// attentionMask renders the constant attention-mask expression: the
+// flags that divert an event from the pure scheduling path.
+func attentionMask(m modelSpec, unroll bool) string {
+	parts := []string{"FlagInline"}
+	if unroll {
+		parts = append(parts, "FlagUnroll")
+	}
+	parts = append(parts, "FlagCall", "FlagReturn")
+	if m.needCD {
+		parts = append(parts, "FlagLeader")
+	}
+	return strings.Join(parts, " | ")
+}
+
+// skipMask renders the constant skip-mask expression: the filters that
+// remove an event from this configuration's schedule.
+func skipMask(unroll bool) string {
+	if unroll {
+		return "FlagInline | FlagUnroll"
+	}
+	return "FlagInline"
+}
+
+// emitStepper writes one specialized chunk stepper.  The body is the
+// generic StepAnnotated with this configuration's constants folded:
+// dead model branches deleted, masks inlined, and the per-event
+// count/maxT updates hoisted to chunk-local accumulators.
+func emitStepper(g *gen, m modelSpec, unroll, lat bool) {
+	name := funcName(m, unroll, lat)
+	uDesc := "without unrolling"
+	if unroll {
+		uDesc = "with perfect unrolling"
+	}
+	lDesc := "unit latency"
+	if lat {
+		lDesc = "a latency table"
+	}
+	// isBr is needed beyond the mispred computation whenever the model
+	// reacts to branch completion (rec table, branch-ordering times) or
+	// orders branches in its constraint.
+	needIsBr := m.updBranchT || m.needCD || m.ctrl == "cdOrdered"
+	needMispred := m.spec
+
+	g.p("// %s schedules one columnar chunk under %s (%s, %s).", name, m.paper, uDesc, lDesc)
+	g.p("func %s(a *Analyzer, c *Chunk) {", name)
+	g.p("idxL := c.idx")
+	g.p("addrL := c.addr[:len(idxL)]")
+	g.p("flagsL := c.flags[:len(idxL)]")
+	g.p("meta := a.st.meta")
+	g.p("count, maxT := a.count, a.maxT")
+	g.p("for i := range idxL {")
+	g.p("flags := flagsL[i]")
+	g.p("m := &meta[idxL[i]]")
+
+	// Attention block: leaders (CD models), calls/returns, filtered
+	// instructions.
+	g.p("if flags&(%s) != 0 {", attentionMask(m, unroll))
+	if m.needCD {
+		g.p("if flags&FlagLeader != 0 {")
+		g.p("a.enterBlock(m.block)")
+		g.p("}")
+	}
+	g.p("if flags&FlagCall != 0 {")
+	if m.needCD {
+		g.p("a.stack = append(a.stack, frame{")
+		g.p("savedCD:       a.curCD,")
+		g.p("savedInherit:  a.inheritCD,")
+		g.p("savedProcSeq:  a.curProcSeq,")
+		g.p("savedBlockSeq: a.curBlockSeq,")
+		g.p("})")
+		g.p("a.inheritCD = a.curCD")
+		g.p("a.curProcSeq = a.seqCounter + 1")
+	}
+	g.p("continue")
+	g.p("}")
+	g.p("if flags&FlagReturn != 0 {")
+	if m.needCD {
+		g.p("if n := len(a.stack); n > 0 {")
+		g.p("f := a.stack[n-1]")
+		g.p("a.stack = a.stack[:n-1]")
+		g.p("a.curCD = f.savedCD")
+		g.p("a.inheritCD = f.savedInherit")
+		g.p("a.curProcSeq = f.savedProcSeq")
+		g.p("a.curBlockSeq = f.savedBlockSeq")
+		g.p("}")
+	}
+	g.p("continue")
+	g.p("}")
+	g.p("if flags&(%s) != 0 {", skipMask(unroll))
+	if m.needCD {
+		g.p("if flags&FlagBranch != 0 {")
+		g.p("// A removed loop branch is transparent: dependents inherit")
+		g.p("// the branch's own control dependence.")
+		g.p("a.rec[m.block] = blockRec{")
+		g.p("seq:      a.curBlockSeq,")
+		g.p("termT:    a.curCD.time,")
+		g.p("mispredT: a.curCD.mispredT,")
+		g.p("procSeq:  a.curProcSeq,")
+		g.p("}")
+		g.p("}")
+	}
+	g.p("continue")
+	g.p("}")
+	g.p("}")
+
+	// Data dependences.
+	g.p("var t int64")
+	g.p("if n := m.nsrc; n > 0 {")
+	g.p("if rt := a.regTime[m.src1]; rt > t {")
+	g.p("t = rt")
+	g.p("}")
+	g.p("if n > 1 {")
+	g.p("if rt := a.regTime[m.src2]; rt > t {")
+	g.p("t = rt")
+	g.p("}")
+	g.p("if n > 2 {")
+	g.p("if rt := a.regTime[m.src3]; rt > t {")
+	g.p("t = rt")
+	g.p("}")
+	g.p("}")
+	g.p("}")
+	g.p("}")
+	g.p("if flags&FlagLoad != 0 {")
+	g.p("if mt := a.memTime.load(int64(addrL[i])); mt > t {")
+	g.p("t = mt")
+	g.p("}")
+	g.p("}")
+
+	// Branch facts, folded to what this model consumes.
+	if needIsBr {
+		g.p("isBr := flags&FlagBranch != 0")
+	}
+	if needMispred {
+		if needIsBr {
+			g.p("mispred := isBr && flags&a.mispredMask != 0")
+		} else {
+			g.p("mispred := flags&FlagBranch != 0 && flags&a.mispredMask != 0")
+		}
+	}
+
+	// Control-flow constraint: the folded ctrlKind switch arm.
+	switch m.ctrl {
+	case "none":
+		// Oracle: data dependences only.
+	case "lastBranch":
+		g.p("if ctrl := a.lastBranchT; ctrl > t {")
+		g.p("t = ctrl")
+		g.p("}")
+	case "cdOrdered":
+		g.p("ctrl := a.curCD.time")
+		g.p("if isBr && a.lastBranchT > ctrl {")
+		g.p("ctrl = a.lastBranchT")
+		g.p("}")
+		g.p("if ctrl > t {")
+		g.p("t = ctrl")
+		g.p("}")
+	case "cd":
+		g.p("if ctrl := a.curCD.time; ctrl > t {")
+		g.p("t = ctrl")
+		g.p("}")
+	case "lastMispred":
+		g.p("if ctrl := a.lastMispredT; ctrl > t {")
+		g.p("t = ctrl")
+		g.p("}")
+	case "cdMispredOrdered":
+		g.p("ctrl := a.curCD.mispredT")
+		g.p("if mispred && a.lastMispredT > ctrl {")
+		g.p("ctrl = a.lastMispredT")
+		g.p("}")
+		g.p("if ctrl > t {")
+		g.p("t = ctrl")
+		g.p("}")
+	case "cdMispred":
+		g.p("if ctrl := a.curCD.mispredT; ctrl > t {")
+		g.p("t = ctrl")
+		g.p("}")
+	default:
+		log.Fatalf("unknown ctrl kind %q", m.ctrl)
+	}
+
+	// Issue + completion time (T = t+1; C = T + lat - 1 folds to t+lat).
+	if lat {
+		g.p("C := t + a.latTab[m.op]")
+	} else {
+		g.p("C := t + 1")
+	}
+
+	// Record the schedule.
+	g.p("if d := m.dest; d != 0 {")
+	g.p("a.regTime[d] = C")
+	g.p("}")
+	g.p("if flags&FlagStore != 0 {")
+	g.p("a.memTime.store(int64(addrL[i]), C)")
+	g.p("}")
+	g.p("count++")
+	g.p("if C > maxT {")
+	g.p("maxT = C")
+	g.p("}")
+	if m.segments {
+		g.p("a.segCount++")
+		g.p("if C > a.segMax {")
+		g.p("a.segMax = C")
+		g.p("}")
+	}
+
+	// Branch completion: only the state this model's constraints (or
+	// its rec table) read back is kept current.
+	switch {
+	case m.needCD && m.spec:
+		g.p("if isBr {")
+		if m.updBranchT {
+			g.p("a.lastBranchT = C")
+		}
+		g.p("mt := a.curCD.mispredT")
+		g.p("if mispred {")
+		g.p("mt = C")
+		g.p("}")
+		emitRec(g, "C", "mt")
+		if m.updMispredT {
+			g.p("if mispred {")
+			g.p("a.lastMispredT = C")
+			g.p("}")
+		}
+		g.p("}")
+	case m.needCD:
+		g.p("if isBr {")
+		if m.updBranchT {
+			g.p("a.lastBranchT = C")
+		}
+		emitRec(g, "C", "a.curCD.mispredT")
+		g.p("}")
+	case m.spec:
+		if m.updBranchT {
+			g.p("if isBr {")
+			g.p("a.lastBranchT = C")
+			g.p("}")
+		}
+		g.p("if mispred {")
+		g.p("a.lastMispredT = C")
+		if m.segments {
+			g.p("a.closeSegment()")
+		}
+		g.p("}")
+	case m.updBranchT:
+		g.p("if isBr {")
+		g.p("a.lastBranchT = C")
+		g.p("}")
+	}
+
+	g.p("}")
+	g.p("a.count, a.maxT = count, maxT")
+	g.p("}")
+	g.p("")
+}
+
+// emitRec writes the per-block terminator record update.
+func emitRec(g *gen, termT, mispredT string) {
+	g.p("a.rec[m.block] = blockRec{")
+	g.p("seq:      a.curBlockSeq,")
+	g.p("termT:    %s,", termT)
+	g.p("mispredT: %s,", mispredT)
+	g.p("procSeq:  a.curProcSeq,")
+	g.p("}")
+}
+
+func main() {
+	out := flag.String("out", "step_gen.go", "output file (package limits)")
+	flag.Parse()
+
+	g := &gen{}
+	g.p("// Code generated by cmd/stepgen; DO NOT EDIT.")
+	g.p("")
+	g.p("// Specialized columnar analyzer steppers: one branch-free chunk")
+	g.p("// stepper per (model, unrolling, latency) configuration, derived")
+	g.p("// from the generic StepAnnotated with the configuration's constants")
+	g.p("// folded away.  Regenerate with `make generate` (or `go generate")
+	g.p("// ./internal/limits`); `make generate-check` fails when this file")
+	g.p("// drifts from cmd/stepgen.")
+	g.p("package limits")
+	g.p("")
+	for _, m := range models {
+		for _, unroll := range []bool{false, true} {
+			for _, lat := range []bool{false, true} {
+				emitStepper(g, m, unroll, lat)
+			}
+		}
+	}
+
+	// Dispatch table, indexed [model][unroll][latency-table].
+	g.p("// steppers dispatches the generated specializations by model,")
+	g.p("// unrolling and latency-table presence.")
+	g.p("var steppers = [NumModels][2][2]func(*Analyzer, *Chunk){")
+	for _, m := range models {
+		g.p("%s: {", m.ident)
+		for _, unroll := range []bool{false, true} {
+			g.p("{%s, %s},", funcName(m, unroll, false), funcName(m, unroll, true))
+		}
+		g.p("},")
+	}
+	g.p("}")
+	g.p("")
+	g.p("// stepperFor resolves the specialized columnar stepper for one")
+	g.p("// analyzer configuration, or nil for models outside the generated")
+	g.p("// set.  The specializations assume the construction-time invariants")
+	g.p("// NewAnalyzerConfig guarantees when it installs one — unbounded")
+	g.p("// window, no width tracking — plus the per-chunk preconditions")
+	g.p("// StepChunk checks before dispatching (no OnSchedule callback, and")
+	g.p("// a resolved predictor lane for speculative models).")
+	g.p("func stepperFor(m Model, unrolling, latTable bool) func(*Analyzer, *Chunk) {")
+	g.p("if m < 0 || int(m) >= NumModels {")
+	g.p("return nil")
+	g.p("}")
+	g.p("u, l := 0, 0")
+	g.p("if unrolling {")
+	g.p("u = 1")
+	g.p("}")
+	g.p("if latTable {")
+	g.p("l = 1")
+	g.p("}")
+	g.p("return steppers[m][u][l]")
+	g.p("}")
+
+	src, err := format.Source(g.buf.Bytes())
+	if err != nil {
+		// Emit the unformatted source anyway so the syntax error is
+		// inspectable at the reported line.
+		os.WriteFile(*out, g.buf.Bytes(), 0o644)
+		log.Fatalf("stepgen: generated code does not format: %v", err)
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		log.Fatalf("stepgen: %v", err)
+	}
+}

@@ -84,23 +84,26 @@ func (p *Plan) Hooks() *limits.ReplayHooks {
 	armed := false
 	if p.CorruptAtSeq > 0 {
 		armed = true
-		h.OnPublish = func(_ int64, events []limits.AnnotatedEvent) {
-			for i := range events {
-				if events[i].Seq == p.CorruptAtSeq {
-					// Flip the same trace facts a corrupted raw chunk
-					// would have carried: the address bit, the branch
-					// outcome, and — since chunks now arrive
-					// pre-decoded — every lane's misprediction bit, so
-					// speculative consumers observe the inverted
-					// outcome exactly as if they had re-derived it.
-					events[i].Addr ^= 1
-					events[i].Flags ^= limits.FlagTaken
-					if events[i].Flags&limits.FlagBranch != 0 {
-						events[i].Flags ^= limits.FlagMispredAll
-					}
-					p.corrupted.Add(1)
-				}
+		h.OnPublish = func(_ int64, c *limits.Chunk) {
+			// Chunks are columnar with implicit sequence numbers, so the
+			// target event's lane position is base-relative.
+			i := int(p.CorruptAtSeq - c.Base())
+			if i < 0 || i >= c.Len() {
+				return
 			}
+			// Flip the same trace facts a corrupted raw chunk would
+			// have carried: the address bit, the branch outcome, and —
+			// since chunks arrive pre-decoded — every lane's
+			// misprediction bit, so speculative consumers observe the
+			// inverted outcome exactly as if they had re-derived it.
+			ev := c.At(i)
+			ev.Addr ^= 1
+			ev.Flags ^= limits.FlagTaken
+			if ev.Flags&limits.FlagBranch != 0 {
+				ev.Flags ^= limits.FlagMispredAll
+			}
+			c.Set(i, ev)
+			p.corrupted.Add(1)
 		}
 	}
 	if p.PanicAtSeq > 0 || p.StallAtSeq > 0 || p.SlowEvery > 0 {

@@ -420,3 +420,73 @@ func TestDropPlanStarvesOneConsumer(t *testing.T) {
 		}
 	}
 }
+
+// TestCorruptionRoundTripLossless pins the columnar corruption contract:
+// the chunks the consumers actually observe must reconstruct, event for
+// event, the annotated trace — except at the one planned sequence
+// number, where exactly the documented facts are flipped (address bit,
+// branch outcome, per-lane misprediction bits) with sequence and index
+// intact.  Anything else means the Chunk round trip, not the plan, is
+// mutating the trace.
+func TestCorruptionRoundTripLossless(t *testing.T) {
+	f := build(t)
+
+	// Independent annotation of the full trace: same Static, same single
+	// predictor lane as the replay below.
+	refAnn := limits.NewAnnotator(f.analyzers(1)...)
+	var want []limits.AnnotatedEvent
+	if err := f.machine.Run(func(ev vm.Event) {
+		want = append(want, refAnn.Annotate(ev))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.machine.Reset()
+
+	// Corrupt a taken branch past the first chunk.
+	target := int64(-1)
+	for _, ae := range want {
+		raw := ae.Event()
+		if ae.Seq > int64(limits.ChunkEvents) && raw.Taken && ae.Flags&limits.FlagBranch != 0 {
+			target = ae.Seq
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("trace has no taken branch past the first chunk")
+	}
+
+	plan := &Plan{CorruptAtSeq: target}
+	hooks := plan.Hooks()
+	corrupt := hooks.OnPublish
+	got := make([]limits.AnnotatedEvent, 0, len(want))
+	hooks.OnPublish = func(chunk int64, c *limits.Chunk) {
+		corrupt(chunk, c)
+		got = append(got, c.Events(nil)...)
+	}
+	as := f.analyzers(3)
+	if err := limits.ReplayFaults(context.Background(), hooks, f.machine.RunContext, as...); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, corrupted, _ := plan.Fired(); corrupted != 1 {
+		t.Fatalf("corruption fired %d times, want 1", corrupted)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("observed %d events through publish, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if w.Seq == target {
+			exp := w
+			exp.Addr ^= 1
+			exp.Flags ^= limits.FlagTaken | limits.FlagMispredAll
+			if g != exp {
+				t.Fatalf("corrupted event: got %+v, want exactly the planned flips %+v (from %+v)", g, exp, w)
+			}
+			continue
+		}
+		if g != w {
+			t.Fatalf("event %d changed through the columnar round trip: got %+v, want %+v", i, g, w)
+		}
+	}
+}

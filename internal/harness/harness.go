@@ -410,7 +410,10 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	all = append(all, unrolled.Analyzers...)
 	all = append(all, plain.Analyzers...)
 	if opt.Serial {
-		err = machine.RunContext(ctx, limits.SerialVisitor(all...))
+		// The serial escape hatch shares the columnar chunking and the
+		// generated specialized steppers with the parallel path; only
+		// the goroutine fan-out differs.
+		err = limits.SerialReplay(ctx, machine.RunContext, all...)
 	} else {
 		// Replay the trace once, fanning annotated chunks out to all
 		// analyzers, each scheduling on its own goroutine.  Ring

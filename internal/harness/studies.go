@@ -49,7 +49,7 @@ func prepare(b bench.Benchmark, opt Options) (*isa.Program, *vm.VM, *predict.Pro
 // opt.Serial is set.  Both paths honor the run's context.
 func runAnalyzers(opt Options, machine *vm.VM, analyzers []*limits.Analyzer) error {
 	if opt.Serial {
-		return machine.RunContext(opt.ctx(), limits.SerialVisitor(analyzers...))
+		return limits.SerialReplay(opt.ctx(), machine.RunContext, analyzers...)
 	}
 	return limits.ReplayContext(opt.ctx(), machine.RunContext, analyzers...)
 }

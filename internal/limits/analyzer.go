@@ -5,6 +5,11 @@ import (
 	"ilplimit/internal/vm"
 )
 
+// The specialized columnar steppers in step_gen.go are emitted by
+// cmd/stepgen from the generic StepAnnotated below; regenerate after
+// changing the hot loop (make generate) — generate-check gates drift.
+//go:generate go run ilplimit/cmd/stepgen -out step_gen.go
+
 // cdInfo identifies one dynamic branch instance acting as a control
 // dependence, together with the times the models constrain on.
 // The zero value means "no control dependence".
@@ -147,6 +152,12 @@ type Analyzer struct {
 	mispredMask uint32
 	// latTab is the per-opcode latency table (nil for unit latency).
 	latTab []int64
+	// fast is the generated columnar stepper for this (model, unroll,
+	// latency) configuration (see step_gen.go), resolved once at
+	// construction; nil when the configuration needs the generic path
+	// (finite window, width tracking).  StepChunk re-checks the dynamic
+	// preconditions (OnSchedule, predictor lane) before dispatching.
+	fast func(*Analyzer, *Chunk)
 
 	// Greedy schedule state: last-write times.  memTime is paged so the
 	// per-analyzer footprint tracks the benchmark's working set instead of
@@ -239,6 +250,12 @@ func NewAnalyzerConfig(st *Static, cfg Config) *Analyzer {
 	if a.spec && st.Pred == nil {
 		panic("limits: speculative model requires a predictor")
 	}
+	// The generated specializations fold away exactly the choices fixed
+	// here; configurations they do not cover (finite window, width
+	// tracking) keep fast == nil and run the generic StepAnnotated loop.
+	if cfg.Window == 0 && !cfg.TrackWidths {
+		a.fast = stepperFor(cfg.Model, cfg.Unrolling, a.latTab != nil)
+	}
 	return a
 }
 
@@ -273,13 +290,32 @@ func (a *Analyzer) Step(ev vm.Event) {
 	a.StepAnnotated(AnnotatedEvent{Seq: ev.Seq, Addr: ev.Addr, Idx: ev.Idx, Flags: flags})
 }
 
-// StepAnnotated schedules one pre-decoded dynamic instruction — the hot
-// loop of a replay.  All per-event facts arrive resolved in the
-// annotation and the fused metadata record, so the common case (a
-// plain scheduled instruction) runs branch-light: one attention-mask
-// test bypasses the block/call/filter handling, operands come from one
-// 16-byte metadata load, and the model's control constraint is a dense
-// table-driven switch.
+// StepChunk schedules every event of one columnar chunk — the hot loop
+// of a replay.  Configurations inside the generated set dispatch to
+// their build-time specialized stepper (step_gen.go), where the control
+// kind, attention masks, filter predicates and latency choice are
+// compile-time constants; everything else — finite window, width
+// tracking, a schedule callback, a speculative analyzer without a
+// predictor lane — falls back to the generic StepAnnotated loop with
+// bit-identical results.
+func (a *Analyzer) StepChunk(c *Chunk) {
+	if f := a.fast; f != nil && a.OnSchedule == nil && (!a.spec || a.mispredMask != 0) {
+		f(a, c)
+		return
+	}
+	for i, n := 0, c.Len(); i < n; i++ {
+		a.StepAnnotated(c.At(i))
+	}
+}
+
+// StepAnnotated schedules one pre-decoded dynamic instruction — the
+// generic scheduling loop, and the equivalence oracle the generated
+// steppers are specialized from.  All per-event facts arrive resolved
+// in the annotation and the fused metadata record, so the common case
+// (a plain scheduled instruction) runs branch-light: one
+// attention-mask test bypasses the block/call/filter handling,
+// operands come from one 16-byte metadata load, and the model's
+// control constraint is a dense table-driven switch.
 func (a *Analyzer) StepAnnotated(ae AnnotatedEvent) {
 	flags := ae.Flags
 	m := &a.st.meta[ae.Idx]

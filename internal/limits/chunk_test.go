@@ -1,0 +1,126 @@
+package limits
+
+import (
+	"reflect"
+	"testing"
+)
+
+// makeAnnotated builds n annotated events with consecutive sequence
+// numbers starting at base and varied lane contents.
+func makeAnnotated(base int64, n int) []AnnotatedEvent {
+	evs := make([]AnnotatedEvent, n)
+	for i := range evs {
+		evs[i] = AnnotatedEvent{
+			Seq:   base + int64(i),
+			Addr:  int64(i * 7 % 1024),
+			Idx:   int32(i % 37),
+			Flags: uint32(i) * 0x9E3779B9, // all 32 flag bits exercised
+		}
+	}
+	return evs
+}
+
+// TestChunkRoundTrip pins losslessness of the columnar layout: a chunk
+// built by Append must reconstruct every AnnotatedEvent — implicit
+// sequence numbers included — through both At and Events.
+func TestChunkRoundTrip(t *testing.T) {
+	want := makeAnnotated(123456, 2*ChunkEvents/3)
+	c := NewChunk(ChunkEvents)
+	for _, ae := range want {
+		c.Append(ae)
+	}
+	if c.Len() != len(want) {
+		t.Fatalf("Len() = %d, want %d", c.Len(), len(want))
+	}
+	if c.Base() != want[0].Seq {
+		t.Fatalf("Base() = %d, want %d", c.Base(), want[0].Seq)
+	}
+	for i, w := range want {
+		if got := c.At(i); got != w {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, w)
+		}
+	}
+	if got := c.Events(nil); !reflect.DeepEqual(got, want) {
+		t.Error("Events(nil) does not reproduce the appended events")
+	}
+	// Events must append, not overwrite.
+	prefix := []AnnotatedEvent{{Seq: -1}}
+	if got := c.Events(prefix); len(got) != len(want)+1 || got[0].Seq != -1 {
+		t.Error("Events(dst) does not append to dst")
+	}
+}
+
+// TestChunkResetReuse checks that Reset empties the chunk and that the
+// next append re-fixes the base sequence, so pooled chunks carry no
+// state across replays.
+func TestChunkResetReuse(t *testing.T) {
+	c := NewChunk(ChunkEvents)
+	for _, ae := range makeAnnotated(100, 10) {
+		c.Append(ae)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d, want 0", c.Len())
+	}
+	want := makeAnnotated(5000, 4)
+	for _, ae := range want {
+		c.Append(ae)
+	}
+	if c.Base() != 5000 {
+		t.Errorf("Base() after reuse = %d, want 5000", c.Base())
+	}
+	for i, w := range want {
+		if got := c.At(i); got != w {
+			t.Errorf("At(%d) after reuse = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestChunkSetPositionalSeq pins the Set contract fault injection relies
+// on: lanes are overwritten in place, but the sequence number stays
+// positional — ae.Seq is ignored and At keeps reporting Base()+i.
+func TestChunkSetPositionalSeq(t *testing.T) {
+	c := NewChunk(ChunkEvents)
+	for _, ae := range makeAnnotated(200, 8) {
+		c.Append(ae)
+	}
+	c.Set(3, AnnotatedEvent{Seq: 999999, Addr: 42, Idx: 7, Flags: FlagBranch | FlagTaken})
+	got := c.At(3)
+	want := AnnotatedEvent{Seq: 203, Addr: 42, Idx: 7, Flags: FlagBranch | FlagTaken}
+	if got != want {
+		t.Errorf("At(3) after Set = %+v, want %+v", got, want)
+	}
+	// Neighbors untouched.
+	if c.At(2).Seq != 202 || c.At(4).Seq != 204 {
+		t.Error("Set disturbed neighboring events")
+	}
+}
+
+// TestChunkAppendPanics checks that the producer-bug guards fire: a
+// non-consecutive sequence number and an address that does not fit the
+// 32-bit lane must both panic rather than silently corrupt the chunk.
+func TestChunkAppendPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("non-consecutive Append", func() {
+		c := NewChunk(4)
+		c.Append(AnnotatedEvent{Seq: 10})
+		c.Append(AnnotatedEvent{Seq: 12})
+	})
+	mustPanic("oversized Addr", func() {
+		c := NewChunk(4)
+		c.Append(AnnotatedEvent{Seq: 0, Addr: 1 << 33})
+	})
+	mustPanic("oversized Set Addr", func() {
+		c := NewChunk(4)
+		c.Append(AnnotatedEvent{Seq: 0})
+		c.Set(0, AnnotatedEvent{Addr: 1 << 33})
+	})
+}

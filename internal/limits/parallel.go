@@ -36,32 +36,18 @@ const (
 	RingSlots = 8
 )
 
-// chunkPool recycles chunk buffers across replays and across watchdog
-// detaches: a detach hands the abandoned consumer's current slot a
-// fresh buffer, and every replay returns its slot buffers at the end,
-// so steady-state suites allocate no new chunk storage.  Buffers are
-// stored at full capacity and re-sliced to length 0 on reuse.
-var chunkPool = sync.Pool{
-	New: func() interface{} { return make([]AnnotatedEvent, 0, ChunkEvents) },
-}
-
-// getChunkBuf takes an empty ChunkEvents-capacity buffer from the pool.
-func getChunkBuf() []AnnotatedEvent {
-	return chunkPool.Get().([]AnnotatedEvent)[:0]
-}
-
 // eventRing is a bounded single-producer/multi-consumer broadcast ring of
-// pre-decoded event chunks.  Every consumer observes every chunk, in
-// order.  Slot buffers are recycled: the producer reuses a slot only
-// after all consumers have drained the chunk that last occupied it, so a
-// full replay holds RingSlots buffers total (drawn from chunkPool and
-// returned at the end).
+// pre-decoded columnar event chunks.  Every consumer observes every
+// chunk, in order.  Slot chunks are recycled: the producer reuses a slot
+// only after all consumers have drained the chunk that last occupied it,
+// so a full replay holds RingSlots chunks total (drawn from chunkPool
+// and returned at the end).
 type eventRing struct {
 	mu    sync.Mutex
 	avail *sync.Cond // producer waits here for a free slot
 	ready *sync.Cond // consumers wait here for the next chunk (or close)
 
-	slots   [RingSlots][]AnnotatedEvent
+	slots   [RingSlots]*Chunk
 	head    int64   // chunks published so far
 	tails   []int64 // per-consumer chunks fully consumed
 	cut     []bool  // per-consumer: detached (panicked or watchdog-killed)
@@ -113,20 +99,20 @@ func newEventRing(consumers int, met *ringMetrics) *eventRing {
 	r.avail = sync.NewCond(&r.mu)
 	r.ready = sync.NewCond(&r.mu)
 	for i := range r.slots {
-		r.slots[i] = getChunkBuf()
+		r.slots[i] = getChunk()
 	}
 	return r
 }
 
-// recycle returns the ring's slot buffers to chunkPool once the replay
-// is over.  Buffers handed off to abandoned (watchdog-detached)
+// recycle returns the ring's slot chunks to chunkPool once the replay
+// is over.  Chunks handed off to abandoned (watchdog-detached)
 // consumers were already replaced at detach and stay with their zombie
 // goroutine, so nothing recycled here can still be read.
 func (r *eventRing) recycle() {
 	r.mu.Lock()
 	for i := range r.slots {
 		if r.slots[i] != nil {
-			chunkPool.Put(r.slots[i])
+			putChunk(r.slots[i])
 			r.slots[i] = nil
 		}
 	}
@@ -143,11 +129,11 @@ func (r *eventRing) minTail() int64 {
 	return min
 }
 
-// reserve returns an empty buffer for the next chunk, waiting until every
-// consumer has drained the chunk that previously occupied its slot.  It
-// returns nil once the ring is aborted, so a producer blocked on flow
-// control cannot outlive a canceled replay.
-func (r *eventRing) reserve() []AnnotatedEvent {
+// reserve returns an empty chunk for the producer to fill, waiting until
+// every consumer has drained the chunk that previously occupied its
+// slot.  It returns nil once the ring is aborted, so a producer blocked
+// on flow control cannot outlive a canceled replay.
+func (r *eventRing) reserve() *Chunk {
 	r.mu.Lock()
 	if r.met != nil && r.minTail()+RingSlots <= r.head && !r.aborted {
 		r.met.prodStalls.Inc()
@@ -159,21 +145,22 @@ func (r *eventRing) reserve() []AnnotatedEvent {
 		r.mu.Unlock()
 		return nil
 	}
-	buf := r.slots[r.head%RingSlots][:0]
+	buf := r.slots[r.head%RingSlots]
 	r.mu.Unlock()
+	buf.Reset()
 	return buf
 }
 
-// publish makes the chunk built in a reserve()d buffer visible to every
+// publish makes the chunk built in a reserve()d slot visible to every
 // consumer.
-func (r *eventRing) publish(buf []AnnotatedEvent) {
+func (r *eventRing) publish(buf *Chunk) {
 	r.mu.Lock()
 	if !r.aborted {
 		r.slots[r.head%RingSlots] = buf
 		r.head++
 		if r.met != nil {
 			r.met.chunks.Inc()
-			r.met.events.Add(int64(len(buf)))
+			r.met.events.Add(int64(buf.Len()))
 			r.met.occupancy.SetMax(r.head - r.minTail())
 			r.met.pubNs[(r.head-1)%RingSlots] = time.Now().UnixNano()
 		}
@@ -206,7 +193,7 @@ func (r *eventRing) abort() {
 // next returns consumer id's next chunk, or nil at end of stream (or
 // once the consumer has been detached).  The consumer must call advance
 // after processing the chunk.
-func (r *eventRing) next(id int) []AnnotatedEvent {
+func (r *eventRing) next(id int) *Chunk {
 	r.mu.Lock()
 	if r.met != nil && r.tails[id] == r.head && !r.closed && !r.aborted && !r.cut[id] {
 		r.met.consStalls.Inc()
@@ -276,7 +263,7 @@ func (r *eventRing) detachLocked(id int, byWatchdog bool) {
 	}
 	r.cut[id] = true
 	if byWatchdog && r.tails[id] < r.head {
-		r.slots[r.tails[id]%RingSlots] = getChunkBuf()
+		r.slots[r.tails[id]%RingSlots] = getChunk()
 	}
 	r.tails[id] = int64(1) << 62
 	if r.met != nil {
@@ -299,9 +286,10 @@ type RunFunc func(ctx context.Context, visit func(vm.Event)) error
 // hooks; only ReplayFaults installs them.
 type ReplayHooks struct {
 	// OnPublish runs in the producer goroutine right before chunk
-	// (zero-based) becomes visible; it may mutate the annotated events
-	// in place (AnnotatedEvent.Event recovers the raw trace facts).
-	OnPublish func(chunk int64, events []AnnotatedEvent)
+	// (zero-based) becomes visible; it may mutate the columnar chunk's
+	// events in place through Chunk.At/Chunk.Set (AnnotatedEvent.Event
+	// recovers the raw trace facts).
+	OnPublish func(chunk int64, c *Chunk)
 	// BeforeStep runs in consumer id's goroutine before each event is
 	// stepped; it may stall or panic.
 	BeforeStep func(id int, ev AnnotatedEvent)
@@ -415,7 +403,7 @@ func ReplayFaults(ctx context.Context, hooks *ReplayHooks, run RunFunc, analyzer
 func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...*Analyzer) error {
 	var beforeStep func(int, AnnotatedEvent)
 	var dropStep func(int, AnnotatedEvent) bool
-	var onPublish func(int64, []AnnotatedEvent)
+	var onPublish func(int64, *Chunk)
 	if o.Hooks != nil {
 		beforeStep, dropStep, onPublish = o.Hooks.BeforeStep, o.Hooks.DropStep, o.Hooks.OnPublish
 	}
@@ -426,8 +414,9 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 	case 0:
 		return canceledErr(ctx, run(ctx, func(vm.Event) {}))
 	case 1:
-		// A lone analyzer gains nothing from the ring; annotate and step
-		// it inline in the producer.
+		// A lone analyzer gains nothing from the ring; annotate into a
+		// local chunk and step it inline in the producer, so even the
+		// single-analyzer path streams the specialized columnar loop.
 		a := analyzers[0]
 		an := NewAnnotator(a)
 		defer an.flush(o.Metrics)
@@ -443,7 +432,19 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 				a.StepAnnotated(ae)
 			}))
 		}
-		return canceledErr(ctx, run(ctx, func(ev vm.Event) { a.StepAnnotated(an.Annotate(ev)) }))
+		c := getChunk()
+		defer putChunk(c)
+		err := run(ctx, func(ev vm.Event) {
+			c.Append(an.Annotate(ev))
+			if c.Len() == ChunkEvents {
+				a.StepChunk(c)
+				c.Reset()
+			}
+		})
+		if c.Len() > 0 {
+			a.StepChunk(c)
+		}
+		return canceledErr(ctx, err)
 	}
 
 	an := NewAnnotator(analyzers...)
@@ -497,7 +498,8 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 					if chunk == nil {
 						return
 					}
-					for _, ae := range chunk {
+					for i, n := 0, chunk.Len(); i < n; i++ {
+						ae := chunk.At(i)
 						if beforeStep != nil {
 							beforeStep(id, ae)
 						}
@@ -514,9 +516,7 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 				if chunk == nil {
 					return
 				}
-				for _, ae := range chunk {
-					a.StepAnnotated(ae)
-				}
+				a.StepChunk(chunk)
 				r.advance(id)
 			}
 		}(i, a)
@@ -599,8 +599,8 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 				// floor until it returns.
 				return
 			}
-			buf = append(buf, an.Annotate(ev))
-			if len(buf) == ChunkEvents {
+			buf.Append(an.Annotate(ev))
+			if buf.Len() == ChunkEvents {
 				if onPublish != nil {
 					onPublish(chunk, buf)
 				}
@@ -616,7 +616,7 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 				dropping = buf == nil
 			}
 		})
-		if err == nil && !dropping && len(buf) > 0 {
+		if err == nil && !dropping && buf.Len() > 0 {
 			if onPublish != nil {
 				onPublish(chunk, buf)
 			}

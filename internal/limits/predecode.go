@@ -1,6 +1,8 @@
 package limits
 
 import (
+	"context"
+
 	"ilplimit/internal/predict"
 	"ilplimit/internal/telemetry"
 	"ilplimit/internal/vm"
@@ -244,10 +246,14 @@ func (an *Annotator) flush(m *telemetry.Registry) {
 }
 
 // SerialVisitor returns a VM visitor that annotates each event once and
-// steps every analyzer's annotated fast path — the single-goroutine
-// counterpart of the replay ring's producer-side pre-decode, so the
-// `-serial` escape hatch computes identical results with the same
-// shared-decode structure.  With no analyzers the visitor is a no-op.
+// steps every analyzer's annotated fast path — the incremental
+// single-goroutine counterpart of the replay ring's producer-side
+// pre-decode, so visitor-shaped callers compute identical results with
+// the same shared-decode structure.  Because a visitor has no
+// end-of-stream signal it cannot batch columnar chunks; callers that
+// drive a whole RunFunc should prefer SerialReplay, which streams the
+// generated specialized steppers.  With no analyzers the visitor is a
+// no-op.
 func SerialVisitor(analyzers ...*Analyzer) func(vm.Event) {
 	if len(analyzers) == 0 {
 		return func(vm.Event) {}
@@ -263,4 +269,37 @@ func SerialVisitor(analyzers ...*Analyzer) func(vm.Event) {
 			a.StepAnnotated(ae)
 		}
 	}
+}
+
+// SerialReplay drives the trace source through every analyzer on the
+// caller's goroutine — the single-goroutine counterpart of ReplayContext
+// and the `-serial` escape hatch of the harness.  Events are annotated
+// once into a columnar chunk and each full chunk is stepped through
+// every analyzer's specialized stepper (StepChunk), so the serial path
+// shares both the decode work and the generated hot loops with the
+// parallel fan-out; the trailing partial chunk is flushed when the
+// producer returns, successful or not, matching the event-at-a-time
+// semantics of SerialVisitor bit for bit.
+func SerialReplay(ctx context.Context, run RunFunc, analyzers ...*Analyzer) error {
+	if len(analyzers) == 0 {
+		return run(ctx, func(vm.Event) {})
+	}
+	an := NewAnnotator(analyzers...)
+	c := getChunk()
+	defer putChunk(c)
+	err := run(ctx, func(ev vm.Event) {
+		c.Append(an.Annotate(ev))
+		if c.Len() == ChunkEvents {
+			for _, a := range analyzers {
+				a.StepChunk(c)
+			}
+			c.Reset()
+		}
+	})
+	if c.Len() > 0 {
+		for _, a := range analyzers {
+			a.StepChunk(c)
+		}
+	}
+	return err
 }

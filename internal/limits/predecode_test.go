@@ -65,9 +65,10 @@ func seededTrace(t *testing.T, seed int64) (*Static, []vm.Event, int) {
 }
 
 // TestAnnotatedMatchesStep checks, over several seeded traces, that the
-// shared-annotation serial path (SerialVisitor) and the annotated
-// parallel fan-out both reproduce the self-annotating Step path's
-// Results bit-for-bit for all 7 models × 2 unroll configs.
+// shared-annotation serial paths (SerialVisitor and the chunked
+// SerialReplay) and the annotated parallel fan-out all reproduce the
+// self-annotating Step path's Results bit-for-bit for all 7 models × 2
+// unroll configs.
 func TestAnnotatedMatchesStep(t *testing.T) {
 	for _, seed := range []int64{1, 20260805, 424242} {
 		st, events, memWords := seededTrace(t, seed)
@@ -89,6 +90,18 @@ func TestAnnotatedMatchesStep(t *testing.T) {
 			}
 			if got := resultsOf(serial); !reflect.DeepEqual(got, want) {
 				t.Errorf("seed %d unroll=%v: SerialVisitor results differ\ngot:  %+v\nwant: %+v",
+					seed, unroll, got, want)
+			}
+
+			chunked := trackedAnalyzers(st, memWords, unroll)
+			err := SerialReplay(context.Background(), func(_ context.Context, visit func(vm.Event)) error {
+				return replay(visit)
+			}, chunked...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resultsOf(chunked); !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d unroll=%v: SerialReplay results differ\ngot:  %+v\nwant: %+v",
 					seed, unroll, got, want)
 			}
 
