@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test vet docs check generate generate-check race faultcheck soak \
-	bench bench-baseline benchdiff bench-smoke
+	soak-server bench bench-baseline benchdiff bench-smoke
 
 # Benchmarks captured in BENCH_limits.json and gated by benchdiff: the
 # group-scheduling fan-out, the per-model analyzer hot loop, and the
@@ -48,10 +48,12 @@ race: faultcheck
 
 # Robustness gate: deterministic fault injection (trap, consumer panic,
 # chunk corruption, stalled consumer, cancellation) under the race
-# detector, plus a short fuzz of the trace-file reader.
+# detector, plus a short fuzz budget split between the trace-file reader
+# and the daemon's request decoder — the two untrusted-input frontiers.
 faultcheck:
 	$(GO) test -race ./internal/faultinject
 	$(GO) test -fuzz FuzzReader -fuzztime 10s -run FuzzReader ./internal/trace
+	$(GO) test -fuzz FuzzDecodeBody -fuzztime 10s -run FuzzDecodeBody ./internal/server
 
 # Resilience gate: the crash-safe journal, retry, and resume paths under
 # the race detector, then the kill-9/resume CLI round-trip twice — the
@@ -60,6 +62,15 @@ soak: faultcheck
 	$(GO) test -race ./internal/journal
 	$(GO) test -race -run 'Resume|Retr|Invariant|Watchdog' ./internal/harness
 	$(GO) test -race -count 2 -run TestCLIKillResume .
+
+# Service soak: the daemon under the race detector (admission, quotas,
+# single-flight cache, drain), then the live overload round-trip — a
+# daemon at halved capacity under 2× open-loop load plus the abusive
+# plans must shed with 429 + Retry-After, answer zero 5xx, survive a
+# SIGKILL mid-suite-job, and drain back to an idle healthz.
+soak-server:
+	$(GO) test -race ./internal/server
+	$(GO) test -race -run 'TestCLIVersion|TestCLIDaemon|TestCLIServerSoak' .
 
 # Group-scheduling benchmarks (serial visitor vs chunked parallel
 # replay) plus the per-model analyzer hot-loop microbenchmarks.

@@ -43,13 +43,15 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr server
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"ilplimit/internal/bench"
 	"ilplimit/internal/harness"
+	"ilplimit/internal/httpserve"
 	"ilplimit/internal/journal"
 	"ilplimit/internal/limits"
 	"ilplimit/internal/telemetry"
@@ -77,8 +79,14 @@ func main() {
 		retries  = flag.Int("retries", 0, "re-run a transiently-failed benchmark up to this many extra times")
 		watchdog = flag.Duration("watchdog", 0, "detach an analyzer making no chunk progress for this long and fail its benchmark (0 = off)")
 		verbose  = flag.Bool("v", false, "log pipeline progress to stderr")
+		version  = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("ilplimit %s %s\n", telemetry.GitRevision(), runtime.Version())
+		return
+	}
 
 	if *table == 1 {
 		fmt.Print(harness.Table1())
@@ -144,8 +152,12 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("debug-addr %s: %w", *debug, err))
 		}
-		fmt.Fprintf(os.Stderr, "ilplimit: debug server listening on %s\n", ln.Addr())
-		go func() { _ = http.Serve(ln, nil) }()
+		// nil handler = DefaultServeMux, where expvar and pprof live; a
+		// deferred graceful Shutdown lets an in-flight scrape finish
+		// before the process exits.
+		dbg := httpserve.Start(ln, nil, httpserve.Options{})
+		fmt.Fprintf(os.Stderr, "ilplimit: debug server listening on %s\n", dbg.Addr())
+		defer func() { _ = dbg.Shutdown(time.Second) }()
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

@@ -1,0 +1,325 @@
+// Command ilploadgen drives an ilplimitd daemon with configurable —
+// including deliberately abusive — load, and judges what comes back.
+// It is the proof harness for the daemon's robustness claims: under
+// overload the daemon must shed explicitly (429 + Retry-After), never
+// 5xx, and keep serving admitted jobs.
+//
+// Usage:
+//
+//	ilploadgen -addr http://127.0.0.1:8080 -rate 20 -duration 30s
+//	ilploadgen -tenants 4 -unique              # tenant mix, cache-busting bodies
+//	ilploadgen -abuse oversize,slowloris,disconnect -abuse-every 5
+//	ilploadgen -require-shed -forbid-5xx       # CI gates: exit non-zero on violation
+//	ilploadgen -json                           # machine-readable summary
+//
+// Arrivals are open-loop: requests launch on a fixed schedule
+// regardless of how slowly the daemon answers, which is what makes
+// overload reachable at all (a closed loop self-throttles).  The abuse
+// rotation injects oversized bodies (expect 413), slow-loris uploads
+// (expect the server's read timeout to cut the connection), and
+// mid-upload disconnects (the server must carry on unharmed).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ilplimit/internal/telemetry"
+)
+
+// counts aggregates the run's outcomes; every field is a tally the
+// summary prints and the CI gates judge.
+type counts struct {
+	launched, ok, cached, durable    atomic.Int64
+	shed, shedNoRetryAfter           atomic.Int64
+	clientErr, serverErr, transport  atomic.Int64
+	oversized, lorisCut, disconnects atomic.Int64
+}
+
+// summary is the JSON form of a finished run.
+type summary struct {
+	Launched     int64 `json:"launched"`
+	OK           int64 `json:"ok"`
+	Cached       int64 `json:"cached"`
+	Durable      int64 `json:"durable"`
+	Shed         int64 `json:"shed"`
+	ShedNoRetry  int64 `json:"shed_without_retry_after"`
+	ClientErrors int64 `json:"client_errors"`
+	ServerErrors int64 `json:"server_errors"`
+	Transport    int64 `json:"transport_errors"`
+	Oversized    int64 `json:"oversized_sent"`
+	LorisCut     int64 `json:"slowloris_cut"`
+	Disconnects  int64 `json:"disconnects_sent"`
+}
+
+func (c *counts) summary() summary {
+	return summary{
+		Launched: c.launched.Load(), OK: c.ok.Load(),
+		Cached: c.cached.Load(), Durable: c.durable.Load(),
+		Shed: c.shed.Load(), ShedNoRetry: c.shedNoRetryAfter.Load(),
+		ClientErrors: c.clientErr.Load(), ServerErrors: c.serverErr.Load(),
+		Transport: c.transport.Load(), Oversized: c.oversized.Load(),
+		LorisCut: c.lorisCut.Load(), Disconnects: c.disconnects.Load(),
+	}
+}
+
+// program mints a small analysis job whose seed makes its cache key
+// unique — the cache-busting lever.
+func program(seed int64) string {
+	return fmt.Sprintf(`
+int main() {
+	int i, s;
+	s = %d;
+	for (i = 0; i < 48; i++) {
+		if (i - (i / 3) * 3 == 0) s += i;
+		else s -= 1;
+	}
+	print(s);
+	return 0;
+}
+`, seed)
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+		rate       = flag.Float64("rate", 10, "open-loop arrival rate, requests per second")
+		duration   = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		tenants    = flag.Int("tenants", 2, "spread requests across this many tenants (t0, t1, ...)")
+		unique     = flag.Bool("unique", false, "make every request body unique (defeats the result cache)")
+		pool       = flag.Int("programs", 4, "distinct program bodies when not -unique (cache hits expected)")
+		timeoutMS  = flag.Int64("timeout-ms", 0, "per-job deadline sent with each request (0 = server default)")
+		abuse      = flag.String("abuse", "", "comma list of abusive plans to rotate: oversize, slowloris, disconnect")
+		abuseEvery = flag.Int64("abuse-every", 10, "every Nth request is abusive (with -abuse)")
+		jsonOut    = flag.Bool("json", false, "emit the summary as JSON")
+		reqShed    = flag.Bool("require-shed", false, "exit non-zero unless at least one 429 with Retry-After was observed")
+		no5xx      = flag.Bool("forbid-5xx", false, "exit non-zero if any 5xx was observed")
+		version    = flag.Bool("version", false, "print build provenance and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Printf("ilploadgen %s %s\n", telemetry.GitRevision(), runtime.Version())
+		return
+	}
+	if *rate <= 0 || *duration <= 0 {
+		fail(fmt.Errorf("rate and duration must be positive"))
+	}
+	var plans []string
+	if *abuse != "" {
+		for _, p := range strings.Split(*abuse, ",") {
+			switch p = strings.TrimSpace(p); p {
+			case "oversize", "slowloris", "disconnect":
+				plans = append(plans, p)
+			default:
+				fail(fmt.Errorf("unknown abuse plan %q", p))
+			}
+		}
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	var c counts
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / *rate)
+	deadline := time.Now().Add(*duration)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	base := rng.Int63()
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var n int64
+	for now := time.Now(); now.Before(deadline); now = <-tick.C {
+		n++
+		seq := n
+		c.launched.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if len(plans) > 0 && *abuseEvery > 0 && seq%*abuseEvery == 0 {
+				runAbuse(&c, *addr, plans[(seq/(*abuseEvery))%int64(len(plans))], client)
+				return
+			}
+			seed := base + seq
+			if !*unique {
+				seed = base + seq%int64(*pool)
+			}
+			body := map[string]interface{}{
+				"program": program(seed),
+				"tenant":  fmt.Sprintf("t%d", seq%int64(*tenants)),
+			}
+			if *timeoutMS > 0 {
+				body["timeout_ms"] = *timeoutMS
+			}
+			submit(&c, client, *addr, body)
+		}()
+	}
+	wg.Wait()
+
+	s := c.summary()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+	} else {
+		fmt.Printf("ilploadgen: %d launched: %d ok (%d cached, %d durable), %d shed, %d client-err, %d server-err, %d transport\n",
+			s.Launched, s.OK, s.Cached, s.Durable, s.Shed, s.ClientErrors, s.ServerErrors, s.Transport)
+		if len(plans) > 0 {
+			fmt.Printf("ilploadgen: abuse: %d oversized, %d slow-loris cut, %d disconnects\n",
+				s.Oversized, s.LorisCut, s.Disconnects)
+		}
+	}
+	code := 0
+	if *no5xx && s.ServerErrors > 0 {
+		fmt.Fprintf(os.Stderr, "ilploadgen: FAIL: %d server errors (5xx), wanted none\n", s.ServerErrors)
+		code = 1
+	}
+	if *reqShed && s.Shed == 0 {
+		fmt.Fprintln(os.Stderr, "ilploadgen: FAIL: no 429 shed responses observed, wanted at least one")
+		code = 1
+	}
+	if s.ShedNoRetry > 0 {
+		fmt.Fprintf(os.Stderr, "ilploadgen: FAIL: %d 429s lacked a Retry-After header\n", s.ShedNoRetry)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// submit posts one well-formed job and tallies the response class.
+func submit(c *counts, client *http.Client, addr string, body map[string]interface{}) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		c.transport.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		c.ok.Add(1)
+		var doc struct {
+			Cached  bool `json:"cached"`
+			Durable bool `json:"durable"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&doc) == nil {
+			if doc.Cached {
+				c.cached.Add(1)
+			}
+			if doc.Durable {
+				c.durable.Add(1)
+			}
+		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		c.shed.Add(1)
+		if resp.Header.Get("Retry-After") == "" {
+			c.shedNoRetryAfter.Add(1)
+		}
+		io.Copy(io.Discard, resp.Body)
+	case resp.StatusCode >= 500:
+		c.serverErr.Add(1)
+		io.Copy(io.Discard, resp.Body)
+	default:
+		c.clientErr.Add(1)
+		io.Copy(io.Discard, resp.Body)
+	}
+}
+
+// runAbuse executes one abusive request of the named plan.
+func runAbuse(c *counts, addr, plan string, client *http.Client) {
+	switch plan {
+	case "oversize":
+		// A body past any sane limit; the daemon must answer 413, not
+		// buffer it into memory trouble.
+		c.oversized.Add(1)
+		junk := bytes.Repeat([]byte("x"), 9<<20)
+		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(junk))
+		if err != nil {
+			c.transport.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusRequestEntityTooLarge:
+			c.clientErr.Add(1)
+		case resp.StatusCode >= 500:
+			c.serverErr.Add(1)
+		default:
+			c.clientErr.Add(1)
+		}
+	case "slowloris":
+		slowloris(c, addr)
+	case "disconnect":
+		// Begin an upload, then vanish mid-body.  The daemon should
+		// drop the connection and move on; there is no response to
+		// classify.
+		c.disconnects.Add(1)
+		ctx, cancel := context.WithCancel(context.Background())
+		pr, pw := io.Pipe()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", pr)
+		if err != nil {
+			cancel()
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.ContentLength = 1 << 20
+		go func() {
+			pw.Write([]byte(`{"program":"int ma`))
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+			pw.CloseWithError(context.Canceled)
+		}()
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+	}
+}
+
+// slowloris trickles a request at a byte every few hundred milliseconds
+// and expects the daemon's read timeout to cut the connection rather
+// than let it pin a worker forever.
+func slowloris(c *counts, addr string) {
+	host := strings.TrimPrefix(strings.TrimPrefix(addr, "http://"), "https://")
+	host = strings.TrimSuffix(host, "/")
+	conn, err := net.DialTimeout("tcp", host, 5*time.Second)
+	if err != nil {
+		c.transport.Add(1)
+		return
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/jobs HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: 1000000\r\n\r\n", host)
+	deadline := time.Now().Add(90 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := conn.Write([]byte("{")); err != nil {
+			// The server cut us off — exactly the defense under test.
+			c.lorisCut.Add(1)
+			return
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+	// Ninety seconds of tolerated trickle means the read timeout never
+	// fired; count it against the server.
+	c.serverErr.Add(1)
+}
+
+// fail reports a fatal error on stderr and exits non-zero.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ilploadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedJob is the sentinel a FailEvery server plan makes a job
+// return, standing in for a deterministic analysis failure.
+var ErrInjectedJob = errors.New("faultinject: injected job failure")
+
+// ServerPlan describes deterministic daemon-side faults, injected at
+// the analysis service's job-execution boundary rather than inside the
+// replay ring.  ExecDelay doubles as a load-shaping knob: the soak
+// scenario uses it to pin per-job service time, which makes "2× the
+// admission capacity" a computable offered load instead of a guess.
+// The zero value injects nothing; all methods are safe for concurrent
+// use from the daemon's worker pool.
+type ServerPlan struct {
+	// ExecDelay pauses every job this long before its analysis starts —
+	// deterministic queue pressure for admission and shedding tests.
+	ExecDelay time.Duration
+
+	// PanicEvery > 0 panics inside every Nth job's execution goroutine
+	// (counting from the first; 1 = every job), exercising the per-job
+	// isolation boundary that must keep one poisoned job from taking
+	// down the process.
+	PanicEvery int64
+
+	// FailEvery > 0 makes every Nth job fail with ErrInjectedJob, for
+	// probing the error path without a panic.
+	FailEvery int64
+
+	jobs, panicked, failed atomic.Int64
+}
+
+// BeforeExec runs the plan's faults for one job and is called by the
+// daemon immediately before each job's analysis.  It sleeps ExecDelay,
+// then panics or returns ErrInjectedJob on the planned job ordinals.
+// A nil plan is a no-op, the disabled production path.
+func (p *ServerPlan) BeforeExec() error {
+	if p == nil {
+		return nil
+	}
+	n := p.jobs.Add(1)
+	if p.ExecDelay > 0 {
+		time.Sleep(p.ExecDelay)
+	}
+	if p.PanicEvery > 0 && n%p.PanicEvery == 0 {
+		p.panicked.Add(1)
+		panic(fmt.Sprintf("faultinject: planned panic in job %d", n))
+	}
+	if p.FailEvery > 0 && n%p.FailEvery == 0 {
+		p.failed.Add(1)
+		return fmt.Errorf("%w (job %d)", ErrInjectedJob, n)
+	}
+	return nil
+}
+
+// FiredJobs reports how many jobs the plan saw and how many it made
+// panic or fail, for asserting a test exercised what it meant to.
+func (p *ServerPlan) FiredJobs() (jobs, panicked, failed int64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	return p.jobs.Load(), p.panicked.Load(), p.failed.Load()
+}

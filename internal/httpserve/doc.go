@@ -1,0 +1,7 @@
+// Package httpserve is the shared graceful-shutdown HTTP listener used
+// by the CLI's -debug-addr endpoint and the ilplimitd daemon's service
+// and debug listeners.  Start serves in the background; Shutdown drains
+// in-flight requests through a context-driven http.Server.Shutdown with
+// a deadline, falling back to a hard Close when the deadline passes, so
+// no caller ever abandons a listener on exit.
+package httpserve

@@ -1,0 +1,76 @@
+package httpserve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Options bound the server's patience with slow clients.  Zero values
+// leave the corresponding http.Server timeout unset, which is the right
+// default for the trusted localhost debug listener; the daemon's public
+// listener sets all of them so a slow-loris writer cannot pin a
+// connection open indefinitely.
+type Options struct {
+	// ReadHeaderTimeout bounds reading a request's header block.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading a whole request, body included.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing a response.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit idle.
+	IdleTimeout time.Duration
+}
+
+// Server is an http.Server serving one listener in the background.
+// Construct with Start; stop with Shutdown.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+	done chan error
+}
+
+// Start serves h on ln in a background goroutine and returns
+// immediately.  A nil handler serves http.DefaultServeMux — where the
+// expvar and net/http/pprof debug pages register — matching the
+// convention of the pre-existing -debug-addr path.
+func Start(ln net.Listener, h http.Handler, o Options) *Server {
+	s := &Server{
+		srv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: o.ReadHeaderTimeout,
+			ReadTimeout:       o.ReadTimeout,
+			WriteTimeout:      o.WriteTimeout,
+			IdleTimeout:       o.IdleTimeout,
+		},
+		addr: ln.Addr(),
+		done: make(chan error, 1),
+	}
+	go func() { s.done <- s.srv.Serve(ln) }()
+	return s
+}
+
+// Addr returns the listener's bound address, useful when the caller
+// asked for ":0" and needs the ephemeral port that was picked.
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// Shutdown gracefully drains the server: new connections are refused,
+// in-flight requests get up to drain to finish, and connections still
+// open after the deadline are force-closed.  It returns the error that
+// ended serving, with the expected http.ErrServerClosed mapped to nil
+// so a clean shutdown reads as success.
+func (s *Server) Shutdown(drain time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Deadline passed with requests still running: close them.
+		_ = s.srv.Close()
+	}
+	err := <-s.done
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

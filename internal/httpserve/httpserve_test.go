@@ -1,0 +1,108 @@
+package httpserve
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+func TestServeAndShutdown(t *testing.T) {
+	ln := listen(t)
+	s := Start(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}), Options{})
+
+	resp, err := http.Get("http://" + s.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Errorf("body = %q, want ok", body)
+	}
+
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr().String() + "/"); err == nil {
+		t.Error("server still accepting after Shutdown")
+	}
+}
+
+// TestShutdownWaitsForInflight verifies the drain semantics: a request
+// already being served completes before Shutdown returns.
+func TestShutdownWaitsForInflight(t *testing.T) {
+	ln := listen(t)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := Start(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "slow-ok")
+	}), Options{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got string
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get("http://" + s.Addr().String() + "/")
+		if err != nil {
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got = string(b)
+	}()
+	<-entered
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	if err := s.Shutdown(5 * time.Second); err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if got != "slow-ok" {
+		t.Errorf("in-flight request got %q, want slow-ok", got)
+	}
+}
+
+// TestShutdownDeadlineForcesClose verifies a handler that never returns
+// cannot hold Shutdown past its drain deadline.
+func TestShutdownDeadlineForcesClose(t *testing.T) {
+	ln := listen(t)
+	entered := make(chan struct{})
+	hang := make(chan struct{})
+	s := Start(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-hang
+	}), Options{})
+	defer close(hang)
+
+	go func() {
+		resp, err := http.Get("http://" + s.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	start := time.Now()
+	_ = s.Shutdown(100 * time.Millisecond)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("Shutdown took %v despite its 100ms drain deadline", d)
+	}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission errors, mapped by the daemon to 429 responses whose
+// Retry-After tells the client when capacity is likely back.
+var (
+	// errQueueFull sheds a job because the global admission queue is at
+	// capacity: the server is saturated for everyone.
+	errQueueFull = errors.New("server: admission queue full")
+	// errTenantSaturated sheds a job because its tenant's queue share is
+	// full while the global queue still has room: the tenant is flooding
+	// and is shed before it can crowd out the others.
+	errTenantSaturated = errors.New("server: tenant queue share full")
+	// errDraining sheds a job because the server is shutting down.
+	errDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// tenantState tracks one tenant's slice of the admission queue.
+type tenantState struct {
+	queue   []*qitem
+	running int
+}
+
+// qitem is one admitted job waiting for a worker.
+type qitem struct {
+	tenant string
+	job    *job
+}
+
+// admitter is the bounded admission queue with per-tenant fairness.
+// Admission is two-leveled: a global capacity bound sheds when the
+// whole server is saturated, and a smaller per-tenant bound sheds a
+// single flooding tenant while the global queue still has room for the
+// others.  Dispatch is round-robin across tenants that have queued work
+// and a free quota slot, so interleaved arrival order cannot starve a
+// light tenant behind a heavy one's backlog.
+type admitter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	capacity  int // total queued jobs across tenants
+	tenantCap int // queued jobs per tenant
+	quota     int // running jobs per tenant
+
+	queued   int
+	running  int
+	tenants  map[string]*tenantState
+	ring     []string // round-robin tenant order; grows as tenants appear
+	cursor   int      // ring index the next dispatch scan starts at
+	draining bool
+	closed   bool
+}
+
+// newAdmitter builds the queue; all bounds must be positive.
+func newAdmitter(capacity, tenantCap, quota int) *admitter {
+	a := &admitter{
+		capacity:  capacity,
+		tenantCap: tenantCap,
+		quota:     quota,
+		tenants:   make(map[string]*tenantState),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// submit enqueues one job for its tenant, or sheds it: errDraining
+// during shutdown, errQueueFull at global capacity, errTenantSaturated
+// at the tenant's share.  On success the returned depth is the global
+// queue depth including this job, for the Retry-After estimate of later
+// shed responses.
+func (a *admitter) submit(tenant string, j *job) (depth int, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case a.draining || a.closed:
+		return a.queued, errDraining
+	case a.queued >= a.capacity:
+		return a.queued, errQueueFull
+	}
+	ts := a.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		a.tenants[tenant] = ts
+		a.ring = append(a.ring, tenant)
+	}
+	if len(ts.queue) >= a.tenantCap {
+		return a.queued, errTenantSaturated
+	}
+	ts.queue = append(ts.queue, &qitem{tenant: tenant, job: j})
+	a.queued++
+	a.cond.Signal()
+	return a.queued, nil
+}
+
+// next blocks until a job is dispatchable — some tenant has queued work
+// and a free quota slot — and returns it, or returns ok=false when the
+// admitter is closed and no dispatchable work remains.  The caller must
+// pair every successful next with done.
+func (a *admitter) next() (*qitem, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if it := a.pickLocked(); it != nil {
+			return it, true
+		}
+		if a.closed {
+			return nil, false
+		}
+		a.cond.Wait()
+	}
+}
+
+// pickLocked scans the tenant ring round-robin from the cursor and pops
+// the first job whose tenant is under quota.  It returns nil when
+// nothing is dispatchable (queues empty, or every backlogged tenant is
+// at quota).
+func (a *admitter) pickLocked() *qitem {
+	n := len(a.ring)
+	for i := 0; i < n; i++ {
+		idx := (a.cursor + i) % n
+		ts := a.tenants[a.ring[idx]]
+		if len(ts.queue) == 0 || ts.running >= a.quota {
+			continue
+		}
+		it := ts.queue[0]
+		ts.queue = ts.queue[1:]
+		a.queued--
+		ts.running++
+		a.running++
+		// Advance past the tenant just served, so the next dispatch
+		// starts with its neighbor rather than serving it again.
+		a.cursor = (idx + 1) % n
+		return it
+	}
+	return nil
+}
+
+// done releases the quota slot a dispatched job held and wakes a worker
+// in case the release made another job dispatchable.
+func (a *admitter) done(tenant string) {
+	a.mu.Lock()
+	if ts := a.tenants[tenant]; ts != nil && ts.running > 0 {
+		ts.running--
+		a.running--
+	}
+	a.mu.Unlock()
+	// The freed quota slot may unblock any waiting worker.
+	a.cond.Broadcast()
+}
+
+// drain stops admitting new jobs; queued and running jobs proceed.
+func (a *admitter) drain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// close stops admission and wakes every blocked worker; next drains the
+// remaining queue and then reports no more work.
+func (a *admitter) close() {
+	a.mu.Lock()
+	a.draining = true
+	a.closed = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// depths reports the global queued and running counts.
+func (a *admitter) depths() (queued, running int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, a.running
+}
+
+// idle reports whether no work is queued or running — the drain
+// completion condition.
+func (a *admitter) idle() bool {
+	q, r := a.depths()
+	return q == 0 && r == 0
+}

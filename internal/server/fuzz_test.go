@@ -1,0 +1,94 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"testing"
+
+	"ilplimit/internal/asm"
+	"ilplimit/internal/minic"
+	"ilplimit/internal/trace"
+	"ilplimit/internal/vm"
+)
+
+// compileAndTrace compiles a mini-C program and records one execution's
+// trace file, for tests submitting the trace input form.
+func compileAndTrace(t *testing.T, source string) (asmText string, traceData []byte) {
+	t.Helper()
+	asmText, err := minic.Compile(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.New(prog)
+	machine.StepLimit = 1 << 32
+	if err := machine.Run(func(ev vm.Event) {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return asmText, buf.Bytes()
+}
+
+// FuzzDecodeBody hammers the daemon's untrusted-input frontier: any
+// (content type, body) pair must either decode into a validated Request
+// or fail cleanly with ErrBadRequest — never panic, and never produce a
+// Request that jobKey cannot hash.  Run under `make fuzz` alongside the
+// parser targets.
+func FuzzDecodeBody(f *testing.F) {
+	// Seed the JSON path, the multipart path, and assorted hostile junk.
+	f.Add("application/json", []byte(`{"program":"int main() { return 0; }"}`))
+	f.Add("application/json", []byte(`{"kind":"suite","benchmarks":["irsim"],"scale":2,"models":["BASE","ORACLE"]}`))
+	f.Add("application/json", []byte(`{"asm":"nop","tenant":"t1","timeout_ms":100}`))
+	traceB64 := base64.StdEncoding.EncodeToString(append(append(
+		[]byte{'I', 'L', 'P', 'T', 2}, 0xFF),
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0))
+	f.Add("application/json", []byte(`{"asm":"nop","trace_b64":"`+traceB64+`"}`))
+	f.Add("multipart/form-data; boundary=b",
+		[]byte("--b\r\nContent-Disposition: form-data; name=\"program\"\r\n\r\nint main(){}\r\n--b--\r\n"))
+	f.Add("multipart/form-data; boundary=b",
+		[]byte("--b\r\nContent-Disposition: form-data; name=\"trace\"; filename=\"t\"\r\n\r\nILPT\x02\xff\r\n--b--\r\n"))
+	f.Add("", []byte(`{}`))
+	f.Add("application/json", []byte(`{"program":1}`))
+	f.Add("text/plain", []byte("hello"))
+	f.Add("multipart/form-data", []byte("--\r\n"))
+	f.Add("application/json", bytes.Repeat([]byte(`{"program":"x",`), 100))
+
+	f.Fuzz(func(t *testing.T, contentType string, body []byte) {
+		req, err := DecodeBody(contentType, body)
+		if err != nil {
+			if req != nil {
+				t.Fatalf("error %v alongside a non-nil request", err)
+			}
+			return
+		}
+		// A decoded request must be internally consistent: a resolvable
+		// kind, hashable identity, and marshalable content.
+		switch req.Kind {
+		case "program", "asm", "trace", "suite":
+		default:
+			t.Fatalf("decoded request has unvalidated kind %q", req.Kind)
+		}
+		key := jobKey(req, req.Benchmarks, 1<<20, 1<<32)
+		if len(key) != 32 {
+			t.Fatalf("jobKey = %q, want 32 hex chars", key)
+		}
+		if _, err := json.Marshal(req); err != nil {
+			t.Fatalf("decoded request does not marshal: %v", err)
+		}
+	})
+}
