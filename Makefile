@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test vet docs check generate generate-check race faultcheck soak \
-	soak-server bench bench-baseline benchdiff bench-smoke
+	soak-server soak-fabric bench bench-baseline benchdiff bench-smoke
 
 # Benchmarks captured in BENCH_limits.json and gated by benchdiff: the
 # group-scheduling fan-out, the per-model analyzer hot loop, and the
@@ -38,7 +38,7 @@ generate-check: generate
 		{ echo "generated code is stale: run 'make generate' and commit"; exit 1; }
 
 # The default local gate: everything short of the long benchmarks.
-check: build generate-check docs test race soak
+check: build generate-check docs test race soak soak-fabric
 
 # Concurrency gate: the parallel trace fan-out (internal/limits) and the
 # suite-level job fan-out (internal/harness) must stay race-clean.
@@ -62,6 +62,14 @@ soak: faultcheck
 	$(GO) test -race ./internal/journal
 	$(GO) test -race -run 'Resume|Retr|Invariant|Watchdog' ./internal/harness
 	$(GO) test -race -count 2 -run TestCLIKillResume .
+
+# Fabric soak: the distributed coordinator/worker path under the race
+# detector (lease expiry, stale-completion drops, requeue), then the two
+# CLI round-trips — a 2-worker run byte-identical to a local one, and
+# byte-identical again after one worker SIGKILLs itself mid-cell.
+soak-fabric:
+	$(GO) test -race ./internal/fabric
+	$(GO) test -race -run TestCLIFabric .
 
 # Service soak: the daemon under the race detector (admission, quotas,
 # single-flight cache, drain), then the live overload round-trip — a

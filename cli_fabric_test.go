@@ -1,0 +1,183 @@
+package ilplimit_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// coordProc is one running `ilplimit -coordinator` process with its
+// announced address and captured output.
+type coordProc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stdout bytes.Buffer
+
+	mu     sync.Mutex
+	stderr strings.Builder
+	drain  sync.WaitGroup
+}
+
+// stderrText returns everything the coordinator wrote to stderr so far.
+func (c *coordProc) stderrText() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stderr.String()
+}
+
+// wait lets the process finish and returns its error with stderr fully
+// drained.
+func (c *coordProc) wait() error {
+	err := c.cmd.Wait()
+	c.drain.Wait()
+	return err
+}
+
+// startCoordinator launches ilplimit in coordinator mode and blocks
+// until it announces its listener address on stderr.
+func startCoordinator(t *testing.T, bin string, args ...string) *coordProc {
+	t.Helper()
+	c := &coordProc{cmd: exec.Command(bin, args...)}
+	c.cmd.Stdout = &c.stdout
+	stderr, err := c.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if c.cmd.ProcessState == nil {
+			_ = c.cmd.Process.Kill()
+			_ = c.cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		c.mu.Lock()
+		c.stderr.WriteString(line + "\n")
+		c.mu.Unlock()
+		if _, rest, ok := strings.Cut(line, "coordinator listening on "); ok {
+			c.addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if c.addr == "" {
+		t.Fatalf("coordinator address never announced; stderr:\n%s", c.stderrText())
+	}
+	c.drain.Add(1)
+	go func() {
+		defer c.drain.Done()
+		for sc.Scan() {
+			c.mu.Lock()
+			c.stderr.WriteString(sc.Text() + "\n")
+			c.mu.Unlock()
+		}
+	}()
+	return c
+}
+
+// TestCLIFabricByteIdentical is the tentpole's acceptance check: a
+// suite distributed across two ilplimitw workers must write stdout and
+// a journal byte-identical to the single-process run of the same
+// configuration.
+func TestCLIFabricByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "ilplimit")
+	binw := buildCmd(t, "ilplimitw")
+	benches := "awk,eqntott,irsim"
+
+	dirL, dirD := t.TempDir(), t.TempDir()
+	ref, err := exec.Command(bin, "-bench", benches, "-json", "-resume", dirL).Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	coord := startCoordinator(t, bin, "-coordinator", "127.0.0.1:0", "-bench", benches, "-json", "-resume", dirD)
+	w1 := exec.Command(binw, "-coordinator", coord.addr, "-id", "w1")
+	w2 := exec.Command(binw, "-coordinator", coord.addr, "-id", "w2")
+	for _, w := range []*exec.Cmd{w1, w2} {
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.wait(); err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, coord.stderrText())
+	}
+	for i, w := range []*exec.Cmd{w1, w2} {
+		if err := w.Wait(); err != nil {
+			t.Errorf("worker %d: %v", i+1, err)
+		}
+	}
+
+	if got := coord.stdout.Bytes(); !bytes.Equal(got, ref) {
+		t.Errorf("distributed stdout differs from local run (%d vs %d bytes)", len(got), len(ref))
+	}
+	jl, err := os.ReadFile(filepath.Join(dirL, "journal.ilpj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd, err := os.ReadFile(filepath.Join(dirD, "journal.ilpj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jl, jd) {
+		t.Errorf("distributed journal differs from local run (%d vs %d bytes)", len(jd), len(jl))
+	}
+}
+
+// TestCLIFabricWorkerKill injects the failure matrix's worker-crash
+// row end to end: one of two workers SIGKILLs itself (exit 137)
+// immediately after leasing a cell, the coordinator's lease watchdog
+// requeues that cell onto the survivor, and the merged output must
+// still be byte-identical to a single-process run.
+func TestCLIFabricWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "ilplimit")
+	binw := buildCmd(t, "ilplimitw")
+	benches := "awk,eqntott,irsim"
+
+	ref, err := exec.Command(bin, "-bench", benches, "-json").Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	coord := startCoordinator(t, bin, "-coordinator", "127.0.0.1:0", "-fabric-lease", "500ms", "-bench", benches, "-json", "-v")
+	// The killer runs alone first so it is guaranteed to lease a cell
+	// (a faster survivor could otherwise drain the queue before the
+	// killer joins and the crash would never fire); its exit proves the
+	// cell is now orphaned mid-run.
+	killer := exec.Command(binw, "-coordinator", coord.addr, "-id", "killer", "-fault", "kill-after-leases=1")
+	var exitErr *exec.ExitError
+	if err := killer.Run(); !errors.As(err, &exitErr) || exitErr.ExitCode() != 137 {
+		t.Fatalf("killer exited %v, want status 137 (the injected SIGKILL)", err)
+	}
+	survivor := exec.Command(binw, "-coordinator", coord.addr, "-id", "survivor")
+	if err := survivor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.wait(); err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, coord.stderrText())
+	}
+	if err := survivor.Wait(); err != nil {
+		t.Errorf("survivor: %v", err)
+	}
+
+	if got := coord.stdout.Bytes(); !bytes.Equal(got, ref) {
+		t.Errorf("post-kill distributed stdout differs from local run (%d vs %d bytes)", len(got), len(ref))
+	}
+	if se := coord.stderrText(); !strings.Contains(se, "requeued") {
+		t.Errorf("coordinator never requeued the killed worker's cell:\n%s", se)
+	}
+}

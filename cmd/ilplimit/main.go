@@ -18,6 +18,7 @@
 //	ilplimit -resume state/          # crash-safe run: journal results, skip completed ones
 //	ilplimit -retries 2              # re-run transiently-failed benchmarks
 //	ilplimit -watchdog 30s           # detach analyzers making no chunk progress
+//	ilplimit -coordinator :7070      # distribute the suite across ilplimitw workers
 //	ilplimit -v                      # progress on stderr
 //
 // When some benchmarks fail and others succeed, the surviving results are
@@ -32,6 +33,14 @@
 // benchmark list, step limit); resuming with a different configuration
 // is refused.  -resume cannot be combined with -study, whose passes vary
 // the configuration per run.
+//
+// -coordinator turns the run into the coordinator of a distributed
+// fabric: instead of analyzing benchmarks in-process, it serves the
+// suite's cells over HTTP to ilplimitw worker processes and merges
+// their streamed-back results.  The rendered output — and the journal,
+// when -resume is also given — is byte-identical to a single-process
+// run of the same configuration (telemetry timings excepted).  See
+// DESIGN.md §13.
 package main
 
 import (
@@ -47,9 +56,11 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"ilplimit/internal/bench"
+	"ilplimit/internal/fabric"
 	"ilplimit/internal/harness"
 	"ilplimit/internal/httpserve"
 	"ilplimit/internal/journal"
@@ -61,6 +72,12 @@ import (
 // can record why a run ended before exiting: an interrupted journal then
 // explains itself when inspected or resumed.
 var jnl *journal.Journal
+
+// shutdownFabric tears down the -coordinator fabric (finish, drain
+// workers, close the listener); a no-op otherwise.  Package-level and
+// idempotent because the degraded-suite path and fail() exit through
+// os.Exit, which skips defers — every exit path calls it explicitly.
+var shutdownFabric = func() {}
 
 func main() {
 	var (
@@ -78,6 +95,9 @@ func main() {
 		resume   = flag.String("resume", "", "journal completed benchmarks in this directory and skip ones already journaled by an interrupted run")
 		retries  = flag.Int("retries", 0, "re-run a transiently-failed benchmark up to this many extra times")
 		watchdog = flag.Duration("watchdog", 0, "detach an analyzer making no chunk progress for this long and fail its benchmark (0 = off)")
+		coord    = flag.String("coordinator", "", "serve the suite's cells to ilplimitw workers on this address (e.g. :7070) instead of analyzing in-process")
+		lease    = flag.Duration("fabric-lease", 10*time.Second, "requeue a distributed cell whose worker misses heartbeats for this long (with -coordinator)")
+		drain    = flag.Duration("fabric-drain", 2*time.Second, "after a distributed run, keep answering workers for this long so they exit cleanly (with -coordinator)")
 		verbose  = flag.Bool("v", false, "log pipeline progress to stderr")
 		version  = flag.Bool("version", false, "print build provenance and exit")
 	)
@@ -164,6 +184,36 @@ func main() {
 		defer cancel()
 		opt.Context = ctx
 	}
+	if *coord != "" {
+		if *study != "" {
+			fail(fmt.Errorf("-coordinator cannot be combined with -study: study passes vary the configuration workers are fingerprinted against"))
+		}
+		c := fabric.NewCoordinator(opt.JournalMeta(telemetry.GitRevision()), fabric.CoordinatorOptions{
+			LeaseTTL: *lease, Watchdog: opt.Watchdog,
+			Metrics: opt.Metrics, Progress: progress,
+		})
+		ln, err := net.Listen("tcp", *coord)
+		if err != nil {
+			fail(fmt.Errorf("coordinator %s: %w", *coord, err))
+		}
+		fsrv := httpserve.Start(ln, c.Handler(), httpserve.Options{})
+		// Announced on stderr because ":0" picks an ephemeral port; tests
+		// and scripts scrape this line to point workers at the run.
+		fmt.Fprintf(os.Stderr, "ilplimit: coordinator listening on %s\n", fsrv.Addr())
+		c.Start()
+		opt.CellRunner = c.RunCell
+		drainFor := *drain
+		var once sync.Once
+		shutdownFabric = func() {
+			once.Do(func() {
+				c.Finish()
+				c.WaitDrained(drainFor)
+				_ = fsrv.Shutdown(time.Second)
+				c.Close()
+			})
+		}
+		defer shutdownFabric()
+	}
 
 	switch *study {
 	case "":
@@ -225,6 +275,9 @@ func main() {
 	// the process exits non-zero.
 	var degraded *harness.SuiteError
 	suite, err := harness.RunSuite(opt)
+	// Release distributed workers before rendering: the suite is merged,
+	// so the fabric has nothing left to serve but "done".
+	shutdownFabric()
 	if err != nil && !errors.As(err, &degraded) {
 		fail(err)
 	}
@@ -267,6 +320,7 @@ func main() {
 			_ = jnl.AppendNote("run degraded: " + degraded.Error())
 			_ = jnl.Close()
 		}
+		shutdownFabric()
 		os.Exit(1)
 	}
 	if jnl != nil {
@@ -285,5 +339,6 @@ func fail(err error) {
 		_ = jnl.AppendNote("run failed: " + err.Error())
 		_ = jnl.Close()
 	}
+	shutdownFabric()
 	os.Exit(1)
 }

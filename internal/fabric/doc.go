@@ -1,0 +1,19 @@
+// Package fabric turns the suite harness into a small cluster runtime:
+// a coordinator shards the suite's (benchmark × configuration) cells
+// across worker processes over a versioned HTTP/JSON wire protocol with
+// work-stealing pull dispatch, and merges the streamed-back results into
+// a SuiteResult and journal byte-identical to a single-process run.
+//
+// The coordinator plugs into harness.RunSuite through Options.CellRunner,
+// so resume, bounded retries, ordered journaling, and degraded reporting
+// all behave exactly as they do locally; workers execute leased cells
+// through harness.RunCell and classify failures with harness.Retryable.
+// Worker liveness follows the stall-watchdog pattern: a leased cell
+// whose worker misses its heartbeats is requeued and handed to the next
+// puller, and the original worker's late completion is dropped as stale
+// — the lease table admits exactly one completion per cell, with the
+// journal's conflicting-duplicate check as the durable backstop.
+//
+// See DESIGN.md §13 for the message catalogue, the exactly-once
+// argument, the determinism proof sketch, and the failure matrix.
+package fabric

@@ -1,0 +1,153 @@
+package fabric
+
+import (
+	"encoding/json"
+
+	"ilplimit/internal/journal"
+	"ilplimit/internal/telemetry"
+)
+
+// ProtoVersion is the fabric wire-protocol version.  Coordinator and
+// worker refuse to talk across versions: every lease and completion
+// carries the sender's version, and the coordinator rejects mismatches
+// with 400 before any work moves.  Bump it when a message or field
+// changes meaning.
+const ProtoVersion = 1
+
+// Wire paths served by Coordinator.Handler.  All bodies are JSON.
+const (
+	// PathConfig (GET) returns the run's ConfigReply: the protocol
+	// version, the journal.Meta the run is bound to, and scheduling
+	// parameters.  Workers fetch it once at join time.
+	PathConfig = "/v1/config"
+	// PathLease (POST LeaseRequest → LeaseReply) pulls one cell.  Pull,
+	// not push: an idle worker asks for work, so a fast worker steals
+	// cells a statically balanced shard map would have stranded on a
+	// slow one.
+	PathLease = "/v1/lease"
+	// PathComplete (POST CompleteRequest → CompleteReply) streams one
+	// cell's outcome back under its lease.
+	PathComplete = "/v1/complete"
+	// PathHeartbeat (POST HeartbeatRequest → HeartbeatReply) keeps a
+	// worker's leases alive and learns which were revoked.
+	PathHeartbeat = "/v1/heartbeat"
+)
+
+// ConfigReply is the coordinator's join-time description of the run.
+type ConfigReply struct {
+	// ProtoVersion is the coordinator's wire-protocol version.
+	ProtoVersion int `json:"proto_version"`
+	// Meta is the result-affecting run configuration (scale, models,
+	// benchmark list, memory, step limit) the suite's journal is bound
+	// to.  A worker reconstructs its harness Options from Meta alone.
+	Meta journal.Meta `json:"meta"`
+	// Fingerprint is Meta.Fingerprint(), precomputed so workers compare
+	// canonical bytes rather than re-deriving marshaling rules.  A
+	// worker whose reconstructed options fingerprint differently — a
+	// version-skewed binary whose defaults drifted — must refuse to
+	// serve rather than journal incompatible results.
+	Fingerprint string `json:"fingerprint"`
+	// LeaseTTLMillis is how long a lease survives without a heartbeat
+	// before its cell is requeued; workers heartbeat a few times per
+	// TTL.
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+	// WatchdogMillis propagates the run's analyzer stall watchdog
+	// (harness.Options.Watchdog) to workers; 0 leaves it off.
+	WatchdogMillis int64 `json:"watchdog_ms,omitempty"`
+	// MetricsEnabled asks workers to capture per-cell telemetry and
+	// attach it to completions for the coordinator's merged report.
+	MetricsEnabled bool `json:"metrics_enabled,omitempty"`
+}
+
+// LeaseRequest asks for one cell.
+type LeaseRequest struct {
+	// ProtoVersion is the worker's wire-protocol version.
+	ProtoVersion int `json:"proto_version"`
+	// WorkerID names the puller for telemetry and lease bookkeeping.
+	WorkerID string `json:"worker_id"`
+	// Fingerprint echoes the worker's reconstructed configuration
+	// fingerprint; the coordinator refuses a mismatch (409).
+	Fingerprint string `json:"fingerprint"`
+}
+
+// LeaseReply statuses.
+const (
+	// LeaseCell grants a cell: LeaseID, Index, Bench and Attempt are set.
+	LeaseCell = "cell"
+	// LeaseWait means no cell is currently available but the run is not
+	// over (everything is leased out); poll again shortly.
+	LeaseWait = "wait"
+	// LeaseDone means the run is complete; the worker should exit.
+	LeaseDone = "done"
+)
+
+// LeaseReply grants a cell, asks the worker to wait, or ends the run.
+type LeaseReply struct {
+	// Status is LeaseCell, LeaseWait or LeaseDone.
+	Status string `json:"status"`
+	// LeaseID names this grant; completions and heartbeats cite it.
+	LeaseID string `json:"lease_id,omitempty"`
+	// Index is the cell's suite-order position.
+	Index int `json:"index"`
+	// Bench is the benchmark name; the worker resolves it locally.
+	Bench string `json:"bench,omitempty"`
+	// Attempt counts grants of this cell (1 = first), covering both
+	// requeues after lost workers and harness-level retries.
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// CompleteRequest streams one cell outcome back under a lease.
+type CompleteRequest struct {
+	// ProtoVersion is the worker's wire-protocol version.
+	ProtoVersion int `json:"proto_version"`
+	// WorkerID and LeaseID identify the grant being fulfilled.
+	WorkerID string `json:"worker_id"`
+	// LeaseID is the grant this outcome fulfills.
+	LeaseID string `json:"lease_id"`
+	// Index and Bench restate the cell for cross-checking.
+	Index int `json:"index"`
+	// Bench is the cell's benchmark name.
+	Bench string `json:"bench"`
+	// Result is the worker's marshaled harness.BenchResult, verbatim.
+	// The coordinator journals these bytes, which is one leg of the
+	// byte-identity guarantee.  Empty on failure.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the cell's failure message when the run failed.
+	Error string `json:"error,omitempty"`
+	// Retryable is the worker-side harness.Retryable classification of
+	// Error, so the coordinator's retry policy treats remote failures
+	// exactly like local ones.
+	Retryable bool `json:"retryable,omitempty"`
+	// Telemetry is the worker's per-cell metrics snapshot when the
+	// coordinator asked for metrics, merged into the suite report.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// CompleteReply acknowledges a completion.
+type CompleteReply struct {
+	// Accepted means the outcome was admitted; exactly one completion
+	// per cell is.
+	Accepted bool `json:"accepted"`
+	// Stale means the lease no longer exists — it expired and the cell
+	// was requeued, or another completion already won.  The worker
+	// drops the result; the coordinator has (or will get) it elsewhere.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// HeartbeatRequest refreshes a worker's leases.
+type HeartbeatRequest struct {
+	// WorkerID names the worker heartbeating.
+	WorkerID string `json:"worker_id"`
+	// LeaseIDs lists every lease the worker believes it holds.
+	LeaseIDs []string `json:"lease_ids,omitempty"`
+}
+
+// HeartbeatReply reports revocations and run completion.
+type HeartbeatReply struct {
+	// Revoked lists cited leases the coordinator no longer recognizes;
+	// the worker cancels those cells and discards their results.
+	Revoked []string `json:"revoked,omitempty"`
+	// Done mirrors LeaseDone so a heartbeat-only worker also learns the
+	// run is over.
+	Done bool `json:"done,omitempty"`
+}

@@ -1,0 +1,134 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// FabricPlan describes deterministic worker-side faults for the
+// distributed suite fabric, injected at the worker loop's protocol
+// boundaries rather than inside the analysis.  Each knob models one row
+// of the fabric's failure matrix (DESIGN.md §13): an abrupt worker
+// death mid-cell, a network partition that silences a live worker, and
+// a torn completion stream.  The zero value injects nothing; all
+// methods are safe for concurrent use from a worker's cell slots.
+type FabricPlan struct {
+	// KillAfterLeases > 0 exits the worker process (status 137, the
+	// shell's SIGKILL convention) immediately after it acquires its Nth
+	// lease: the cell is leased but never completed, the crash the
+	// coordinator's missed-heartbeat requeue exists for.
+	KillAfterLeases int64
+
+	// PartitionAfterCells >= 0 partitions the worker from the
+	// coordinator after it has completed that many cells: heartbeats
+	// stop and completion uploads are suppressed, but the worker keeps
+	// running — the half-alive peer whose stale completions the
+	// coordinator must drop.  Negative (the default from ParseFabricPlan
+	// when absent) disables.
+	PartitionAfterCells int64
+
+	// DropCompletes > 0 fails the worker's first N completion uploads
+	// before any bytes reach the coordinator, forcing the idempotent
+	// retry path a torn stream exercises.
+	DropCompletes int64
+
+	leases, cells, droppedCompletes atomic.Int64
+	partitioned                     atomic.Bool
+}
+
+// ParseFabricPlan parses a comma-separated fault plan such as
+// "kill-after-leases=2,partition-after-cells=1,drop-completes=1".  An
+// empty string returns a nil plan — the disabled production path.
+func ParseFabricPlan(s string) (*FabricPlan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	p := &FabricPlan{PartitionAfterCells: -1}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: fabric plan term %q is not key=value", kv)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: fabric plan %s: %w", key, err)
+		}
+		switch key {
+		case "kill-after-leases":
+			p.KillAfterLeases = n
+		case "partition-after-cells":
+			p.PartitionAfterCells = n
+		case "drop-completes":
+			p.DropCompletes = n
+		default:
+			return nil, fmt.Errorf("faultinject: unknown fabric plan key %q", key)
+		}
+	}
+	return p, nil
+}
+
+// LeaseAcquired is called by the worker after each lease grant and
+// reports whether the plan wants the process killed now (the caller
+// os.Exits; the plan only counts and decides).  A nil plan never kills.
+func (p *FabricPlan) LeaseAcquired() (die bool) {
+	if p == nil {
+		return false
+	}
+	return p.KillAfterLeases > 0 && p.leases.Add(1) == p.KillAfterLeases
+}
+
+// CellCompleted is called by the worker after each successfully
+// uploaded completion, advancing the partition countdown.  No-op on a
+// nil plan.
+func (p *FabricPlan) CellCompleted() {
+	if p == nil {
+		return
+	}
+	if n := p.cells.Add(1); p.PartitionAfterCells >= 0 && n >= p.PartitionAfterCells {
+		p.partitioned.Store(true)
+	}
+}
+
+// Partitioned reports whether the worker is now cut off from the
+// coordinator: heartbeats and completions must be suppressed.  A plan
+// with PartitionAfterCells == 0 partitions before the first completion.
+// Always false on a nil plan.
+func (p *FabricPlan) Partitioned() bool {
+	if p == nil {
+		return false
+	}
+	if p.PartitionAfterCells == 0 {
+		p.partitioned.Store(true)
+	}
+	return p.partitioned.Load()
+}
+
+// DropComplete consumes one unit of the torn-stream budget and reports
+// whether this completion upload should fail before sending.  Always
+// false on a nil plan.
+func (p *FabricPlan) DropComplete() bool {
+	if p == nil || p.DropCompletes <= 0 {
+		return false
+	}
+	for {
+		n := p.droppedCompletes.Load()
+		if n >= p.DropCompletes {
+			return false
+		}
+		if p.droppedCompletes.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// FiredFabric reports how many leases and completed cells the plan
+// observed and how many completion uploads it dropped, for asserting a
+// test exercised what it meant to.
+func (p *FabricPlan) FiredFabric() (leases, cells, dropped int64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	return p.leases.Load(), p.cells.Load(), p.droppedCompletes.Load()
+}

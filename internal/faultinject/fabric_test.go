@@ -1,0 +1,79 @@
+package faultinject
+
+import "testing"
+
+func TestParseFabricPlan(t *testing.T) {
+	p, err := ParseFabricPlan("")
+	if p != nil || err != nil {
+		t.Fatalf("empty plan = (%v, %v), want nil, nil", p, err)
+	}
+	p, err = ParseFabricPlan("kill-after-leases=2,partition-after-cells=1,drop-completes=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.KillAfterLeases != 2 || p.PartitionAfterCells != 1 || p.DropCompletes != 3 {
+		t.Fatalf("parsed plan = %+v", p)
+	}
+	// An absent partition term stays disabled, not zero (zero partitions
+	// immediately).
+	p, err = ParseFabricPlan("kill-after-leases=1")
+	if err != nil || p.PartitionAfterCells != -1 {
+		t.Fatalf("default partition = %d (%v), want -1", p.PartitionAfterCells, err)
+	}
+	for _, bad := range []string{"kill-after-leases", "kill-after-leases=x", "explode=1"} {
+		if _, err := ParseFabricPlan(bad); err == nil {
+			t.Errorf("ParseFabricPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFabricPlanKillFiresExactlyOnce(t *testing.T) {
+	p := &FabricPlan{KillAfterLeases: 2, PartitionAfterCells: -1}
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if p.LeaseAcquired() {
+			fired++
+			if i != 1 {
+				t.Errorf("kill fired on lease %d, want lease 2", i+1)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Errorf("kill fired %d times, want exactly once", fired)
+	}
+}
+
+func TestFabricPlanPartitionAndDrops(t *testing.T) {
+	p := &FabricPlan{PartitionAfterCells: 2, DropCompletes: 2}
+	if p.Partitioned() {
+		t.Error("partitioned before any cell completed")
+	}
+	p.CellCompleted()
+	if p.Partitioned() {
+		t.Error("partitioned one cell early")
+	}
+	p.CellCompleted()
+	if !p.Partitioned() {
+		t.Error("not partitioned after the threshold")
+	}
+
+	drops := 0
+	for i := 0; i < 5; i++ {
+		if p.DropComplete() {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Errorf("dropped %d uploads, want exactly 2", drops)
+	}
+	if leases, cells, dropped := p.FiredFabric(); leases != 0 || cells != 2 || dropped != 2 {
+		t.Errorf("FiredFabric = (%d, %d, %d), want (0, 2, 2)", leases, cells, dropped)
+	}
+
+	// The nil plan injects nothing.
+	var nilPlan *FabricPlan
+	if nilPlan.LeaseAcquired() || nilPlan.Partitioned() || nilPlan.DropComplete() {
+		t.Error("nil plan injected a fault")
+	}
+	nilPlan.CellCompleted()
+}

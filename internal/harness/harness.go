@@ -98,6 +98,18 @@ type Options struct {
 	// benchmark fails with a *limits.StallError (a transient failure,
 	// eligible for Retries).  Zero disables the watchdog.
 	Watchdog time.Duration
+	// CellRunner, when non-nil, delegates each suite cell's execution to
+	// an external scheduler — the distributed fabric's coordinator plugs
+	// in here — instead of running it in-process.  The runner must
+	// return the cell's BenchResult exactly as RunBenchmark would
+	// produce it; its errors flow through the same retry policy as local
+	// failures, with an error exposing a `Retryable() bool` method
+	// overriding the default transient/deterministic classification.
+	// Resume, journaling, merge ordering, and failure reporting are
+	// unchanged, which is what keeps a distributed run's output
+	// byte-identical to a local one.  CellRunner does not participate in
+	// JournalMeta: where a cell runs cannot change its result.
+	CellRunner CellRunner
 }
 
 // benchStartHook, when non-nil, runs at the top of every RunBenchmark; a
@@ -495,8 +507,14 @@ func runBenchmarkIsolated(b bench.Benchmark, opt Options) (res *BenchResult, err
 // reproduce exactly; an invariant violation means the analysis computed
 // wrong numbers, and a retry that happened to pass would hide a bug.
 // Panics, injected faults, and watchdog stalls are environmental and
-// retry.
+// retry.  An error exposing a Retryable method — remote cell failures
+// arrive pre-classified by the worker that saw the original error —
+// decides for itself.
 func retryable(err error) bool {
+	var rt interface{ Retryable() bool }
+	if errors.As(err, &rt) {
+		return rt.Retryable()
+	}
 	var inv *limits.InvariantError
 	switch {
 	case errors.As(err, &inv),
@@ -507,15 +525,15 @@ func retryable(err error) bool {
 	return true
 }
 
-// runBenchmarkResilient wraps runBenchmarkIsolated with the suite's
-// bounded-retry policy: up to opt.Retries extra attempts for transient
-// failures, exponential backoff with jitter between them.  It returns
-// the result of the last attempt and how many attempts were made.
-func runBenchmarkResilient(b bench.Benchmark, opt Options) (*BenchResult, int, error) {
+// runCellResilient wraps executeCell with the suite's bounded-retry
+// policy: up to opt.Retries extra attempts for transient failures,
+// exponential backoff with jitter between them.  It returns the result
+// of the last attempt and how many attempts were made.
+func runCellResilient(c Cell, opt Options) (*BenchResult, int, error) {
 	ctx := opt.ctx()
-	retries := opt.Metrics.Counter("bench." + b.Name + ".retries")
+	retries := opt.Metrics.Counter("bench." + c.Bench.Name + ".retries")
 	for attempt := 1; ; attempt++ {
-		res, err := runBenchmarkIsolated(b, opt)
+		res, err := executeCell(c, opt)
 		if err == nil || attempt > opt.Retries || !retryable(err) {
 			return res, attempt, err
 		}
@@ -526,13 +544,13 @@ func runBenchmarkResilient(b bench.Benchmark, opt Options) (*BenchResult, int, e
 		retries.Add(1)
 		if opt.Progress != nil {
 			fmt.Fprintf(opt.Progress, "[%s] attempt %d failed (%v); retrying in %v\n",
-				b.Name, attempt, err, delay)
+				c.Bench.Name, attempt, err, delay)
 		}
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
 			return nil, attempt, fmt.Errorf("%s: %w: retry canceled (%v)",
-				b.Name, vm.ErrCanceled, ctx.Err())
+				c.Bench.Name, vm.ErrCanceled, ctx.Err())
 		}
 	}
 }
@@ -557,7 +575,9 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 	// Resume: benchmarks already journaled by an interrupted run of the
 	// same configuration are reused verbatim instead of re-run.
 	skip := make([]bool, len(benches))
+	var appender *orderedAppender
 	if opt.Journal != nil {
+		appender = newOrderedAppender(opt.Journal, benches)
 		var resumed int64
 		for i, b := range benches {
 			raw, ok := opt.Journal.Lookup(b.Name)
@@ -571,6 +591,9 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 				continue
 			}
 			results[i], skip[i], resumed = &res, true, resumed+1
+			// Already durable: settle the cell so the appender's cursor
+			// can move past it without writing a duplicate record.
+			appender.settle(i, nil)
 			if opt.Progress != nil {
 				fmt.Fprintf(opt.Progress, "[%s] resumed from journal\n", b.Name)
 			}
@@ -594,24 +617,43 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 		case <-ctx.Done():
 			errs[i] = fmt.Errorf("%s: %w: suite canceled (%v)",
 				benches[i].Name, vm.ErrCanceled, ctx.Err())
+			if appender != nil {
+				appender.settle(i, nil)
+			}
 			continue
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], attempts[i], errs[i] = runBenchmarkResilient(benches[i], opt)
-			if errs[i] == nil && opt.Journal != nil {
-				// Checkpoint before the suite moves on; a benchmark whose
-				// result cannot be made durable counts as failed, because a
-				// resumed run could not reproduce this one.
-				if err := opt.Journal.AppendBench(benches[i].Name, results[i]); err != nil {
-					errs[i] = fmt.Errorf("%s: journal: %w", benches[i].Name, err)
+			results[i], attempts[i], errs[i] = runCellResilient(Cell{Index: i, Bench: benches[i]}, opt)
+			if appender != nil {
+				// Checkpoint through the ordered appender: records land in
+				// suite order whatever order cells finish in, so the
+				// journal's bytes are deterministic — the invariant the
+				// distributed fabric's byte-identity guarantee rests on.
+				// A completed cell may wait here for earlier ones; a crash
+				// in that window re-runs it, which resume tolerates.
+				if errs[i] == nil {
+					appender.settle(i, results[i])
+				} else {
+					appender.settle(i, nil)
 				}
 			}
 		}(i)
 	}
 	wg.Wait()
+	if appender != nil {
+		// A benchmark whose result could not be made durable counts as
+		// failed, because a resumed run could not reproduce this one.
+		for i := range benches {
+			if errs[i] == nil {
+				if err := appender.appendErr(i); err != nil {
+					errs[i] = fmt.Errorf("%s: journal: %w", benches[i].Name, err)
+				}
+			}
+		}
+	}
 	out := &SuiteResult{Models: opt.Models}
 	if opt.Metrics != nil {
 		out.Telemetry = opt.Metrics.Snapshot()

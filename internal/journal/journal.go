@@ -57,6 +57,13 @@ func (m Meta) fingerprint() []byte {
 	return b
 }
 
+// Fingerprint returns the canonical comparison form of the Meta — its
+// JSON with the informational fields cleared.  Two runs may exchange or
+// splice journal records only when their fingerprints are equal; the
+// distributed fabric uses it as the wire-protocol compatibility check
+// between coordinator and workers.
+func (m Meta) Fingerprint() string { return string(m.fingerprint()) }
+
 // Journal is a crash-safe, append-only record log for one suite run.
 // Every Append writes one checksummed line and fsyncs before returning,
 // so a record is either fully on disk or absent: a kill -9 can lose at
@@ -245,6 +252,36 @@ func (j *Journal) AppendBench(name string, result interface{}) error {
 	raw, err := json.Marshal(result)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
+	}
+	return j.AppendBenchRaw(name, raw)
+}
+
+// ErrResultConflict is returned by AppendBenchRaw when a benchmark is
+// recorded twice with different payloads — two sources claiming the same
+// cell computed different results, which exactly-once ingestion must
+// surface rather than silently overwrite.
+var ErrResultConflict = errors.New("journal: conflicting duplicate result for benchmark")
+
+// AppendBenchRaw durably records one completed benchmark result from its
+// already-marshaled JSON, byte for byte.  It is the ingestion point for
+// remote records: a coordinator appending a worker's marshaled result
+// verbatim produces a journal byte-identical to a local run's.  Append
+// is idempotent — re-recording a benchmark with the identical payload is
+// a no-op, so a retried remote completion cannot duplicate a record —
+// and a duplicate with a *different* payload fails with
+// ErrResultConflict.
+func (j *Journal) AppendBenchRaw(name string, raw json.RawMessage) error {
+	if !json.Valid(raw) {
+		return fmt.Errorf("journal: result payload for %q is not valid JSON", name)
+	}
+	j.mu.Lock()
+	prev, dup := j.benches[name]
+	j.mu.Unlock()
+	if dup {
+		if bytes.Equal(prev, raw) {
+			return nil
+		}
+		return fmt.Errorf("%w %q", ErrResultConflict, name)
 	}
 	payload, err := json.Marshal(benchPayload{Name: name, Result: raw})
 	if err != nil {

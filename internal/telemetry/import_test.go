@@ -1,0 +1,60 @@
+package telemetry
+
+import "testing"
+
+// TestImport folds one registry's snapshot into another — the
+// coordinator merging a fabric worker's per-cell telemetry — and checks
+// each metric kind's merge rule.
+func TestImport(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("bench.awk.retries").Add(3)
+	src.Gauge("bench.awk.ring.highwater").SetMax(7)
+	h := src.Histogram("bench.awk.lat", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+
+	dst := NewRegistry()
+	dst.Counter("bench.awk.retries").Add(1)
+	dst.Gauge("bench.awk.ring.highwater").SetMax(9)
+	dst.Histogram("bench.awk.lat", []int64{10, 100}).Observe(500)
+
+	dst.Import("", src.Snapshot())
+	s := dst.Snapshot()
+	if got := s.Counters["bench.awk.retries"]; got != 4 {
+		t.Errorf("counter merged to %d, want 4 (accumulate)", got)
+	}
+	if got := s.Gauges["bench.awk.ring.highwater"]; got != 9 {
+		t.Errorf("gauge merged to %d, want 9 (high-water)", got)
+	}
+	hs := s.Histograms["bench.awk.lat"]
+	if hs.Count != 3 || hs.Sum != 555 {
+		t.Errorf("histogram merged to count=%d sum=%d, want 3/555", hs.Count, hs.Sum)
+	}
+	if hs.Counts[0] != 1 || hs.Counts[1] != 1 || hs.Counts[2] != 1 {
+		t.Errorf("histogram buckets merged wrong: %v", hs.Counts)
+	}
+
+	// A prefix namespaces the import instead of merging it.
+	pre := NewRegistry()
+	pre.Import("fabric.worker.w1.", src.Snapshot())
+	if got := pre.Snapshot().Counters["fabric.worker.w1.bench.awk.retries"]; got != 3 {
+		t.Errorf("prefixed import = %d, want 3", got)
+	}
+
+	// Mismatched bounds are dropped and counted, not corrupted.
+	skew := NewRegistry()
+	skew.Histogram("bench.awk.lat", []int64{1, 2, 3})
+	skew.Import("", src.Snapshot())
+	ss := skew.Snapshot()
+	if got := ss.Counters["telemetry.import_dropped"]; got != 1 {
+		t.Errorf("import_dropped = %d, want 1", got)
+	}
+	if got := ss.Histograms["bench.awk.lat"].Count; got != 0 {
+		t.Errorf("mismatched histogram merged anyway: count=%d", got)
+	}
+
+	// Nil registry and nil snapshot are no-ops.
+	var nilReg *Registry
+	nilReg.Import("", src.Snapshot())
+	dst.Import("", nil)
+}
