@@ -1,7 +1,11 @@
 GO ?= go
 
 .PHONY: build test vet docs check generate generate-check race faultcheck soak \
-	soak-server soak-fabric bench bench-baseline benchdiff bench-smoke
+	soak-server soak-fabric soak-chaos bench bench-baseline benchdiff bench-smoke
+
+# Seeds for the chaos soak (comma-separated).  Pinned by default so CI
+# is reproducible; override to sweep: ILP_CHAOS_SEEDS=1,2,3 make soak-chaos
+ILP_CHAOS_SEEDS ?= 7,23
 
 # Benchmarks captured in BENCH_limits.json and gated by benchdiff: the
 # group-scheduling fan-out, the per-model analyzer hot loop, and the
@@ -38,7 +42,7 @@ generate-check: generate
 		{ echo "generated code is stale: run 'make generate' and commit"; exit 1; }
 
 # The default local gate: everything short of the long benchmarks.
-check: build generate-check docs test race soak soak-fabric
+check: build generate-check docs test race soak soak-fabric soak-chaos
 
 # Concurrency gate: the parallel trace fan-out (internal/limits) and the
 # suite-level job fan-out (internal/harness) must stay race-clean.
@@ -70,6 +74,18 @@ soak: faultcheck
 soak-fabric:
 	$(GO) test -race ./internal/fabric
 	$(GO) test -race -run TestCLIFabric .
+
+# Chaos soak: the crash-consistency layer under the race detector — the
+# injectable-fault filesystem and the journal's salvage sweeps — then
+# the seeded chaos CLI round-trips: every pinned seed's fault schedule
+# (VM traps, analyzer panics, slow consumers, journal write faults)
+# must converge to output byte-identical to a clean run, and a
+# SIGKILLed coordinator restarted with -resume must finish its
+# distributed run byte-identical to a local one.
+soak-chaos:
+	$(GO) test -race ./internal/iofault ./internal/journal ./internal/fabric
+	ILP_CHAOS_SEEDS=$(ILP_CHAOS_SEEDS) \
+		$(GO) test -race -run 'TestCLIChaosSoak|TestCLICoordinatorKillResume' .
 
 # Service soak: the daemon under the race detector (admission, quotas,
 # single-flight cache, drain), then the live overload round-trip — a

@@ -19,6 +19,7 @@
 //	ilplimit -retries 2              # re-run transiently-failed benchmarks
 //	ilplimit -watchdog 30s           # detach analyzers making no chunk progress
 //	ilplimit -coordinator :7070      # distribute the suite across ilplimitw workers
+//	ilplimit -chaos 7 -resume state/ # seeded fault injection: pipeline + disk faults
 //	ilplimit -v                      # progress on stderr
 //
 // When some benchmarks fail and others succeed, the surviving results are
@@ -41,6 +42,23 @@
 // when -resume is also given — is byte-identical to a single-process
 // run of the same configuration (telemetry timings excepted).  See
 // DESIGN.md §13.
+//
+// With -resume, the coordinator additionally persists every lease grant
+// and admitted completion to a recovery journal (coordinator.ilpj) in
+// the resume directory, so a coordinator killed mid-run — even kill -9
+// — and restarted with the same -coordinator -resume flags reconstructs
+// its queue and lease table and finishes the run byte-identical to an
+// uninterrupted one.  Workers retry through the outage with jittered
+// backoff (see ilplimitw -rejoin) instead of failing their cells.
+//
+// -chaos arms a seeded fault schedule for resilience soaks: each
+// benchmark may get a deterministic VM trap, analyzer panic, or slow
+// consumer, and the -resume journal's filesystem injects a small budget
+// of write faults (EIO, ENOSPC, short writes).  All scheduled faults
+// are transient: the run converges to byte-identical output through the
+// retry and salvage machinery it is exercising.  Implies -retries 2
+// when -retries is unset; the schedule and a fired-fault summary go to
+// stderr.  See DESIGN.md §14 and `make soak-chaos`.
 package main
 
 import (
@@ -61,8 +79,10 @@ import (
 
 	"ilplimit/internal/bench"
 	"ilplimit/internal/fabric"
+	"ilplimit/internal/faultinject"
 	"ilplimit/internal/harness"
 	"ilplimit/internal/httpserve"
+	"ilplimit/internal/iofault"
 	"ilplimit/internal/journal"
 	"ilplimit/internal/limits"
 	"ilplimit/internal/telemetry"
@@ -79,27 +99,40 @@ var jnl *journal.Journal
 // os.Exit, which skips defers — every exit path calls it explicitly.
 var shutdownFabric = func() {}
 
+// chaos is the -chaos fault schedule, package-level so every exit path
+// (including fail) can report which faults actually fired.
+var chaos *faultinject.Chaos
+
+// reportChaos prints the fired-fault summary on stderr once per run.
+func reportChaos() {
+	if chaos != nil {
+		fmt.Fprint(os.Stderr, "ilplimit: "+chaos.FiredSummary())
+		chaos = nil
+	}
+}
+
 func main() {
 	var (
-		table    = flag.Int("table", 0, "print only this table (1-4)")
-		figure   = flag.Int("figure", 0, "print only this figure (4-7)")
-		study    = flag.String("study", "", "run an ablation study: prediction, window, latency, guarded, quality, width, or scale")
-		name     = flag.String("bench", "", "run only this benchmark (name or unique prefix)")
-		scale    = flag.Int("scale", 1, "workload scale factor (>= 1)")
-		optimize = flag.Bool("opt", false, "run the post-codegen optimizer before analysis")
-		serial   = flag.Bool("serial", false, "step all analyzers in one goroutine instead of the parallel chunked replay")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
-		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 30s; 0 = no limit)")
-		metrics  = flag.Bool("metrics", false, "print a pipeline telemetry report (stage timings, VM throughput, ring stats) after the run")
-		debug    = flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. 127.0.0.1:6060) for the lifetime of the run")
-		resume   = flag.String("resume", "", "journal completed benchmarks in this directory and skip ones already journaled by an interrupted run")
-		retries  = flag.Int("retries", 0, "re-run a transiently-failed benchmark up to this many extra times")
-		watchdog = flag.Duration("watchdog", 0, "detach an analyzer making no chunk progress for this long and fail its benchmark (0 = off)")
-		coord    = flag.String("coordinator", "", "serve the suite's cells to ilplimitw workers on this address (e.g. :7070) instead of analyzing in-process")
-		lease    = flag.Duration("fabric-lease", 10*time.Second, "requeue a distributed cell whose worker misses heartbeats for this long (with -coordinator)")
-		drain    = flag.Duration("fabric-drain", 2*time.Second, "after a distributed run, keep answering workers for this long so they exit cleanly (with -coordinator)")
-		verbose  = flag.Bool("v", false, "log pipeline progress to stderr")
-		version  = flag.Bool("version", false, "print build provenance and exit")
+		table     = flag.Int("table", 0, "print only this table (1-4)")
+		figure    = flag.Int("figure", 0, "print only this figure (4-7)")
+		study     = flag.String("study", "", "run an ablation study: prediction, window, latency, guarded, quality, width, or scale")
+		name      = flag.String("bench", "", "run only this benchmark (name or unique prefix)")
+		scale     = flag.Int("scale", 1, "workload scale factor (>= 1)")
+		optimize  = flag.Bool("opt", false, "run the post-codegen optimizer before analysis")
+		serial    = flag.Bool("serial", false, "step all analyzers in one goroutine instead of the parallel chunked replay")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 30s; 0 = no limit)")
+		metrics   = flag.Bool("metrics", false, "print a pipeline telemetry report (stage timings, VM throughput, ring stats) after the run")
+		debug     = flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address (e.g. 127.0.0.1:6060) for the lifetime of the run")
+		resume    = flag.String("resume", "", "journal completed benchmarks in this directory and skip ones already journaled by an interrupted run")
+		retries   = flag.Int("retries", 0, "re-run a transiently-failed benchmark up to this many extra times")
+		watchdog  = flag.Duration("watchdog", 0, "detach an analyzer making no chunk progress for this long and fail its benchmark (0 = off)")
+		chaosSeed = flag.Int64("chaos", 0, "arm a seeded chaos schedule: deterministic pipeline faults per benchmark plus journal I/O faults with -resume (0 = off; implies -retries 2 when -retries is unset)")
+		coord     = flag.String("coordinator", "", "serve the suite's cells to ilplimitw workers on this address (e.g. :7070) instead of analyzing in-process")
+		lease     = flag.Duration("fabric-lease", 10*time.Second, "requeue a distributed cell whose worker misses heartbeats for this long (with -coordinator)")
+		drain     = flag.Duration("fabric-drain", 2*time.Second, "after a distributed run, keep answering workers for this long so they exit cleanly (with -coordinator)")
+		verbose   = flag.Bool("v", false, "log pipeline progress to stderr")
+		version   = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Parse()
 
@@ -133,11 +166,43 @@ func main() {
 			opt.Benchmarks = append(opt.Benchmarks, b)
 		}
 	}
+	if *chaosSeed != 0 {
+		if *study != "" {
+			fail(fmt.Errorf("-chaos cannot be combined with -study: the chaos schedule is bound to one suite configuration"))
+		}
+		if *coord != "" {
+			fail(fmt.Errorf("-chaos cannot be combined with -coordinator: chaos faults inject into the in-process pipeline"))
+		}
+		benches := opt.Benchmarks
+		if len(benches) == 0 {
+			benches = bench.All()
+		}
+		names := make([]string, len(benches))
+		for i, b := range benches {
+			names[i] = b.Name
+		}
+		chaos = faultinject.NewChaos(*chaosSeed, names)
+		opt.Faults = chaos.BenchPlan
+		if opt.Retries == 0 {
+			// A chaos run schedules transient faults; without a retry
+			// budget every armed benchmark would simply fail.
+			opt.Retries = 2
+		}
+		if progress != nil {
+			fmt.Fprint(progress, chaos.String())
+		}
+	}
 	if *resume != "" {
 		if *study != "" {
 			fail(fmt.Errorf("-resume cannot be combined with -study: study passes vary the configuration the journal is bound to"))
 		}
-		j, err := journal.Open(*resume, opt.JournalMeta(telemetry.GitRevision()))
+		// A chaos run's journal lives on a fault-injecting filesystem —
+		// the same schedule every time for the same seed.
+		fsys := iofault.OS()
+		if chaos != nil {
+			fsys = iofault.Wrap(fsys, chaos.IOPlan())
+		}
+		j, err := journal.OpenFS(fsys, *resume, opt.JournalMeta(telemetry.GitRevision()))
 		if err != nil {
 			fail(err)
 		}
@@ -188,9 +253,21 @@ func main() {
 		if *study != "" {
 			fail(fmt.Errorf("-coordinator cannot be combined with -study: study passes vary the configuration workers are fingerprinted against"))
 		}
+		// With -resume, grants and completions also persist to a recovery
+		// journal beside the run journal, so a SIGKILLed coordinator
+		// restarted with the same flags resumes the distributed run.
+		var recovery *journal.Journal
+		if *resume != "" {
+			rj, err := journal.OpenNamed(iofault.OS(), *resume, "coordinator.ilpj", opt.JournalMeta(telemetry.GitRevision()))
+			if err != nil {
+				fail(fmt.Errorf("coordinator recovery journal: %w", err))
+			}
+			recovery = rj
+		}
 		c := fabric.NewCoordinator(opt.JournalMeta(telemetry.GitRevision()), fabric.CoordinatorOptions{
 			LeaseTTL: *lease, Watchdog: opt.Watchdog,
 			Metrics: opt.Metrics, Progress: progress,
+			Recovery: recovery,
 		})
 		ln, err := net.Listen("tcp", *coord)
 		if err != nil {
@@ -210,6 +287,9 @@ func main() {
 				c.WaitDrained(drainFor)
 				_ = fsrv.Shutdown(time.Second)
 				c.Close()
+				if recovery != nil {
+					_ = recovery.Close()
+				}
 			})
 		}
 		defer shutdownFabric()
@@ -320,6 +400,7 @@ func main() {
 			_ = jnl.AppendNote("run degraded: " + degraded.Error())
 			_ = jnl.Close()
 		}
+		reportChaos()
 		shutdownFabric()
 		os.Exit(1)
 	}
@@ -328,6 +409,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ilplimit: journal:", err)
 		}
 	}
+	reportChaos()
 }
 
 // fail reports a fatal error on stderr and exits non-zero.  When a run
@@ -339,6 +421,7 @@ func fail(err error) {
 		_ = jnl.AppendNote("run failed: " + err.Error())
 		_ = jnl.Close()
 	}
+	reportChaos()
 	shutdownFabric()
 	os.Exit(1)
 }

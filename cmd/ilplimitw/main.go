@@ -11,6 +11,7 @@
 //	ilplimitw -coordinator http://127.0.0.1:7070       # join a run
 //	ilplimitw -coordinator :7070 -id w1 -slots 2       # named, two cells at once
 //	ilplimitw -coordinator :7070 -serial               # single-goroutine analysis
+//	ilplimitw -coordinator :7070 -rejoin 2m            # outlive a coordinator restart
 //	ilplimitw -coordinator :7070 -v                    # progress on stderr
 //
 // A worker whose binary or defaults drifted from the coordinator's
@@ -43,6 +44,7 @@ func main() {
 		poll    = flag.Duration("poll", 150*time.Millisecond, "idle re-lease interval while no cell is available")
 		serial  = flag.Bool("serial", false, "step all analyzers in one goroutine instead of the parallel chunked replay")
 		timeout = flag.Duration("timeout", 0, "give up after this duration (0 = run until the coordinator says done)")
+		rejoin  = flag.Duration("rejoin", time.Minute, "tolerate a coordinator outage (crash, restart) for this long, retrying with jittered backoff, before giving up")
 		fault   = flag.String("fault", "", "fabric fault plan, e.g. kill-after-leases=1,drop-completes=1 (testing only)")
 		verbose = flag.Bool("v", false, "log worker progress to stderr")
 		version = flag.Bool("version", false, "print build provenance and exit")
@@ -79,13 +81,14 @@ func main() {
 		defer cancel()
 	}
 	w := &fabric.Worker{
-		Base:     base,
-		ID:       *id,
-		Slots:    *slots,
-		Poll:     *poll,
-		Serial:   *serial,
-		Progress: progress,
-		Plan:     plan,
+		Base:       base,
+		ID:         *id,
+		Slots:      *slots,
+		Poll:       *poll,
+		Serial:     *serial,
+		Progress:   progress,
+		Plan:       plan,
+		RejoinWait: *rejoin,
 	}
 	if err := w.Run(ctx); err != nil {
 		fail(err)

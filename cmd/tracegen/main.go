@@ -18,6 +18,7 @@ import (
 
 	"ilplimit/internal/asm"
 	"ilplimit/internal/bench"
+	"ilplimit/internal/iofault"
 	"ilplimit/internal/isa"
 	"ilplimit/internal/minic"
 	"ilplimit/internal/trace"
@@ -72,25 +73,9 @@ func main() {
 	machine := vm.New(prog)
 	machine.StepLimit = 1 << 34
 
-	var w *trace.Writer
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		if w, err = trace.NewWriter(f); err != nil {
-			fail(err)
-		}
-	}
 	counts := make(map[isa.Op]int64)
 	dumped := 0
-	err = machine.Run(func(ev vm.Event) {
-		if w != nil {
-			if err := w.Write(ev); err != nil {
-				fail(err)
-			}
-		}
+	observe := func(ev vm.Event) {
 		if *summary {
 			counts[prog.Instrs[ev.Idx].Op]++
 		}
@@ -98,20 +83,37 @@ func main() {
 			printEvent(prog, ev)
 			dumped++
 		}
-	})
-	if err != nil {
-		fail(err)
 	}
-	if w != nil {
-		if err := w.Close(); err != nil {
+	wrote := false
+	if *out != "" {
+		// WriteFile stages into *.tmp, fsyncs, renames, and fsyncs the
+		// directory, so a crash mid-record never leaves a torn trace
+		// under the output name.
+		n, err := trace.WriteFile(iofault.OS(), *out, func(w *trace.Writer) error {
+			var werr error
+			rerr := machine.Run(func(ev vm.Event) {
+				if werr == nil {
+					werr = w.Write(ev)
+				}
+				observe(ev)
+			})
+			if werr != nil {
+				return werr
+			}
+			return rerr
+		})
+		if err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "tracegen: wrote %d events to %s\n", w.Count(), *out)
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d events to %s\n", n, *out)
+		wrote = true
+	} else if err := machine.Run(observe); err != nil {
+		fail(err)
 	}
 	if *summary {
 		printSummary(counts, machine.Steps)
 	}
-	if !*summary && *dump == 0 && w == nil {
+	if !*summary && *dump == 0 && !wrote {
 		fmt.Printf("traced %d instructions (%d static)\n", machine.Steps, len(prog.Instrs))
 	}
 }
@@ -131,13 +133,8 @@ func dumpFile(path, symSrc string, n int) error {
 			return err
 		}
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	dumped := 0
-	total, err := trace.Visit(f, func(ev vm.Event) {
+	total, err := trace.VisitFile(iofault.OS(), path, func(ev vm.Event) {
 		if dumped < n || n == 0 {
 			printEvent(prog, ev)
 			dumped++

@@ -1,0 +1,52 @@
+package fabric
+
+import (
+	"math/rand"
+	"time"
+)
+
+// expBackoff is the capped, jittered exponential backoff every worker
+// retry loop shares: join, lease polling while the coordinator is
+// down, heartbeats, and completion uploads.  Each next() doubles the
+// base delay up to max and returns a duration drawn uniformly from the
+// upper half of that window, so a fleet of workers hammered off a
+// restarting coordinator does not reconnect in lockstep.
+type expBackoff struct {
+	base time.Duration
+	max  time.Duration
+	cur  time.Duration
+}
+
+// newBackoff returns a backoff starting at base and capped at max.
+func newBackoff(base, max time.Duration) *expBackoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &expBackoff{base: base, max: max}
+}
+
+// next returns the delay to sleep before the following attempt and
+// advances the schedule.
+func (b *expBackoff) next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.base
+	} else {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	// Jitter within [cur/2, cur): enough spread to break lockstep,
+	// never more than the schedule promises.
+	half := b.cur / 2
+	if half <= 0 {
+		return b.cur
+	}
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// reset rewinds the schedule to the base delay after a success.
+func (b *expBackoff) reset() { b.cur = 0 }

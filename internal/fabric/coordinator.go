@@ -67,6 +67,15 @@ type CoordinatorOptions struct {
 	// Progress, when non-nil, receives one line per fabric event
 	// (lease, completion, requeue); writes are serialized internally.
 	Progress io.Writer
+	// Recovery, when non-nil, is the coordinator's crash-recovery
+	// journal (a journal.OpenNamed file beside the run journal, never
+	// the run journal itself).  Every lease grant and admitted
+	// completion is persisted to it before being revealed, and a
+	// coordinator built over a journal with salvaged records
+	// reconstructs the lease table and completed-cell outcomes, so a
+	// SIGKILLed coordinator restarted with the same journal resumes the
+	// distributed run instead of losing it.  The caller closes it.
+	Recovery *journal.Journal
 }
 
 // cellOutcome is one terminal attempt outcome delivered to RunCell.
@@ -116,6 +125,7 @@ type Coordinator struct {
 	leases    map[string]*lease
 	workers   map[string]*workerState
 	attempts  map[int]int
+	rec       *recovered // state salvaged from a prior incarnation
 	nextLease int64
 	finished  bool
 
@@ -132,7 +142,7 @@ func NewCoordinator(meta journal.Meta, o CoordinatorOptions) *Coordinator {
 	if o.LeaseTTL <= 0 {
 		o.LeaseTTL = 10 * time.Second
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		o: o,
 		cfg: ConfigReply{
 			ProtoVersion:   ProtoVersion,
@@ -148,6 +158,19 @@ func NewCoordinator(meta journal.Meta, o CoordinatorOptions) *Coordinator {
 		attempts:  make(map[int]int),
 		stopWatch: make(chan struct{}),
 	}
+	if o.Recovery != nil {
+		c.rec = replayRecovery(o.Recovery)
+		c.nextLease = c.rec.nextLease
+		if n := len(c.rec.leases); n > 0 {
+			c.o.Metrics.Counter("fabric.recovered_leases").Add(int64(n))
+			c.logf("recovered %d outstanding lease(s) from a previous coordinator", n)
+		}
+		if n := len(c.rec.outcomes); n > 0 {
+			c.o.Metrics.Counter("fabric.recovered_cells").Add(int64(n))
+			c.logf("recovered %d completed cell(s) from a previous coordinator", n)
+		}
+	}
+	return c
 }
 
 // logf serializes progress lines; no-op without a Progress writer.
@@ -271,11 +294,39 @@ func (c *Coordinator) RunCell(ctx context.Context, cell harness.Cell, _ harness.
 	}
 }
 
-// enqueue registers a fresh attempt for the cell and makes it stealable.
+// enqueue registers a fresh attempt for the cell and makes it
+// stealable.  Recovered state is consumed here: a completion admitted
+// by a previous coordinator incarnation is delivered immediately
+// (consume-once, so a journaled failure still earns a live retry), and
+// an outstanding recovered lease re-installs into the lease table with
+// a fresh TTL instead of re-queueing — its worker is presumed still
+// computing and will complete under the old lease ID.
 func (c *Coordinator) enqueue(cell harness.Cell) chan cellOutcome {
 	ch := make(chan cellOutcome, 1)
 	c.mu.Lock()
 	c.attempts[cell.Index]++
+	if c.rec != nil {
+		if outs := c.rec.outcomes[cell.Index]; len(outs) > 0 {
+			cr := outs[0]
+			c.rec.outcomes[cell.Index] = outs[1:]
+			c.mu.Unlock()
+			c.o.Metrics.Counter("fabric.cells_replayed").Inc()
+			c.logf("cell %d (%s) outcome replayed from recovery journal", cell.Index, cell.Bench.Name)
+			ch <- cr.outcome()
+			return ch
+		}
+		if lr, ok := c.rec.leases[cell.Index]; ok && lr.Bench == cell.Bench.Name {
+			delete(c.rec.leases, cell.Index)
+			delete(c.rec.leaseIDs, lr.ID)
+			cs := &cellState{cell: cell, attempt: c.attempts[cell.Index], leaseID: lr.ID, ch: ch}
+			c.cells[cell.Index] = cs
+			c.leases[lr.ID] = &lease{id: lr.ID, index: cell.Index, worker: lr.Worker, deadline: time.Now().Add(c.o.LeaseTTL)}
+			c.mu.Unlock()
+			c.o.Metrics.Counter("fabric.leases_reattached").Inc()
+			c.logf("cell %d (%s) re-attached to recovered lease %s on worker %s", cell.Index, cell.Bench.Name, lr.ID, lr.Worker)
+			return ch
+		}
+	}
 	c.cells[cell.Index] = &cellState{cell: cell, attempt: c.attempts[cell.Index], ch: ch}
 	c.queue = append(c.queue, cell.Index)
 	c.mu.Unlock()
@@ -377,6 +428,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 	if out.Status == LeaseCell {
+		// Persist the grant before revealing it, so a coordinator that
+		// dies right after replying still knows who holds the cell.
+		c.persist(RecordLease, leaseRecord{ID: out.LeaseID, Index: out.Index, Bench: out.Bench, Worker: req.WorkerID})
 		c.o.Metrics.Counter("fabric.leases").Inc()
 		c.o.Metrics.Counter("fabric.worker." + req.WorkerID + ".leases").Inc()
 		c.logf("cell %d (%s) leased to worker %s as %s (attempt %d)", out.Index, out.Bench, req.WorkerID, out.LeaseID, out.Attempt)
@@ -396,12 +450,25 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var (
 		cs    *cellState
 		stale bool
+		early bool
 	)
 	c.mu.Lock()
 	ws := c.touch(req.WorkerID)
 	l, ok := c.leases[req.LeaseID]
 	if !ok || l.index != req.Index {
-		stale = true
+		// Not in the live lease table — but after a coordinator restart
+		// a worker can finish its cell before RunSuite re-enqueues it.
+		// A completion naming a recovered lease is admitted early: it
+		// is journaled and stashed for the enqueue to consume.
+		if c.rec != nil {
+			if lr, lok := c.rec.leases[req.Index]; lok && lr.ID == req.LeaseID && lr.Bench == req.Bench {
+				delete(c.rec.leases, req.Index)
+				delete(c.rec.leaseIDs, lr.ID)
+				early = true
+				ws.cells++
+			}
+		}
+		stale = !early
 	} else {
 		cs = c.cells[l.index]
 		if cs == nil || cs.leaseID != req.LeaseID || cs.cell.Bench.Name != req.Bench {
@@ -421,6 +488,28 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		c.o.Metrics.Counter("fabric.stale_completions").Inc()
 		c.logf("stale completion for cell %d (%s) from worker %s dropped", req.Index, req.Bench, req.WorkerID)
 		reply(w, CompleteReply{Stale: true})
+		return
+	}
+
+	// Persist the admitted completion before delivering or replying, so
+	// a coordinator killed immediately after still replays it.
+	c.persist(RecordCell, cellRecord{
+		Index: req.Index, Bench: req.Bench, LeaseID: req.LeaseID, Worker: req.WorkerID,
+		Result: req.Result, Error: req.Error, Retryable: req.Retryable,
+	})
+
+	if early {
+		c.mu.Lock()
+		c.rec.outcomes[req.Index] = append(c.rec.outcomes[req.Index], cellRecord{
+			Index: req.Index, Bench: req.Bench, LeaseID: req.LeaseID, Worker: req.WorkerID,
+			Result: req.Result, Error: req.Error, Retryable: req.Retryable,
+		})
+		c.mu.Unlock()
+		c.o.Metrics.Counter("fabric.cells_done").Inc()
+		c.o.Metrics.Counter("fabric.worker." + req.WorkerID + ".cells_done").Inc()
+		c.o.Metrics.Import("", req.Telemetry)
+		c.logf("cell %d (%s) completed early by worker %s (pre-enqueue admission)", req.Index, req.Bench, req.WorkerID)
+		reply(w, CompleteReply{Accepted: true})
 		return
 	}
 
@@ -460,9 +549,16 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	for _, id := range req.LeaseIDs {
 		if l, ok := c.leases[id]; ok && l.worker == req.WorkerID {
 			l.deadline = now.Add(c.o.LeaseTTL)
-		} else {
-			out.Revoked = append(out.Revoked, id)
+			continue
 		}
+		if c.rec != nil {
+			if idx, ok := c.rec.leaseIDs[id]; ok && c.rec.leases[idx].Worker == req.WorkerID {
+				// A recovered lease not yet re-enqueued by RunSuite:
+				// the worker is alive and computing — don't revoke.
+				continue
+			}
+		}
+		out.Revoked = append(out.Revoked, id)
 	}
 	out.Done = c.finished
 	if out.Done {

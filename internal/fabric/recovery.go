@@ -1,0 +1,161 @@
+package fabric
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+
+	"ilplimit/internal/harness"
+	"ilplimit/internal/journal"
+)
+
+// Record kinds the coordinator persists to its recovery journal (a
+// journal.OpenNamed file beside the run journal — never the run
+// journal itself, which must stay byte-identical to a local run's).
+const (
+	// RecordLease is appended after every lease grant, before the grant
+	// is revealed to the worker.
+	RecordLease = "lease"
+	// RecordCell is appended after every admitted completion, before
+	// the outcome is delivered to the harness.
+	RecordCell = "cell"
+)
+
+// leaseRecord is the JSON payload of a RecordLease entry.
+type leaseRecord struct {
+	// ID is the lease identifier revealed to the worker.
+	ID string `json:"id"`
+	// Index is the granted cell's suite index.
+	Index int `json:"index"`
+	// Bench is the granted cell's benchmark name.
+	Bench string `json:"bench"`
+	// Worker is the worker the cell was leased to.
+	Worker string `json:"worker"`
+}
+
+// cellRecord is the JSON payload of a RecordCell entry: one admitted
+// completion, successful or failed.
+type cellRecord struct {
+	// Index and Bench identify the completed cell.
+	Index int    `json:"index"`
+	Bench string `json:"bench"`
+	// LeaseID is the grant this completion was admitted under, so a
+	// replay consumes exactly the matching lease record and no other.
+	LeaseID string `json:"lease_id"`
+	// Worker reported the completion.
+	Worker string `json:"worker"`
+	// Result is the worker's marshaled BenchResult, verbatim (empty on
+	// failure).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error and Retryable mirror the worker's failure report.
+	Error     string `json:"error,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// recovered is the coordinator state reconstructed from a prior
+// incarnation's recovery journal.
+type recovered struct {
+	// leases holds the last grant per cell index that has no admitted
+	// completion yet — its worker may still be computing and will
+	// heartbeat or complete under the old lease ID.
+	leases map[int]leaseRecord
+	// leaseIDs indexes leases by lease ID, for heartbeat and early
+	// completion matching.
+	leaseIDs map[string]int
+	// outcomes holds admitted completions not yet consumed by an
+	// enqueue, FIFO per cell index (a cell can complete more than once
+	// across harness retries when the first attempt failed).
+	outcomes map[int][]cellRecord
+	// nextLease is the highest lease ordinal ever granted, so new
+	// grants never reuse an old ID.
+	nextLease int64
+}
+
+// replayRecovery rebuilds coordinator state from the salvaged records
+// of a recovery journal.  Lease and cell records are folded in journal
+// order: a completion consumes its cell's outstanding lease.  Records
+// that are CRC-valid but semantically unparseable are skipped — a
+// recovery journal is a safety net, and a best-effort replay still
+// beats discarding the run.
+func replayRecovery(j *journal.Journal) *recovered {
+	rec := &recovered{
+		leases:   make(map[int]leaseRecord),
+		leaseIDs: make(map[string]int),
+		outcomes: make(map[int][]cellRecord),
+	}
+	// Records() returns per-kind slices in journal order.  The two
+	// kinds need no global interleaving: grants for one index are
+	// strictly ordered (last wins), and a completion names the exact
+	// lease it was admitted under, so it consumes that lease and no
+	// other — a newer grant for the same cell survives the fold.
+	for _, raw := range j.Records(RecordLease) {
+		var lr leaseRecord
+		if err := json.Unmarshal(raw, &lr); err != nil || lr.ID == "" {
+			continue
+		}
+		if old, ok := rec.leases[lr.Index]; ok {
+			delete(rec.leaseIDs, old.ID)
+		}
+		rec.leases[lr.Index] = lr
+		rec.leaseIDs[lr.ID] = lr.Index
+		if n := leaseOrdinal(lr.ID); n > rec.nextLease {
+			rec.nextLease = n
+		}
+	}
+	for _, raw := range j.Records(RecordCell) {
+		var cr cellRecord
+		if err := json.Unmarshal(raw, &cr); err != nil || cr.Bench == "" {
+			continue
+		}
+		rec.outcomes[cr.Index] = append(rec.outcomes[cr.Index], cr)
+		if old, ok := rec.leases[cr.Index]; ok && old.ID == cr.LeaseID {
+			delete(rec.leaseIDs, old.ID)
+			delete(rec.leases, cr.Index)
+		}
+	}
+	return rec
+}
+
+// leaseOrdinal extracts N from a "lease-N" identifier (0 if malformed).
+func leaseOrdinal(id string) int64 {
+	rest, ok := strings.CutPrefix(id, "lease-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// outcome converts a persisted completion back into the cellOutcome the
+// live admission path would have delivered.
+func (cr cellRecord) outcome() cellOutcome {
+	if cr.Error != "" {
+		return cellOutcome{err: &RemoteError{Bench: cr.Bench, Worker: cr.Worker, Msg: cr.Error, Transient: cr.Retryable}}
+	}
+	res := new(harness.BenchResult)
+	if err := json.Unmarshal(cr.Result, res); err != nil {
+		return cellOutcome{err: &RemoteError{Bench: cr.Bench, Worker: cr.Worker, Msg: "undecodable journaled result: " + err.Error(), Transient: true}}
+	}
+	return cellOutcome{res: res}
+}
+
+// persist appends one record to the recovery journal, if any.  Failures
+// are logged, not fatal: recovery is an additional safety net and must
+// not take down a healthy run (the sticky-broken journal keeps a torn
+// file salvageable regardless).
+func (c *Coordinator) persist(kind string, payload interface{}) {
+	if c.o.Recovery == nil {
+		return
+	}
+	raw, err := json.Marshal(payload)
+	if err == nil {
+		err = c.o.Recovery.AppendRecord(kind, raw)
+	}
+	if err != nil {
+		c.o.Metrics.Counter("fabric.recovery_persist_errors").Inc()
+		c.logf("recovery journal append (%s) failed: %v", kind, err)
+	}
+}

@@ -1,0 +1,155 @@
+package fabric
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ilplimit/internal/harness"
+	"ilplimit/internal/iofault"
+	"ilplimit/internal/journal"
+)
+
+// recoveryJournal opens a coordinator recovery journal in dir and
+// registers its close.  Records() surfaces only records salvaged at
+// open time — exactly what a restarted coordinator sees — so tests
+// append to one handle and replay over a reopened one.
+func recoveryJournal(t *testing.T, dir string) *journal.Journal {
+	t.Helper()
+	j, err := journal.OpenNamed(iofault.OS(), dir, "coordinator.ilpj", harness.Options{}.JournalMeta(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = j.Close() })
+	return j
+}
+
+// reopen closes j and opens the same recovery journal again, as the
+// next coordinator incarnation would.
+func reopen(t *testing.T, j *journal.Journal, dir string) *journal.Journal {
+	t.Helper()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recoveryJournal(t, dir)
+}
+
+func appendRec(t *testing.T, j *journal.Journal, kind string, v interface{}) {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendRecord(kind, raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayRecoveryFold drives the two-pass fold with a re-granted
+// lease: a completion names the lease it was admitted under, so it must
+// consume exactly that grant and leave a newer grant for the same cell
+// outstanding.
+func TestReplayRecoveryFold(t *testing.T) {
+	dir := t.TempDir()
+	j := recoveryJournal(t, dir)
+	appendRec(t, j, RecordLease, leaseRecord{ID: "lease-1", Index: 0, Bench: "awk", Worker: "w0"})
+	appendRec(t, j, RecordLease, leaseRecord{ID: "lease-2", Index: 1, Bench: "eqntott", Worker: "w0"})
+	// Cell 0 requeued and re-granted: last grant wins the lease table.
+	appendRec(t, j, RecordLease, leaseRecord{ID: "lease-3", Index: 0, Bench: "awk", Worker: "w1"})
+	// The original attempt's completion consumes lease-1 only; lease-3
+	// must survive the fold even though the records are not interleaved.
+	appendRec(t, j, RecordCell, cellRecord{Index: 0, Bench: "awk", LeaseID: "lease-1", Worker: "w0", Error: "boom", Retryable: true})
+	appendRec(t, j, RecordCell, cellRecord{Index: 1, Bench: "eqntott", LeaseID: "lease-2", Worker: "w0", Result: json.RawMessage(`{"name":"eqntott"}`)})
+
+	rec := replayRecovery(reopen(t, j, dir))
+	if rec.nextLease != 3 {
+		t.Errorf("nextLease = %d, want 3", rec.nextLease)
+	}
+	if len(rec.leases) != 1 || rec.leases[0].ID != "lease-3" || rec.leases[0].Worker != "w1" {
+		t.Errorf("surviving leases = %+v, want only lease-3 on cell 0", rec.leases)
+	}
+	if idx, ok := rec.leaseIDs["lease-3"]; !ok || idx != 0 {
+		t.Errorf("leaseIDs = %+v, want lease-3 -> 0", rec.leaseIDs)
+	}
+	if _, ok := rec.leaseIDs["lease-1"]; ok {
+		t.Error("consumed lease-1 still indexed")
+	}
+	if len(rec.outcomes[0]) != 1 || len(rec.outcomes[1]) != 1 {
+		t.Fatalf("outcomes = %+v, want one per cell", rec.outcomes)
+	}
+
+	// Outcome conversion round-trips the admission-path semantics.
+	if out := rec.outcomes[0][0].outcome(); out.err == nil || !harness.Retryable(out.err) {
+		t.Errorf("journaled transient failure replayed as %v", out.err)
+	}
+	if out := rec.outcomes[1][0].outcome(); out.err != nil || out.res == nil || out.res.Name != "eqntott" {
+		t.Errorf("journaled result replayed as (%+v, %v)", out.res, out.err)
+	}
+}
+
+// TestReplayRecoverySkipsUnparseable checks the best-effort contract: a
+// CRC-valid but semantically broken record is skipped, not fatal.
+func TestReplayRecoverySkipsUnparseable(t *testing.T) {
+	dir := t.TempDir()
+	j := recoveryJournal(t, dir)
+	if err := j.AppendRecord(RecordLease, []byte(`{"id":123}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendRecord(RecordCell, []byte(`not json`)); err != nil {
+		t.Fatal(err)
+	}
+	appendRec(t, j, RecordLease, leaseRecord{ID: "lease-7", Index: 2, Bench: "awk", Worker: "w0"})
+	rec := replayRecovery(reopen(t, j, dir))
+	if len(rec.leases) != 1 || rec.leases[2].ID != "lease-7" || rec.nextLease != 7 {
+		t.Errorf("replay over junk records = %+v nextLease=%d", rec.leases, rec.nextLease)
+	}
+	if len(rec.outcomes) != 0 {
+		t.Errorf("junk cell record produced outcomes: %+v", rec.outcomes)
+	}
+}
+
+// TestUndecodableJournaledResult checks a corrupted persisted result
+// replays as a transient failure (the cell re-runs) rather than
+// poisoning the suite.
+func TestUndecodableJournaledResult(t *testing.T) {
+	cr := cellRecord{Index: 0, Bench: "awk", Worker: "w0", Result: json.RawMessage(`{"name":`)}
+	out := cr.outcome()
+	if out.err == nil || !harness.Retryable(out.err) {
+		t.Errorf("undecodable journaled result = (%+v, %v), want transient failure", out.res, out.err)
+	}
+}
+
+func TestLeaseOrdinal(t *testing.T) {
+	for _, tc := range []struct {
+		id   string
+		want int64
+	}{
+		{"lease-12", 12}, {"lease-1", 1}, {"lease-x", 0}, {"bogus", 0}, {"", 0},
+	} {
+		if got := leaseOrdinal(tc.id); got != tc.want {
+			t.Errorf("leaseOrdinal(%q) = %d, want %d", tc.id, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffSchedule checks the shared worker backoff doubles to its
+// cap, jitters within the promised window, and rewinds on reset.
+func TestBackoffSchedule(t *testing.T) {
+	bo := newBackoff(100*time.Millisecond, 400*time.Millisecond)
+	expect := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond}
+	for i, cur := range expect {
+		d := bo.next()
+		if d < cur/2 || d >= cur {
+			t.Errorf("next()[%d] = %v, want in [%v, %v)", i, d, cur/2, cur)
+		}
+	}
+	bo.reset()
+	if d := bo.next(); d < 50*time.Millisecond || d >= 100*time.Millisecond {
+		t.Errorf("next() after reset = %v, want in [50ms, 100ms)", d)
+	}
+	// Degenerate inputs clamp instead of panicking.
+	bo = newBackoff(0, -1)
+	if d := bo.next(); d <= 0 {
+		t.Errorf("defaulted backoff returned %v", d)
+	}
+}

@@ -50,6 +50,13 @@ type Worker struct {
 	// JoinWait bounds how long the worker retries the initial config
 	// fetch while the coordinator is still coming up (default 10s).
 	JoinWait time.Duration
+	// RejoinWait bounds how long the worker tolerates a mid-run
+	// coordinator outage (default 60s).  While the coordinator is down
+	// — restarting after a SIGKILL, say — lease polls, heartbeats, and
+	// completion uploads all retry with capped jittered backoff instead
+	// of failing their cells, and give up only after RejoinWait of
+	// continuous unreachability.
+	RejoinWait time.Duration
 	// Serial steps the analysis serially (harness.Options.Serial).
 	Serial bool
 	// Progress, when non-nil, receives one line per worker event.
@@ -117,11 +124,12 @@ func (w *Worker) post(ctx context.Context, path string, req, out interface{}) er
 }
 
 // join fetches the coordinator's config, retrying transport failures
-// until JoinWait passes — a worker routinely starts before the
-// coordinator's listener is up.
+// with capped jittered backoff until JoinWait passes — a worker
+// routinely starts before the coordinator's listener is up.
 func (w *Worker) join(ctx context.Context) (ConfigReply, error) {
 	var cfg ConfigReply
 	deadline := time.Now().Add(w.JoinWait)
+	bo := newBackoff(100*time.Millisecond, 2*time.Second)
 	for {
 		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Base+PathConfig, nil)
 		if err != nil {
@@ -139,7 +147,7 @@ func (w *Worker) join(ctx context.Context) (ConfigReply, error) {
 			return cfg, fmt.Errorf("fabric: coordinator at %s unreachable for %v: %w", w.Base, w.JoinWait, err)
 		}
 		select {
-		case <-time.After(250 * time.Millisecond):
+		case <-time.After(bo.next()):
 		case <-ctx.Done():
 			return cfg, ctx.Err()
 		}
@@ -190,6 +198,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	if w.JoinWait <= 0 {
 		w.JoinWait = 10 * time.Second
+	}
+	if w.RejoinWait <= 0 {
+		w.RejoinWait = 60 * time.Second
 	}
 	if w.Exit == nil {
 		w.Exit = os.Exit
@@ -244,21 +255,25 @@ func (w *Worker) Run(ctx context.Context) error {
 
 // heartbeatLoop refreshes the worker's leases a few times per TTL and
 // learns about revocations (its cell was requeued elsewhere — cancel
-// it) and run completion.  A partitioned plan silences it, simulating
-// the network fault the lease watchdog exists for.
+// it) and run completion.  Transport errors enter the shared jittered
+// backoff (capped below the normal interval, so a recovering
+// coordinator hears from the worker before the lease TTL burns down)
+// instead of just skipping a tick.  A partitioned plan silences it,
+// simulating the network fault the lease watchdog exists for.
 func (w *Worker) heartbeatLoop(ctx context.Context, ttl time.Duration) {
 	interval := ttl / 3
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	bo := newBackoff(interval/4, interval)
+	wait := interval
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-time.After(wait):
 		}
+		wait = interval
 		if w.Plan.Partitioned() {
 			continue
 		}
@@ -270,8 +285,10 @@ func (w *Worker) heartbeatLoop(ctx context.Context, ttl time.Duration) {
 		w.mu.Unlock()
 		var rep HeartbeatReply
 		if err := w.post(ctx, PathHeartbeat, req, &rep); err != nil {
-			continue // transient; the next tick retries
+			wait = bo.next() // transient; retry sooner than a full tick
+			continue
 		}
+		bo.reset()
 		if rep.Done {
 			w.done.Store(true)
 		}
@@ -287,9 +304,13 @@ func (w *Worker) heartbeatLoop(ctx context.Context, ttl time.Duration) {
 	}
 }
 
-// slot is one cell-execution loop: lease, run, complete, repeat.
+// slot is one cell-execution loop: lease, run, complete, repeat.  A
+// coordinator outage mid-run (restart after SIGKILL) is ridden out
+// with capped jittered backoff for up to RejoinWait before the slot
+// gives up.
 func (w *Worker) slot(ctx context.Context, opt harness.Options, cfg ConfigReply) error {
-	var netErrs int
+	bo := newBackoff(w.Poll, 2*time.Second)
+	var downSince time.Time
 	for {
 		if w.done.Load() {
 			return nil
@@ -309,13 +330,25 @@ func (w *Worker) slot(ctx context.Context, opt harness.Options, cfg ConfigReply)
 			if isProtocol(err, &pe) {
 				return pe // version or fingerprint rejection: fatal
 			}
-			if netErrs++; netErrs > 40 {
-				return fmt.Errorf("fabric: coordinator unreachable: %w", err)
+			if downSince.IsZero() {
+				downSince = time.Now()
+				w.logf("coordinator unreachable (%v); backing off up to %v", err, w.RejoinWait)
 			}
-			time.Sleep(w.Poll)
+			if time.Since(downSince) > w.RejoinWait {
+				return fmt.Errorf("fabric: coordinator unreachable for %v: %w", w.RejoinWait, err)
+			}
+			select {
+			case <-time.After(bo.next()):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 			continue
 		}
-		netErrs = 0
+		if !downSince.IsZero() {
+			w.logf("coordinator reachable again after %v", time.Since(downSince).Round(time.Millisecond))
+		}
+		downSince = time.Time{}
+		bo.reset()
 		switch rep.Status {
 		case LeaseWait:
 			time.Sleep(w.Poll)
@@ -398,12 +431,16 @@ func (w *Worker) runLeased(ctx context.Context, opt harness.Options, cfg ConfigR
 	w.uploadComplete(ctx, req, al)
 }
 
-// uploadComplete streams one completion, retrying transport failures;
-// the coordinator's admission (and the journal behind it) make retried
+// uploadComplete streams one completion, retrying transport failures
+// with the shared capped jittered backoff for up to RejoinWait — long
+// enough for a SIGKILLed coordinator to restart and re-admit the
+// upload; its admission (and the journal behind it) make retried
 // uploads idempotent.  Revoked leases and partitioned plans suppress
 // the upload: the coordinator has already moved on.
 func (w *Worker) uploadComplete(ctx context.Context, req CompleteRequest, al *activeLease) {
-	for attempt := 0; ; attempt++ {
+	bo := newBackoff(w.Poll, 2*time.Second)
+	deadline := time.Now().Add(w.RejoinWait)
+	for {
 		if al.revoked.Load() {
 			w.logf("dropping completion for revoked lease %s", req.LeaseID)
 			return
@@ -427,13 +464,13 @@ func (w *Worker) uploadComplete(ctx context.Context, req CompleteRequest, al *ac
 				return
 			}
 		}
-		if attempt >= 20 || ctx.Err() != nil {
+		if time.Now().After(deadline) || ctx.Err() != nil {
 			w.logf("giving up on completion for %s: %v", req.LeaseID, err)
 			return
 		}
 		w.logf("completion upload for %s failed (%v); retrying", req.LeaseID, err)
 		select {
-		case <-time.After(w.Poll):
+		case <-time.After(bo.next()):
 		case <-ctx.Done():
 			return
 		}

@@ -59,7 +59,25 @@ type Plan struct {
 	DropConsumer int
 	DropFromSeq  int64
 
+	// Once arms each trigger for a single firing across the plan's
+	// lifetime.  A plan is normally re-armed by every pipeline pass —
+	// the same trap fires again on a harness retry, exhausting the
+	// retry budget.  Chaos schedules set Once so an injected transient
+	// fault behaves like one: the first attempt fails, the retry runs
+	// clean, and the suite converges.
+	Once bool
+
+	trapOnce, panicOnce, stallOnce                         atomic.Bool
 	trapped, panicked, corrupted, stalled, slowed, dropped atomic.Int64
+}
+
+// spent reports (and records) whether a Once plan already fired the
+// trigger guarded by armed; non-Once plans always re-fire.
+func (p *Plan) spent(armed *atomic.Bool) bool {
+	if !p.Once {
+		return false
+	}
+	return !armed.CompareAndSwap(false, true)
 }
 
 // StepHook returns a vm.VM StepHook implementing TrapAtStep, or nil when
@@ -69,7 +87,7 @@ func (p *Plan) StepHook() func(steps int64) error {
 		return nil
 	}
 	return func(steps int64) error {
-		if steps < p.TrapAtStep {
+		if steps < p.TrapAtStep || p.spent(&p.trapOnce) {
 			return nil
 		}
 		p.trapped.Add(1)
@@ -109,15 +127,17 @@ func (p *Plan) Hooks() *limits.ReplayHooks {
 	if p.PanicAtSeq > 0 || p.StallAtSeq > 0 || p.SlowEvery > 0 {
 		armed = true
 		h.BeforeStep = func(id int, ev limits.AnnotatedEvent) {
-			if p.StallAtSeq > 0 && id == p.StallConsumer && ev.Seq == p.StallAtSeq {
+			if p.StallAtSeq > 0 && id == p.StallConsumer && ev.Seq == p.StallAtSeq && !p.spent(&p.stallOnce) {
 				p.stalled.Add(1)
 				time.Sleep(p.StallFor)
 			}
+			// Slow is exempt from Once: it delays, never fails, so
+			// re-firing across retries cannot burn the retry budget.
 			if p.SlowEvery > 0 && id == p.SlowConsumer && ev.Seq%p.SlowEvery == 0 {
 				p.slowed.Add(1)
 				time.Sleep(p.SlowFor)
 			}
-			if p.PanicAtSeq > 0 && id == p.PanicConsumer && ev.Seq == p.PanicAtSeq {
+			if p.PanicAtSeq > 0 && id == p.PanicConsumer && ev.Seq == p.PanicAtSeq && !p.spent(&p.panicOnce) {
 				p.panicked.Add(1)
 				panic(fmt.Sprintf("faultinject: planned panic in consumer %d at seq %d", id, ev.Seq))
 			}

@@ -15,6 +15,7 @@ import (
 
 	"ilplimit/internal/asm"
 	"ilplimit/internal/bench"
+	"ilplimit/internal/faultinject"
 	"ilplimit/internal/journal"
 	"ilplimit/internal/limits"
 	"ilplimit/internal/minic"
@@ -110,6 +111,15 @@ type Options struct {
 	// byte-identical to a local one.  CellRunner does not participate in
 	// JournalMeta: where a cell runs cannot change its result.
 	CellRunner CellRunner
+	// Faults, when non-nil, supplies a deterministic fault-injection
+	// plan per benchmark — chaos runs plug a seeded schedule in here.
+	// A nil return leaves that benchmark alone.  The plan's VM trap
+	// installs as the machine's StepHook and its replay faults as the
+	// analysis hooks (parallel path only).  Faults does not participate
+	// in JournalMeta: an injected fault either delays an attempt or
+	// aborts it (and the retry policy re-runs it); it never changes a
+	// completed benchmark's result.
+	Faults func(bench string) *faultinject.Plan
 }
 
 // benchStartHook, when non-nil, runs at the top of every RunBenchmark; a
@@ -375,6 +385,16 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	machine.StepLimit = opt.StepLimit
 	machine.Metrics = scope.WithPrefix("vm.profile.")
 
+	// An injected fault plan arms the VM trap on both passes and its
+	// replay faults on the analysis fan-out below.
+	var faultPlan *faultinject.Plan
+	if opt.Faults != nil {
+		faultPlan = opt.Faults(b.Name)
+	}
+	if faultPlan != nil {
+		machine.StepHook = faultPlan.StepHook()
+	}
+
 	// Profiling pass: branch statistics with the measurement inputs.
 	logf("[%s] profiling", b.Name)
 	profileDone := stageTimer(scope, "profile")
@@ -430,9 +450,15 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 		// Replay the trace once, fanning annotated chunks out to all
 		// analyzers, each scheduling on its own goroutine.  Ring
 		// consumer ids follow the slice order above.
+		hooks := analyzeHooks
+		if faultPlan != nil {
+			if h := faultPlan.Hooks(); h != nil {
+				hooks = h
+			}
+		}
 		err = limits.ReplayWith(ctx, limits.ReplayOptions{
 			Metrics:  scope,
-			Hooks:    analyzeHooks,
+			Hooks:    hooks,
 			Watchdog: opt.Watchdog,
 		}, machine.RunContext, all...)
 	}

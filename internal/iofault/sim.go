@@ -1,0 +1,498 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrStaleHandle is returned by operations on a Sim file handle opened
+// before the most recent Crash; a real process would not have survived
+// the crash, so the handle is dead.
+var ErrStaleHandle = errors.New("iofault: file handle predates simulated crash")
+
+// Sim is an in-memory filesystem with an explicit durability model for
+// crash-consistency testing. Every mutation lands in volatile state
+// first: file writes become durable only when the file is fsynced
+// (Sync), and directory entries — creations, removals, renames —
+// become durable only when the parent directory is fsynced (SyncDir).
+// Crash discards all volatile state, leaving exactly what a power cut
+// would have preserved.
+type Sim struct {
+	mu   sync.Mutex
+	root *simDir
+	gen  int64
+}
+
+// simDir is one directory: the live (volatile) namespace and the
+// durable snapshot promoted by the last SyncDir.
+type simDir struct {
+	live    map[string]any // name -> *simDir | *inode
+	durable map[string]any
+}
+
+func newSimDir() *simDir {
+	return &simDir{live: map[string]any{}, durable: map[string]any{}}
+}
+
+// inode is one regular file's data: the volatile content seen by
+// readers and the durable content promoted by the last Sync.
+type inode struct {
+	content []byte
+	synced  []byte
+}
+
+// NewSim returns an empty simulated filesystem whose root directory is
+// durable (the mount point always survives a crash).
+func NewSim() *Sim { return &Sim{root: newSimDir()} }
+
+// clean normalizes a path into slash-separated elements relative to
+// the root.
+func clean(p string) []string {
+	p = path.Clean(filepath.ToSlash(p))
+	p = strings.TrimPrefix(p, "/")
+	if p == "" || p == "." {
+		return nil
+	}
+	return strings.Split(p, "/")
+}
+
+// walkDir resolves the directory at elems in the live namespace.
+func (s *Sim) walkDir(elems []string) (*simDir, error) {
+	d := s.root
+	for _, e := range elems {
+		child, ok := d.live[e]
+		if !ok {
+			return nil, fs.ErrNotExist
+		}
+		cd, ok := child.(*simDir)
+		if !ok {
+			return nil, fmt.Errorf("%s: not a directory", e)
+		}
+		d = cd
+	}
+	return d, nil
+}
+
+// parent resolves the parent directory and base name of path.
+func (s *Sim) parent(p string) (*simDir, string, error) {
+	elems := clean(p)
+	if len(elems) == 0 {
+		return nil, "", fmt.Errorf("iofault: path %q has no parent", p)
+	}
+	d, err := s.walkDir(elems[:len(elems)-1])
+	if err != nil {
+		return nil, "", &fs.PathError{Op: "walk", Path: p, Err: err}
+	}
+	return d, elems[len(elems)-1], nil
+}
+
+// MkdirAll creates the directory at p and any missing parents in the
+// volatile namespace. Each new entry becomes durable only when its
+// parent is SyncDir'd.
+func (s *Sim) MkdirAll(p string, _ fs.FileMode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.root
+	for _, e := range clean(p) {
+		child, ok := d.live[e]
+		if !ok {
+			nd := newSimDir()
+			d.live[e] = nd
+			d = nd
+			continue
+		}
+		cd, ok := child.(*simDir)
+		if !ok {
+			return &fs.PathError{Op: "mkdir", Path: p, Err: errors.New("not a directory")}
+		}
+		d = cd
+	}
+	return nil
+}
+
+// OpenFile opens the file at p honoring os.O_CREATE, os.O_EXCL,
+// os.O_TRUNC, and os.O_APPEND. Creation is a volatile directory-entry
+// update; written bytes are volatile until Sync.
+func (s *Sim) OpenFile(p string, flag int, _ fs.FileMode) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, name, err := s.parent(p)
+	if err != nil {
+		return nil, err
+	}
+	var ino *inode
+	switch child := d.live[name].(type) {
+	case nil:
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: p, Err: fs.ErrNotExist}
+		}
+		ino = &inode{}
+		d.live[name] = ino
+	case *inode:
+		if flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0 {
+			return nil, &fs.PathError{Op: "open", Path: p, Err: fs.ErrExist}
+		}
+		ino = child
+		if flag&os.O_TRUNC != 0 {
+			ino.content = nil
+		}
+	case *simDir:
+		return nil, &fs.PathError{Op: "open", Path: p, Err: errors.New("is a directory")}
+	}
+	f := &simFile{sim: s, ino: ino, path: p, gen: s.gen, append: flag&os.O_APPEND != 0}
+	if f.append {
+		f.off = int64(len(ino.content))
+	}
+	return f, nil
+}
+
+// ReadFile returns the volatile contents of the file at p.
+func (s *Sim) ReadFile(p string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, name, err := s.parent(p)
+	if err != nil {
+		return nil, err
+	}
+	ino, ok := d.live[name].(*inode)
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: p, Err: fs.ErrNotExist}
+	}
+	out := make([]byte, len(ino.content))
+	copy(out, ino.content)
+	return out, nil
+}
+
+// ReadDir lists the live entries of the directory at p, sorted.
+func (s *Sim) ReadDir(p string) ([]fs.DirEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, err := s.walkDir(clean(p))
+	if err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: p, Err: err}
+	}
+	names := make([]string, 0, len(d.live))
+	for name := range d.live {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]fs.DirEntry, len(names))
+	for i, name := range names {
+		_, isDir := d.live[name].(*simDir)
+		out[i] = simDirEntry{name: name, dir: isDir}
+	}
+	return out, nil
+}
+
+// Rename moves oldpath to newpath in the volatile namespace,
+// replacing any existing file at newpath. Durability requires a
+// SyncDir of the affected parent directories.
+func (s *Sim) Rename(oldpath, newpath string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	od, oname, err := s.parent(oldpath)
+	if err != nil {
+		return err
+	}
+	node, ok := od.live[oname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	nd, nname, err := s.parent(newpath)
+	if err != nil {
+		return err
+	}
+	delete(od.live, oname)
+	nd.live[nname] = node
+	return nil
+}
+
+// Remove deletes the file or empty directory at p from the volatile
+// namespace.
+func (s *Sim) Remove(p string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, name, err := s.parent(p)
+	if err != nil {
+		return err
+	}
+	switch child := d.live[name].(type) {
+	case nil:
+		return &fs.PathError{Op: "remove", Path: p, Err: fs.ErrNotExist}
+	case *simDir:
+		if len(child.live) > 0 {
+			return &fs.PathError{Op: "remove", Path: p, Err: errors.New("directory not empty")}
+		}
+	}
+	delete(d.live, name)
+	return nil
+}
+
+// RemoveAll deletes p and everything beneath it from the volatile
+// namespace; missing paths are not an error.
+func (s *Sim) RemoveAll(p string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, name, err := s.parent(p)
+	if err != nil {
+		return nil
+	}
+	delete(d.live, name)
+	return nil
+}
+
+// Stat returns file info for the live entry at p.
+func (s *Sim) Stat(p string) (fs.FileInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	elems := clean(p)
+	if len(elems) == 0 {
+		return simFileInfo{name: "/", dir: true}, nil
+	}
+	d, err := s.walkDir(elems[:len(elems)-1])
+	if err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: p, Err: err}
+	}
+	name := elems[len(elems)-1]
+	switch child := d.live[name].(type) {
+	case *simDir:
+		return simFileInfo{name: name, dir: true}, nil
+	case *inode:
+		return simFileInfo{name: name, size: int64(len(child.content))}, nil
+	}
+	return nil, &fs.PathError{Op: "stat", Path: p, Err: fs.ErrNotExist}
+}
+
+// SyncDir promotes the directory's current entry set to durable: every
+// creation, removal, and rename inside it performed so far will now
+// survive Crash. File contents remain governed by per-file Sync.
+func (s *Sim) SyncDir(p string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, err := s.walkDir(clean(p))
+	if err != nil {
+		return &fs.PathError{Op: "syncdir", Path: p, Err: err}
+	}
+	d.durable = make(map[string]any, len(d.live))
+	for name, node := range d.live {
+		d.durable[name] = node
+	}
+	return nil
+}
+
+// Crash discards all volatile state, simulating a power cut: every
+// directory's namespace reverts to its last SyncDir'd snapshot, every
+// file's contents revert to its last Sync'd bytes, and all open
+// handles become stale.
+func (s *Sim) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	crashDir(s.root)
+}
+
+func crashDir(d *simDir) {
+	d.live = make(map[string]any, len(d.durable))
+	for name, node := range d.durable {
+		d.live[name] = node
+		switch n := node.(type) {
+		case *simDir:
+			crashDir(n)
+		case *inode:
+			n.content = append([]byte(nil), n.synced...)
+		}
+	}
+}
+
+// simFile is one open handle on a Sim inode.
+type simFile struct {
+	sim    *Sim
+	ino    *inode
+	path   string
+	off    int64
+	gen    int64
+	append bool
+	closed bool
+}
+
+func (f *simFile) check() error {
+	if f.closed {
+		return fs.ErrClosed
+	}
+	if f.gen != f.sim.gen {
+		return ErrStaleHandle
+	}
+	return nil
+}
+
+// Read implements io.Reader over the volatile contents.
+func (f *simFile) Read(p []byte) (int, error) {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if f.off >= int64(len(f.ino.content)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.content[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+// Write appends or overwrites volatile content at the current offset.
+func (f *simFile) Write(p []byte) (int, error) {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if f.append {
+		f.off = int64(len(f.ino.content))
+	}
+	if grow := f.off + int64(len(p)) - int64(len(f.ino.content)); grow > 0 {
+		f.ino.content = append(f.ino.content, make([]byte, grow)...)
+	}
+	copy(f.ino.content[f.off:], p)
+	f.off += int64(len(p))
+	return len(p), nil
+}
+
+// Seek repositions the handle's offset.
+func (f *simFile) Seek(offset int64, whence int) (int64, error) {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.ino.content)) + offset
+	default:
+		return 0, fmt.Errorf("iofault: bad whence %d", whence)
+	}
+	if f.off < 0 {
+		return 0, fmt.Errorf("iofault: negative seek offset")
+	}
+	return f.off, nil
+}
+
+// Sync promotes the file's volatile contents to durable.
+func (f *simFile) Sync() error {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	f.ino.synced = append([]byte(nil), f.ino.content...)
+	return nil
+}
+
+// Truncate cuts or extends the volatile contents to size bytes.
+func (f *simFile) Truncate(size int64) error {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("iofault: negative truncate size")
+	}
+	for int64(len(f.ino.content)) < size {
+		f.ino.content = append(f.ino.content, 0)
+	}
+	f.ino.content = f.ino.content[:size]
+	return nil
+}
+
+// Stat returns the handle's current file info.
+func (f *simFile) Stat() (fs.FileInfo, error) {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return simFileInfo{name: path.Base(filepath.ToSlash(f.path)), size: int64(len(f.ino.content))}, nil
+}
+
+// Close invalidates the handle. Unsynced data stays volatile.
+func (f *simFile) Close() error {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// Name returns the path the handle was opened with.
+func (f *simFile) Name() string { return f.path }
+
+// simDirEntry is a directory listing entry of a Sim.
+type simDirEntry struct {
+	name string
+	dir  bool
+}
+
+// Name returns the entry's base name.
+func (e simDirEntry) Name() string { return e.name }
+
+// IsDir reports whether the entry is a directory.
+func (e simDirEntry) IsDir() bool { return e.dir }
+
+// Type returns the entry's mode bits.
+func (e simDirEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+
+// Info returns minimal file info for the entry.
+func (e simDirEntry) Info() (fs.FileInfo, error) {
+	return simFileInfo{name: e.name, dir: e.dir}, nil
+}
+
+// simFileInfo is the fs.FileInfo of a Sim file or directory.
+type simFileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+// Name returns the base name.
+func (i simFileInfo) Name() string { return i.name }
+
+// Size returns the length in bytes of the volatile contents.
+func (i simFileInfo) Size() int64 { return i.size }
+
+// Mode returns the mode bits.
+func (i simFileInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+
+// ModTime returns the zero time; Sim does not track times.
+func (i simFileInfo) ModTime() time.Time { return time.Time{} }
+
+// IsDir reports whether the entry is a directory.
+func (i simFileInfo) IsDir() bool { return i.dir }
+
+// Sys returns nil.
+func (i simFileInfo) Sys() any { return nil }

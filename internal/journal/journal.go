@@ -6,9 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+
+	"ilplimit/internal/iofault"
 )
 
 // Magic prefixes every record line and names the on-disk format version.
@@ -26,6 +30,14 @@ const FileName = "journal.ilpj"
 // journal written by a run with a different configuration fingerprint —
 // resuming it would splice results from incompatible runs.
 var ErrMetaMismatch = errors.New("journal: existing journal belongs to a different run configuration")
+
+// ErrBroken is returned by Append* after an earlier append failed in a
+// way that leaves the file position untrusted (a torn write that could
+// not be rolled back, or a failed fsync whose durability is unknown).
+// The journal refuses further appends so a half-written line can never
+// prefix-corrupt the next record; reopening the directory salvages the
+// valid prefix.
+var ErrBroken = errors.New("journal: unusable after earlier append failure")
 
 // Meta is the configuration fingerprint a journal belongs to.  Open
 // refuses to resume a journal whose recovered Meta differs in any field
@@ -70,13 +82,17 @@ func (m Meta) Fingerprint() string { return string(m.fingerprint()) }
 // most the benchmark in flight.  All methods are safe for concurrent use.
 type Journal struct {
 	mu        sync.Mutex
-	f         *os.File
+	fsys      iofault.FS
+	f         iofault.File
 	path      string
 	meta      Meta
 	benches   map[string]json.RawMessage // completed benchmark payloads by name
 	order     []string                   // bench record names in journal order
+	extra     map[string][][]byte        // salvaged payloads of custom record kinds
 	recovered int
 	truncated int64 // corrupt tail bytes dropped during recovery (0 = clean)
+	off       int64 // end offset of the last fully appended record
+	broken    error // sticky first unrecoverable append failure
 }
 
 // benchPayload is the JSON payload of a "bench" record.
@@ -90,22 +106,38 @@ type notePayload struct {
 	Note string `json:"note"`
 }
 
-// Open creates or resumes the journal in dir.  A fresh directory gets a
-// new journal stamped with meta; an existing journal is recovered — every
-// complete, checksum-valid record is salvaged, a corrupted (truncated or
-// bad-CRC) tail is dropped and the file truncated back to the last good
-// record — and must carry a matching meta fingerprint (ErrMetaMismatch
-// otherwise).  Recovered returns how many benchmark records survived.
+// Open creates or resumes the journal file FileName in dir on the real
+// filesystem.  A fresh directory gets a new journal stamped with meta;
+// an existing journal is recovered — every complete, checksum-valid
+// record is salvaged, a corrupted (truncated or bad-CRC) tail is
+// dropped and the file truncated back to the last good record — and
+// must carry a matching meta fingerprint (ErrMetaMismatch otherwise).
+// Recovered returns how many benchmark records survived.
 func Open(dir string, meta Meta) (*Journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(iofault.OS(), dir, meta)
+}
+
+// OpenFS is Open over an explicit filesystem, through which I/O faults
+// can be injected in tests and chaos runs.
+func OpenFS(fsys iofault.FS, dir string, meta Meta) (*Journal, error) {
+	return OpenNamed(fsys, dir, FileName, meta)
+}
+
+// OpenNamed is OpenFS with an explicit journal file name inside dir,
+// letting several journals (for example the run journal and the
+// coordinator's recovery journal) share one directory.
+func OpenNamed(fsys iofault.FS, dir, name string, meta Meta) (*Journal, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j := &Journal{
-		path:    filepath.Join(dir, FileName),
+		fsys:    fsys,
+		path:    filepath.Join(dir, name),
 		meta:    meta,
 		benches: make(map[string]json.RawMessage),
+		extra:   make(map[string][][]byte),
 	}
-	data, err := os.ReadFile(j.path)
+	data, err := fsys.ReadFile(j.path)
 	switch {
 	case errors.Is(err, os.ErrNotExist) || (err == nil && len(data) == 0):
 		return j.create()
@@ -117,11 +149,12 @@ func Open(dir string, meta Meta) (*Journal, error) {
 
 // create starts a new journal whose first record is the meta fingerprint.
 func (j *Journal) create() (*Journal, error) {
-	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := j.fsys.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j.f = f
+	j.off = 0
 	payload, err := json.Marshal(j.meta)
 	if err != nil {
 		f.Close()
@@ -131,7 +164,7 @@ func (j *Journal) create() (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
-	if err := syncDir(filepath.Dir(j.path)); err != nil {
+	if err := j.syncDir(filepath.Dir(j.path)); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -140,6 +173,9 @@ func (j *Journal) create() (*Journal, error) {
 
 // recover salvages the valid prefix of an existing journal, verifies its
 // meta fingerprint, truncates any corrupt tail, and reopens for append.
+// A file with no salvageable record at all (for example one whose very
+// first meta append tore) is treated as fresh and recreated rather than
+// rejected, so a run that crashed during creation can simply be rerun.
 func (j *Journal) recover(data []byte) (*Journal, error) {
 	valid := int64(0)
 	sawMeta := false
@@ -174,15 +210,23 @@ func (j *Journal) recover(data []byte) (*Journal, error) {
 			j.benches[b.Name] = b.Result
 		case "note":
 			// informational only
+		default:
+			j.extra[kind] = append(j.extra[kind], append([]byte(nil), payload...))
 		}
 		data = data[nl+1:]
 		valid += int64(nl + 1)
+	}
+	if valid == 0 {
+		// Nothing salvageable: the creating run died before its first
+		// record landed.  Start over instead of wedging every rerun.
+		j.truncated = int64(len(data))
+		return j.create()
 	}
 	if !sawMeta {
 		return nil, fmt.Errorf("journal: %s has no valid meta record", j.path)
 	}
 	j.recovered = len(j.benches)
-	f, err := os.OpenFile(j.path, os.O_WRONLY, 0o644)
+	f, err := j.fsys.OpenFile(j.path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -193,11 +237,12 @@ func (j *Journal) recover(data []byte) (*Journal, error) {
 			return nil, fmt.Errorf("journal: truncating corrupt tail: %w", err)
 		}
 	}
-	if _, err := f.Seek(valid, 0); err != nil {
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j.f = f
+	j.off = valid
 	return j, nil
 }
 
@@ -224,7 +269,11 @@ func parseRecord(line []byte) (kind string, payload []byte, ok bool) {
 }
 
 // append writes one checksummed record line and fsyncs.  Callers hold no
-// lock; append takes it.
+// lock; append takes it.  A failed or torn write is rolled back by
+// truncating to the end of the last good record, so the next append
+// starts on a clean line; if the rollback itself fails, or the fsync
+// fails (leaving durability unknown), the journal turns sticky-broken
+// and every later append reports ErrBroken.
 func (j *Journal) append(kind string, payload []byte) error {
 	if bytes.IndexByte(payload, '\n') >= 0 {
 		return fmt.Errorf("journal: payload for %q record contains a newline", kind)
@@ -236,13 +285,31 @@ func (j *Journal) append(kind string, payload []byte) error {
 	if j.f == nil {
 		return errors.New("journal: closed")
 	}
-	if _, err := j.f.WriteString(line); err != nil {
+	if j.broken != nil {
+		return fmt.Errorf("%w: %v", ErrBroken, j.broken)
+	}
+	if _, err := j.f.Write([]byte(line)); err != nil {
+		if terr := j.rollback(); terr != nil {
+			j.broken = fmt.Errorf("%v (rollback: %v)", err, terr)
+		}
 		return fmt.Errorf("journal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
+		j.broken = err
 		return fmt.Errorf("journal: %w", err)
 	}
+	j.off += int64(len(line))
 	return nil
+}
+
+// rollback cuts the file back to the end of the last fully appended
+// record after a torn write.  Caller holds j.mu.
+func (j *Journal) rollback() error {
+	if err := j.f.Truncate(j.off); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(j.off, io.SeekStart)
+	return err
 }
 
 // AppendBench durably records one completed benchmark result.  The
@@ -309,6 +376,39 @@ func (j *Journal) AppendNote(note string) error {
 	return j.append("note", payload)
 }
 
+// reservedKinds are the record kinds the journal itself interprets;
+// AppendRecord refuses them so custom records can't spoof results.
+var reservedKinds = map[string]bool{"meta": true, "bench": true, "note": true}
+
+// AppendRecord durably records one custom-kind record (for example the
+// fabric coordinator's lease and completion entries).  The kind must be
+// a non-empty token without spaces and must not collide with the
+// journal's own kinds; the payload must be newline-free.  Salvaged
+// records of the same kind are readable via Records after reopening.
+func (j *Journal) AppendRecord(kind string, payload []byte) error {
+	if kind == "" || strings.ContainsAny(kind, " \n") {
+		return fmt.Errorf("journal: invalid record kind %q", kind)
+	}
+	if reservedKinds[kind] {
+		return fmt.Errorf("journal: record kind %q is reserved", kind)
+	}
+	return j.append(kind, payload)
+}
+
+// Records returns the salvaged payloads of one custom record kind, in
+// journal order.  Only records recovered by Open are returned; records
+// appended through this handle are not echoed back.
+func (j *Journal) Records(kind string) [][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recs := j.extra[kind]
+	out := make([][]byte, len(recs))
+	for i, r := range recs {
+		out[i] = append([]byte(nil), r...)
+	}
+	return out
+}
+
 // Lookup returns the journaled result payload for one benchmark, or
 // false when the benchmark has not completed in any prior run.
 func (j *Journal) Lookup(name string) (json.RawMessage, bool) {
@@ -354,13 +454,8 @@ func (j *Journal) Close() error {
 
 // syncDir fsyncs a directory so a freshly created journal file survives
 // a crash of the whole machine, not just the process.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func (j *Journal) syncDir(dir string) error {
+	if err := j.fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("journal: sync %s: %w", dir, err)
 	}
 	return nil

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+
+	"ilplimit/internal/iofault"
 )
 
 // LockFileName is the advisory writer lock inside a job directory.  It
@@ -32,14 +34,22 @@ var ErrJobLocked = errors.New("journal: job is locked by a live writer")
 // no descriptors; each OpenJob returns an independent JobJournal.
 type Store struct {
 	root string
+	fsys iofault.FS
 }
 
-// OpenStore creates root if needed and returns the per-job store.
+// OpenStore creates root if needed and returns the per-job store on
+// the real filesystem.
 func OpenStore(root string) (*Store, error) {
-	if err := os.MkdirAll(root, 0o755); err != nil {
+	return OpenStoreFS(iofault.OS(), root)
+}
+
+// OpenStoreFS is OpenStore over an explicit filesystem, through which
+// I/O faults can be injected in tests and chaos runs.
+func OpenStoreFS(fsys iofault.FS, root string) (*Store, error) {
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: store: %w", err)
 	}
-	return &Store{root: root}, nil
+	return &Store{root: root, fsys: fsys}, nil
 }
 
 // Root returns the store's directory.
@@ -70,7 +80,7 @@ func (s *Store) JobDir(key string) string { return filepath.Join(s.root, key) }
 
 // Jobs lists the keys with a job directory, sorted.
 func (s *Store) Jobs() ([]string, error) {
-	ents, err := os.ReadDir(s.root)
+	ents, err := s.fsys.ReadDir(s.root)
 	if err != nil {
 		return nil, fmt.Errorf("journal: store: %w", err)
 	}
@@ -84,12 +94,16 @@ func (s *Store) Jobs() ([]string, error) {
 	return keys, nil
 }
 
-// RemoveJob deletes a job's directory and everything in it.
+// RemoveJob deletes a job's directory and everything in it, then
+// fsyncs the store root so the removal survives a crash.
 func (s *Store) RemoveJob(key string) error {
 	if err := validKey(key); err != nil {
 		return err
 	}
-	return os.RemoveAll(s.JobDir(key))
+	if err := s.fsys.RemoveAll(s.JobDir(key)); err != nil {
+		return err
+	}
+	return s.fsys.SyncDir(s.root)
 }
 
 // JobJournal is a Journal bound to one job directory of a Store,
@@ -97,6 +111,7 @@ func (s *Store) RemoveJob(key string) error {
 // the lock along with the journal file.
 type JobJournal struct {
 	*Journal
+	fsys     iofault.FS
 	lockPath string
 	// sweep results, for tests and operator logging
 	staleLocks, staleTmps int
@@ -110,7 +125,7 @@ func (j *JobJournal) Swept() (locks, tmps int) { return j.staleLocks, j.staleTmp
 // Close releases the journal file and the job directory's writer lock.
 func (j *JobJournal) Close() error {
 	err := j.Journal.Close()
-	if rmErr := os.Remove(j.lockPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) && err == nil {
+	if rmErr := j.fsys.Remove(j.lockPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) && err == nil {
 		err = rmErr
 	}
 	return err
@@ -123,24 +138,32 @@ func (j *JobJournal) Close() error {
 // A lock held by a live process returns ErrJobLocked — two writers on
 // one job journal would interleave records.  The journal must carry a
 // meta fingerprint matching meta (ErrMetaMismatch otherwise).
+//
+// Every directory-entry mutation along the way — the job directory's
+// creation, the sweep's removals, the lock file's creation — is made
+// durable with a parent-directory fsync, so a post-crash store can't
+// hold a journal whose enclosing directory entry evaporated.
 func (s *Store) OpenJob(key string, meta Meta) (*JobJournal, error) {
 	if err := validKey(key); err != nil {
 		return nil, err
 	}
 	dir := s.JobDir(key)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: job %s: %w", key, err)
 	}
-	j := &JobJournal{lockPath: filepath.Join(dir, LockFileName)}
+	if err := s.fsys.SyncDir(s.root); err != nil {
+		return nil, fmt.Errorf("journal: job %s: %w", key, err)
+	}
+	j := &JobJournal{fsys: s.fsys, lockPath: filepath.Join(dir, LockFileName)}
 	if err := j.sweep(dir); err != nil {
 		return nil, err
 	}
-	if err := j.acquireLock(); err != nil {
+	if err := j.acquireLock(dir); err != nil {
 		return nil, err
 	}
-	inner, err := Open(dir, meta)
+	inner, err := OpenFS(s.fsys, dir, meta)
 	if err != nil {
-		_ = os.Remove(j.lockPath)
+		_ = s.fsys.Remove(j.lockPath)
 		return nil, err
 	}
 	j.Journal = inner
@@ -150,25 +173,28 @@ func (s *Store) OpenJob(key string, meta Meta) (*JobJournal, error) {
 // sweep clears the stale droppings of a killed writer from a job
 // directory: *.tmp staging files unconditionally (an un-renamed staging
 // file is incomplete by construction) and the lock file when its owner
-// is no longer alive.
+// is no longer alive.  Removals are made durable with a directory fsync
+// before the caller takes the lock.
 func (j *JobJournal) sweep(dir string) error {
-	ents, err := os.ReadDir(dir)
+	ents, err := j.fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("journal: job: %w", err)
 	}
+	removed := 0
 	for _, e := range ents {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), TmpSuffix) {
 			continue
 		}
-		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := j.fsys.Remove(filepath.Join(dir, e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("journal: job: sweeping %s: %w", e.Name(), err)
 		}
 		j.staleTmps++
+		removed++
 	}
-	data, err := os.ReadFile(j.lockPath)
+	data, err := j.fsys.ReadFile(j.lockPath)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
-		return nil
+		return j.syncSwept(dir, removed)
 	case err != nil:
 		return fmt.Errorf("journal: job: %w", err)
 	}
@@ -176,17 +202,30 @@ func (j *JobJournal) sweep(dir string) error {
 		return fmt.Errorf("%w (pid %d)", ErrJobLocked, pid)
 	}
 	// Dead writer (or garbage lock content): take the lock over.
-	if err := os.Remove(j.lockPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := j.fsys.Remove(j.lockPath); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("journal: job: removing stale lock: %w", err)
 	}
 	j.staleLocks++
+	return j.syncSwept(dir, removed+1)
+}
+
+// syncSwept fsyncs the job directory when the sweep removed anything,
+// so the removals can't silently reappear after a crash.
+func (j *JobJournal) syncSwept(dir string, removed int) error {
+	if removed == 0 {
+		return nil
+	}
+	if err := j.fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("journal: job: %w", err)
+	}
 	return nil
 }
 
-// acquireLock writes this process's pid as the job's writer lock.
-// O_EXCL makes two same-instant openers race to exactly one winner.
-func (j *JobJournal) acquireLock() error {
-	f, err := os.OpenFile(j.lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+// acquireLock writes this process's pid as the job's writer lock and
+// makes both the content and the directory entry durable.  O_EXCL makes
+// two same-instant openers race to exactly one winner.
+func (j *JobJournal) acquireLock(dir string) error {
+	f, err := j.fsys.OpenFile(j.lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if errors.Is(err, os.ErrExist) {
 		return fmt.Errorf("%w (lock reappeared)", ErrJobLocked)
 	}
@@ -194,11 +233,17 @@ func (j *JobJournal) acquireLock() error {
 		return fmt.Errorf("journal: job: %w", err)
 	}
 	_, werr := fmt.Fprintf(f, "pid %d\n", os.Getpid())
+	if werr == nil {
+		werr = f.Sync()
+	}
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
+	if werr == nil {
+		werr = j.fsys.SyncDir(dir)
+	}
 	if werr != nil {
-		_ = os.Remove(j.lockPath)
+		_ = j.fsys.Remove(j.lockPath)
 		return fmt.Errorf("journal: job: writing lock: %w", werr)
 	}
 	return nil

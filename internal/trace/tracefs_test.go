@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+
+	"ilplimit/internal/iofault"
+	"ilplimit/internal/vm"
+)
+
+// emitN streams n synthetic events.
+func emitN(n int) func(*Writer) error {
+	return func(w *Writer) error {
+		for i := 0; i < n; i++ {
+			ev := vm.Event{Idx: int32(i % 7), Taken: i%3 == 0}
+			if i%2 == 0 {
+				ev.Addr = int64(i + 1)
+			}
+			if err := w.Write(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestWriteFileVisitFileRoundTrip(t *testing.T) {
+	sim := iofault.NewSim()
+	n, err := WriteFile(sim, "t.ilpt", emitN(100))
+	if err != nil || n != 100 {
+		t.Fatalf("WriteFile = %d, %v", n, err)
+	}
+	if _, err := sim.ReadFile("t.ilpt.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("staging file left behind: %v", err)
+	}
+	var seen int64
+	got, err := VisitFile(sim, "t.ilpt", func(vm.Event) { seen++ })
+	if err != nil || got != 100 || seen != 100 {
+		t.Fatalf("VisitFile = %d (%d seen), %v", got, seen, err)
+	}
+	// The trace survives a crash: content was fsynced and the rename
+	// made durable by the directory fsync.
+	sim.Crash()
+	if got, err := VisitFile(sim, "t.ilpt", func(vm.Event) {}); err != nil || got != 100 {
+		t.Fatalf("post-crash VisitFile = %d, %v", got, err)
+	}
+}
+
+func TestWriteFileFaultLeavesOldTrace(t *testing.T) {
+	sim := iofault.NewSim()
+	if _, err := WriteFile(sim, "t.ilpt", emitN(10)); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{iofault.KindWriteEIO, iofault.KindWriteENOSPC} {
+		fsys := iofault.Wrap(sim, iofault.NewPlan(1).SetAt(kind, 1))
+		if _, err := WriteFile(fsys, "t.ilpt", emitN(10000)); err == nil {
+			t.Fatalf("%s: rewrite succeeded", kind)
+		} else if !errors.Is(err, syscall.EIO) && !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("%s: unclassified error %v", kind, err)
+		}
+		if got, err := VisitFile(sim, "t.ilpt", func(vm.Event) {}); err != nil || got != 10 {
+			t.Fatalf("%s: old trace damaged: %d, %v", kind, got, err)
+		}
+		if _, err := sim.ReadFile("t.ilpt.tmp"); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s: staging file left behind: %v", kind, err)
+		}
+	}
+}
+
+func TestWriteFileTornRenameLosesFileNotContent(t *testing.T) {
+	sim := iofault.NewSim()
+	fsys := iofault.Wrap(sim, iofault.NewPlan(1).SetAt(iofault.KindTornRename, 1))
+	if _, err := WriteFile(fsys, "t.ilpt", emitN(10)); err != nil {
+		t.Fatalf("torn rename surfaces as success (crash state): %v", err)
+	}
+	// The destination never appeared — but no torn half-trace did
+	// either; a reader sees clean absence.
+	if _, err := VisitFile(sim, "t.ilpt", func(vm.Event) {}); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn rename left a readable destination: %v", err)
+	}
+	if _, err := sim.ReadFile("t.ilpt.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn rename left the staging file: %v", err)
+	}
+}
+
+func TestWriteFileSyncLieCrashDropsWholeTrace(t *testing.T) {
+	sim := iofault.NewSim()
+	fsys := iofault.Wrap(sim, iofault.NewPlan(1).SetAt(iofault.KindSyncLie, 1))
+	if _, err := WriteFile(fsys, "t.ilpt", emitN(10)); err != nil {
+		t.Fatal(err)
+	}
+	sim.Crash()
+	// The rename was durable (dir fsync honest) but the content fsync
+	// lied, so the file exists with volatile bytes dropped.  Visit must
+	// classify it as bad, never hand back phantom events.
+	n, err := VisitFile(sim, "t.ilpt", func(vm.Event) {})
+	if err == nil || !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("fsync-lied trace read back as valid: %d events, %v", n, err)
+	}
+	if n != 0 {
+		t.Fatalf("salvaged %d phantom events from an empty file", n)
+	}
+}
