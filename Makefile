@@ -1,16 +1,18 @@
 GO ?= go
 
 .PHONY: build test vet docs check generate generate-check race faultcheck soak \
-	soak-server soak-fabric soak-chaos bench bench-baseline benchdiff bench-smoke
+	soak-server soak-fabric soak-chaos soak-cache bench bench-baseline benchdiff \
+	bench-smoke
 
 # Seeds for the chaos soak (comma-separated).  Pinned by default so CI
 # is reproducible; override to sweep: ILP_CHAOS_SEEDS=1,2,3 make soak-chaos
 ILP_CHAOS_SEEDS ?= 7,23
 
 # Benchmarks captured in BENCH_limits.json and gated by benchdiff: the
-# group-scheduling fan-out, the per-model analyzer hot loop, and the
-# producer-side annotate/predecode stage.
-BENCH_PATTERN = 'BenchmarkGroup|BenchmarkAnalyzerStep|BenchmarkAnnotate'
+# group-scheduling fan-out (live and warm-cache), the per-model analyzer
+# hot loop, the producer-side annotate/predecode stage, and the trace
+# store's write/read paths.
+BENCH_PATTERN = 'BenchmarkGroup|BenchmarkAnalyzerStep|BenchmarkAnnotate|BenchmarkTraceStore'
 
 build:
 	$(GO) build ./...
@@ -42,13 +44,23 @@ generate-check: generate
 		{ echo "generated code is stale: run 'make generate' and commit"; exit 1; }
 
 # The default local gate: everything short of the long benchmarks.
-check: build generate-check docs test race soak soak-fabric soak-chaos
+check: build generate-check docs test race soak soak-fabric soak-chaos soak-cache
+
+# Trace-store soak: the store's commit/fallback protocol under the race
+# detector, the harness-level cached-vs-live equivalences, then the CLI
+# round-trips — cold populate byte-identical to uncached, warm replay,
+# SIGKILL mid-population with deliberate wreckage (promoted temp files,
+# truncated finals) repaired on the next run, and the chaos composition.
+soak-cache:
+	$(GO) test -race ./internal/tracestore
+	$(GO) test -race -run TraceCache ./internal/harness
+	$(GO) test -race -run TestCLITraceCache .
 
 # Concurrency gate: the parallel trace fan-out (internal/limits) and the
 # suite-level job fan-out (internal/harness) must stay race-clean.
 race: faultcheck
 	$(GO) vet ./...
-	$(GO) test -race ./internal/limits ./internal/harness
+	$(GO) test -race ./internal/limits ./internal/harness ./internal/tracestore
 
 # Robustness gate: deterministic fault injection (trap, consumer panic,
 # chunk corruption, stalled consumer, cancellation) under the race
@@ -57,6 +69,7 @@ race: faultcheck
 faultcheck:
 	$(GO) test -race ./internal/faultinject
 	$(GO) test -fuzz FuzzReader -fuzztime 10s -run FuzzReader ./internal/trace
+	$(GO) test -fuzz FuzzChunkFile -fuzztime 10s -run FuzzChunkFile ./internal/trace
 	$(GO) test -fuzz FuzzDecodeBody -fuzztime 10s -run FuzzDecodeBody ./internal/server
 
 # Resilience gate: the crash-safe journal, retry, and resume paths under

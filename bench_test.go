@@ -16,10 +16,13 @@ import (
 	"ilplimit/internal/asm"
 	"ilplimit/internal/bench"
 	"ilplimit/internal/harness"
+	"ilplimit/internal/iofault"
+	"ilplimit/internal/isa"
 	"ilplimit/internal/limits"
 	"ilplimit/internal/minic"
 	"ilplimit/internal/predict"
 	"ilplimit/internal/telemetry"
+	"ilplimit/internal/tracestore"
 	"ilplimit/internal/vm"
 )
 
@@ -211,6 +214,7 @@ func BenchmarkStudyQuality(b *testing.B) {
 // groupTrace captures one benchmark's static analysis and full dynamic
 // trace so every iteration replays identical events.
 type groupTrace struct {
+	prog     *isa.Program
 	st       *limits.Static
 	events   []vm.Event
 	memWords int
@@ -250,7 +254,7 @@ func loadGroupTrace(b *testing.B, name string) *groupTrace {
 	if err := machine.Run(func(ev vm.Event) { events = append(events, ev) }); err != nil {
 		b.Fatal(err)
 	}
-	tr := &groupTrace{st: st, events: events, memWords: len(machine.Mem)}
+	tr := &groupTrace{prog: prog, st: st, events: events, memWords: len(machine.Mem)}
 	groupTraceCache[name] = tr
 	return tr
 }
@@ -344,6 +348,149 @@ func BenchmarkGroupParallelObserved(b *testing.B) {
 			b.ReportMetric(float64(consStalls)/float64(b.N), "ring-cons-stalls/op")
 		})
 	}
+}
+
+// populateGroupStore traces the captured benchmark once into a fresh
+// trace store and returns the store and the key the entry lives under —
+// the untimed setup the cached benchmarks replay against.
+func populateGroupStore(b *testing.B, tr *groupTrace, name, dir string) (*tracestore.Store, tracestore.Key) {
+	b.Helper()
+	store, err := tracestore.Open(iofault.OS(), dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, _, all := benchGroups(tr)
+	key := tracestore.Key{
+		Bench:      name,
+		ProgramCRC: tracestore.ProgramCRC(tr.prog),
+		Annotation: tr.st.AnnotationFingerprint(),
+		Predictors: "profile",
+		Lanes:      limits.AssignReplayLanes(all...),
+	}
+	pop, err := store.BeginPopulate(key, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = limits.SerialReplayWith(context.Background(), pop.Sink(), func(_ context.Context, visit func(vm.Event)) error {
+		for _, ev := range tr.events {
+			visit(ev)
+		}
+		return nil
+	}, all...)
+	if err != nil {
+		pop.Abort()
+		b.Fatal(err)
+	}
+	if err := pop.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	return store, key
+}
+
+// BenchmarkGroupCached is the warm-path counterpart of
+// BenchmarkGroupParallel: the same 7 models × 2 unroll configs, but fed
+// from a committed trace-store entry — mmap'd frames stepped through
+// each analyzer's specialized stepper behind independent cursors — with
+// no VM run, no annotation, and no ring.  Its ns/op against
+// BenchmarkGroupParallel is the headline number of the trace store: the
+// cost of an analysis pass once tracing is paid for.
+func BenchmarkGroupCached(b *testing.B) {
+	for _, name := range []string{"espresso", "ccom"} {
+		tr := loadGroupTrace(b, name)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			store, key := populateGroupStore(b, tr, name, b.TempDir())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				unrolled, _, all := benchGroups(tr)
+				rep, err := store.Open(key)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rep.Run(context.Background(), false, all...); err != nil {
+					b.Fatal(err)
+				}
+				if err := rep.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if rs := unrolled.Results(); rs[0].Cycles == 0 {
+					b.Fatal("empty result")
+				}
+			}
+			b.ReportMetric(float64(len(tr.events)), "instrs/op")
+		})
+	}
+}
+
+// BenchmarkTraceStoreWrite measures the spill path in isolation: the
+// captured trace is pre-decoded into columnar chunks once, untimed, so
+// each iteration times exactly what a populate adds to a cold run —
+// framing, CRCs, the fsync, and the atomic rename (each iteration
+// rewrites the same key, replacing the previous entry).
+func BenchmarkTraceStoreWrite(b *testing.B) {
+	tr := loadGroupTrace(b, "ccom")
+	chunks := chunkTrace(tr, limits.SPCDMF)
+	store, err := tracestore.Open(iofault.OS(), b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := tracestore.Key{
+		Bench:      "ccom",
+		ProgramCRC: tracestore.ProgramCRC(tr.prog),
+		Annotation: tr.st.AnnotationFingerprint(),
+		Predictors: "profile",
+		Lanes:      1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pop, err := store.BeginPopulate(key, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := pop.Sink()
+		for _, c := range chunks {
+			if err := sink(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sink(nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := pop.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.events)), "instrs/op")
+}
+
+// BenchmarkTraceStoreRead measures the warm open-and-stream path with a
+// single analyzer: mmap, validate, and walk every frame through one
+// SP-CD-MF stepper.  Against BenchmarkAnalyzerStep (the same hot loop
+// over pre-decoded in-memory chunks) it bounds the store's own overhead
+// — open cost plus any per-frame view arithmetic.
+func BenchmarkTraceStoreRead(b *testing.B) {
+	tr := loadGroupTrace(b, "ccom")
+	store, key := populateGroupStore(b, tr, "ccom", b.TempDir())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := limits.NewAnalyzer(tr.st, limits.SPCDMF, false, tr.memWords)
+		rep, err := store.Open(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Run(context.Background(), true, a); err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if a.Result().Cycles == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	b.ReportMetric(float64(len(tr.events)), "instrs/op")
 }
 
 // chunkTrace pre-decodes a captured trace into columnar chunks with a

@@ -128,6 +128,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "re-run a transiently-failed benchmark up to this many extra times")
 		watchdog  = flag.Duration("watchdog", 0, "detach an analyzer making no chunk progress for this long and fail its benchmark (0 = off)")
 		chaosSeed = flag.Int64("chaos", 0, "arm a seeded chaos schedule: deterministic pipeline faults per benchmark plus journal I/O faults with -resume (0 = off; implies -retries 2 when -retries is unset)")
+		traceDir  = flag.String("trace-cache", "", "persistent annotated trace store directory: warm entries replay zero-copy with no VM run, cold runs populate it (results are byte-identical either way)")
 		coord     = flag.String("coordinator", "", "serve the suite's cells to ilplimitw workers on this address (e.g. :7070) instead of analyzing in-process")
 		lease     = flag.Duration("fabric-lease", 10*time.Second, "requeue a distributed cell whose worker misses heartbeats for this long (with -coordinator)")
 		drain     = flag.Duration("fabric-drain", 2*time.Second, "after a distributed run, keep answering workers for this long so they exit cleanly (with -coordinator)")
@@ -154,6 +155,7 @@ func main() {
 		Scale: *scale, Progress: progress, Models: limits.AllModels(),
 		Optimize: *optimize, Serial: *serial,
 		Retries: *retries, Watchdog: *watchdog,
+		TraceStore: *traceDir,
 	}
 	if *name != "" {
 		// A restricted benchmark list still runs through RunSuite, so

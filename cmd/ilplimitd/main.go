@@ -60,6 +60,7 @@ func main() {
 		maxScale     = flag.Int("max-scale", 0, "largest accepted suite scale factor (0 = default 8)")
 		cacheEntries = flag.Int("cache-entries", 0, "completed-result LRU size (0 = default 256)")
 		watchdog     = flag.Duration("watchdog", 0, "per-job analyzer stall watchdog (0 = 30s, negative = off)")
+		traceCache   = flag.String("trace-cache", "", "persistent annotated trace store shared across jobs: warm entries replay with no VM run (uploaded-trace jobs never use it)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before forcing exit")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "cut a connection whose request has not fully arrived in this long (the slow-loris defense)")
 		debugAddr    = flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address")
@@ -96,6 +97,7 @@ func main() {
 		MaxScale:         *maxScale,
 		CacheEntries:     *cacheEntries,
 		Watchdog:         *watchdog,
+		TraceStore:       *traceCache,
 		Fault:            plan,
 		Metrics:          met,
 		GitSHA:           telemetry.GitRevision(),

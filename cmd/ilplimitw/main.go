@@ -46,6 +46,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "give up after this duration (0 = run until the coordinator says done)")
 		rejoin  = flag.Duration("rejoin", time.Minute, "tolerate a coordinator outage (crash, restart) for this long, retrying with jittered backoff, before giving up")
 		fault   = flag.String("fault", "", "fabric fault plan, e.g. kill-after-leases=1,drop-completes=1 (testing only)")
+		cache   = flag.String("trace-cache", "", "worker-local annotated trace store: cells for the same benchmark reuse one traced run instead of re-tracing per cell")
 		verbose = flag.Bool("v", false, "log worker progress to stderr")
 		version = flag.Bool("version", false, "print build provenance and exit")
 	)
@@ -89,6 +90,7 @@ func main() {
 		Progress:   progress,
 		Plan:       plan,
 		RejoinWait: *rejoin,
+		TraceStore: *cache,
 	}
 	if err := w.Run(ctx); err != nil {
 		fail(err)

@@ -146,10 +146,20 @@ func emitStepper(g *gen, m modelSpec, unroll, lat bool) {
 	g.p("addrL := c.addr[:len(idxL)]")
 	g.p("flagsL := c.flags[:len(idxL)]")
 	g.p("meta := a.st.meta")
+	if lat {
+		// NewAnalyzerConfig sizes latTab to latTabLen, so the conversion
+		// cannot panic and the uint8 opcode index needs no bounds check.
+		g.p("latTab := (*[latTabLen]int64)(a.latTab)")
+	}
 	g.p("count, maxT := a.count, a.maxT")
 	g.p("for i := range idxL {")
 	g.p("flags := flagsL[i]")
-	g.p("m := &meta[idxL[i]]")
+	// Models without control-dependence tracking never read meta on the
+	// attention path, so the (potentially cache-missing) meta load is
+	// deferred past it: skipped events never touch the table.
+	if m.needCD {
+		g.p("m := &meta[idxL[i]]")
+	}
 
 	// Attention block: leaders (CD models), calls/returns, filtered
 	// instructions.
@@ -202,22 +212,19 @@ func emitStepper(g *gen, m modelSpec, unroll, lat bool) {
 	g.p("}")
 	g.p("}")
 
-	// Data dependences.
-	g.p("var t int64")
-	g.p("if n := m.nsrc; n > 0 {")
-	g.p("if rt := a.regTime[m.src1]; rt > t {")
+	if !m.needCD {
+		g.p("m := &meta[idxL[i]]")
+	}
+	// Data dependences, branch-free: SrcRegs zero-fills unused operand
+	// slots and regTime[0] is pinned to 0, so maxing over all three is
+	// the nsrc-guarded max without the data-dependent branch ladder.
+	// The &regIndexMask makes the in-range indices provable.
+	g.p("t := a.regTime[m.src1&regIndexMask]")
+	g.p("if rt := a.regTime[m.src2&regIndexMask]; rt > t {")
 	g.p("t = rt")
 	g.p("}")
-	g.p("if n > 1 {")
-	g.p("if rt := a.regTime[m.src2]; rt > t {")
+	g.p("if rt := a.regTime[m.src3&regIndexMask]; rt > t {")
 	g.p("t = rt")
-	g.p("}")
-	g.p("if n > 2 {")
-	g.p("if rt := a.regTime[m.src3]; rt > t {")
-	g.p("t = rt")
-	g.p("}")
-	g.p("}")
-	g.p("}")
 	g.p("}")
 	g.p("if flags&FlagLoad != 0 {")
 	g.p("if mt := a.memTime.load(int64(addrL[i])); mt > t {")
@@ -279,15 +286,17 @@ func emitStepper(g *gen, m modelSpec, unroll, lat bool) {
 
 	// Issue + completion time (T = t+1; C = T + lat - 1 folds to t+lat).
 	if lat {
-		g.p("C := t + a.latTab[m.op]")
+		g.p("C := t + latTab[m.op]")
 	} else {
 		g.p("C := t + 1")
 	}
 
-	// Record the schedule.
-	g.p("if d := m.dest; d != 0 {")
-	g.p("a.regTime[d] = C")
-	g.p("}")
+	// Record the schedule.  The destination store is unconditional — a
+	// zero-register write lands in slot 0 and is immediately re-zeroed,
+	// preserving the regTime[0]==0 invariant the source max relies on —
+	// trading the unpredictable d!=0 branch for one L1 store.
+	g.p("a.regTime[m.dest&regIndexMask] = C")
+	g.p("a.regTime[0] = 0")
 	g.p("if flags&FlagStore != 0 {")
 	g.p("a.memTime.store(int64(addrL[i]), C)")
 	g.p("}")
@@ -376,6 +385,19 @@ func main() {
 	g.p("// ./internal/limits`); `make generate-check` fails when this file")
 	g.p("// drifts from cmd/stepgen.")
 	g.p("package limits")
+	g.p("")
+	g.p("import \"ilplimit/internal/isa\"")
+	g.p("")
+	g.p("// regIndexMask bounds register indices without a bounds check; the")
+	g.p("// blank assert requires isa.NumRegs to be a power of two, so masking")
+	g.p("// is the identity on every valid register number.")
+	g.p("const regIndexMask = isa.NumRegs - 1")
+	g.p("")
+	g.p("var _ = [1]struct{}{}[isa.NumRegs&(isa.NumRegs-1)]")
+	g.p("")
+	g.p("// latTabLen is the latency table's allocated length: a full uint8")
+	g.p("// index space, so latTab[m.op] is provably in range.")
+	g.p("const latTabLen = 256")
 	g.p("")
 	for _, m := range models {
 		for _, unroll := range []bool{false, true} {

@@ -1,6 +1,9 @@
 // Command tracegen produces, inspects and summarizes dynamic instruction
 // traces — the pixie role of the original study's workflow, with traces
-// persisted in the internal/trace binary format.
+// persisted in the internal/trace binary format.  It also speaks the
+// annotated trace store's v3 chunk format: -trace-cache populates a
+// store through the full harness pipeline, -in dumps .ilpc chunk files
+// (detected by magic), and -verify audits one end to end.
 //
 // Usage:
 //
@@ -8,6 +11,9 @@
 //	tracegen prog.c -o prog.trc                  # record a mini-C program
 //	tracegen -dump 20 -in prog.trc -sym prog.c   # print the first 20 events
 //	tracegen -bench awk -summary                 # per-opcode trace summary
+//	tracegen -bench all -trace-cache DIR         # populate an annotated store
+//	tracegen -dump 20 -in DIR/espresso-….ilpc    # dump a v3 chunk file
+//	tracegen -verify DIR/espresso-….ilpc         # audit frames, CRCs, footer
 package main
 
 import (
@@ -15,11 +21,14 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"ilplimit/internal/asm"
 	"ilplimit/internal/bench"
+	"ilplimit/internal/harness"
 	"ilplimit/internal/iofault"
 	"ilplimit/internal/isa"
+	"ilplimit/internal/limits"
 	"ilplimit/internal/minic"
 	"ilplimit/internal/trace"
 	"ilplimit/internal/vm"
@@ -27,16 +36,30 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "", "trace a benchmark suite program")
+		benchName = flag.String("bench", "", "trace a benchmark suite program (\"all\" or a comma list with -trace-cache)")
 		scale     = flag.Int("scale", 1, "benchmark scale factor")
 		out       = flag.String("o", "", "write the trace to this file")
 		in        = flag.String("in", "", "read an existing trace instead of recording")
 		sym       = flag.String("sym", "", "mini-C source for disassembling -in dumps")
 		dump      = flag.Int("dump", 0, "print the first N events as text")
 		summary   = flag.Bool("summary", false, "print per-opcode dynamic counts")
+		cache     = flag.String("trace-cache", "", "populate this annotated trace store through the full analysis pipeline")
+		verify    = flag.String("verify", "", "audit a v3 chunk file: header, every frame CRC, footer; non-zero exit on any damage")
 	)
 	flag.Parse()
 
+	if *verify != "" {
+		if err := verifyChunkFile(*verify); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *cache != "" {
+		if err := populateStore(*cache, *benchName, *scale); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *in != "" {
 		if err := dumpFile(*in, *sym, *dump); err != nil {
 			fail(err)
@@ -118,6 +141,133 @@ func main() {
 	}
 }
 
+// populateStore runs the selected benchmarks through the full harness
+// pipeline with the trace store enabled, so the store ends up holding
+// exactly the entries a warm `ilplimit -trace-cache` run will hit.
+func populateStore(dir, names string, scale int) error {
+	var benches []bench.Benchmark
+	switch names {
+	case "":
+		return fmt.Errorf("-trace-cache needs -bench NAME, a comma list, or \"all\"")
+	case "all":
+		benches = bench.All()
+	default:
+		for _, name := range strings.Split(names, ",") {
+			b, err := bench.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			benches = append(benches, b)
+		}
+	}
+	opt := harness.Options{Scale: scale, TraceStore: dir, Progress: os.Stderr}
+	for _, b := range benches {
+		if _, err := harness.RunBenchmark(b, opt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyChunkFile audits one v3 chunk file the way the store's reader
+// does — strictly: a file that opens with any error (torn tail, flipped
+// bit, wrong magic) fails the audit even if a salvageable frame prefix
+// survives.
+func verifyChunkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cf, err := trace.OpenChunkFile(data)
+	if err != nil {
+		if cf != nil {
+			return fmt.Errorf("%s: %d of %d bytes salvageable (%d frames, %d events): %v",
+				path, salvaged(cf), len(data), cf.NumFrames(), cf.Events(), err)
+		}
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	var next, events int64
+	for i := 0; i < cf.NumFrames(); i++ {
+		base, addr, idx, flags := cf.Frame(i)
+		if len(addr) != len(idx) || len(flags) != len(idx) {
+			return fmt.Errorf("%s: frame %d: ragged lanes", path, i)
+		}
+		if i == 0 {
+			next = base
+		}
+		if base != next {
+			return fmt.Errorf("%s: frame %d: base %d, want %d (sequence gap)", path, i, base, next)
+		}
+		next += int64(len(idx))
+		events += int64(len(idx))
+	}
+	if events != cf.Events() {
+		return fmt.Errorf("%s: footer says %d events, frames hold %d", path, cf.Events(), events)
+	}
+	fmt.Printf("%s: ok\n  fingerprint: %s\n  meta: %d bytes\n  frames: %d\n  events: %d\n",
+		path, cf.Fingerprint(), len(cf.Meta()), cf.NumFrames(), cf.Events())
+	return nil
+}
+
+// salvaged estimates how many bytes of a damaged file's frame prefix
+// remained usable (display only).
+func salvaged(cf *trace.ChunkFile) int64 {
+	return cf.Events() * 12
+}
+
+// chunkFlagNames maps the per-event annotation bits to mnemonics.
+var chunkFlagNames = []struct {
+	bit  uint32
+	name string
+}{
+	{limits.FlagLeader, "leader"},
+	{limits.FlagBranch, "branch"},
+	{limits.FlagLoad, "load"},
+	{limits.FlagStore, "store"},
+	{limits.FlagCall, "call"},
+	{limits.FlagReturn, "return"},
+	{limits.FlagInline, "inline"},
+	{limits.FlagUnroll, "unroll"},
+	{limits.FlagTaken, "taken"},
+}
+
+// dumpChunkFile prints the first n annotated events of a v3 chunk file
+// with flag mnemonics and per-lane misprediction bits.
+func dumpChunkFile(path string, data []byte, prog *isa.Program, n int) error {
+	cf, err := trace.OpenChunkFile(data)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	dumped := 0
+	for f := 0; f < cf.NumFrames() && (n == 0 || dumped < n); f++ {
+		base, addr, idx, flags := cf.Frame(f)
+		for i := range idx {
+			if n != 0 && dumped >= n {
+				break
+			}
+			line := fmt.Sprintf("%8d  idx=%-6d", base+int64(i), idx[i])
+			if prog != nil && int(idx[i]) < len(prog.Instrs) {
+				line += fmt.Sprintf("  %-28s", prog.Instrs[idx[i]].String())
+			}
+			if addr[i] != 0 {
+				line += fmt.Sprintf("  addr=%d", addr[i])
+			}
+			for _, fn := range chunkFlagNames {
+				if flags[i]&fn.bit != 0 {
+					line += "  " + fn.name
+				}
+			}
+			if m := flags[i] & limits.FlagMispredAll; m != 0 {
+				line += fmt.Sprintf("  mispred=%#x", m>>16)
+			}
+			fmt.Println(line)
+			dumped++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d events in %d frames in %s\n", cf.Events(), cf.NumFrames(), path)
+	return nil
+}
+
 func dumpFile(path, symSrc string, n int) error {
 	var prog *isa.Program
 	if symSrc != "" {
@@ -132,6 +282,11 @@ func dumpFile(path, symSrc string, n int) error {
 		if prog, err = asm.Assemble(asmText); err != nil {
 			return err
 		}
+	}
+	// A v3 chunk file announces itself by magic; everything else goes
+	// through the v2 event-stream reader.
+	if data, err := os.ReadFile(path); err == nil && trace.IsChunkFile(data) {
+		return dumpChunkFile(path, data, prog, n)
 	}
 	dumped := 0
 	total, err := trace.VisitFile(iofault.OS(), path, func(ev vm.Event) {

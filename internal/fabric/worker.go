@@ -59,6 +59,11 @@ type Worker struct {
 	RejoinWait time.Duration
 	// Serial steps the analysis serially (harness.Options.Serial).
 	Serial bool
+	// TraceStore, when non-empty, is a worker-local annotated trace
+	// store directory (harness.Options.TraceStore).  Like Serial it is
+	// a local execution knob, not part of the run's fingerprint: where
+	// (and how warm) a cell runs cannot change its result.
+	TraceStore string
 	// Progress, when non-nil, receives one line per worker event.
 	Progress io.Writer
 	// Plan injects deterministic fabric faults (nil in production).
@@ -225,6 +230,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		return fmt.Errorf("fabric: reconstructed configuration fingerprint differs from coordinator's; version-skewed worker binary")
 	}
 	opt.Serial = w.Serial
+	opt.TraceStore = w.TraceStore
 	opt.Progress = w.Progress
 	opt.Watchdog = time.Duration(cfg.WatchdogMillis) * time.Millisecond
 	ttl := time.Duration(cfg.LeaseTTLMillis) * time.Millisecond

@@ -62,7 +62,9 @@ func RunGuardedStudy(opt Options) (*GuardedStudy, error) {
 			}
 			machine.Reset()
 			g := limits.NewGroup(st, len(machine.Mem), models, true)
-			if err := runAnalyzers(opt, machine, g.Analyzers); err != nil {
+			// The if-converted variant compiles a different program, so
+			// its ProgramCRC keys a distinct cache entry automatically.
+			if err := runAnalyzers(opt, b.Name, "profile", prog, st, machine, g.Analyzers); err != nil {
 				return nil, fmt.Errorf("%s: analysis: %w", b.Name, err)
 			}
 			par := make(map[limits.Model]float64)

@@ -23,6 +23,7 @@ import (
 	"ilplimit/internal/predict"
 	"ilplimit/internal/telemetry"
 	"ilplimit/internal/trace"
+	"ilplimit/internal/tracestore"
 	"ilplimit/internal/vm"
 )
 
@@ -120,6 +121,18 @@ type Options struct {
 	// aborts it (and the retry policy re-runs it); it never changes a
 	// completed benchmark's result.
 	Faults func(bench string) *faultinject.Plan
+	// TraceStore, when non-empty, names the directory of the persistent
+	// annotated trace store (internal/tracestore).  A benchmark whose
+	// exact (program, predictor config, lane) fingerprint is cached
+	// replays the annotated trace zero-copy through the analyzers — no
+	// VM run, no annotation, no ring — and a benchmark that traces live
+	// spills its annotated chunks into the store as it goes (skipped
+	// under injected faults, which may mutate chunks in flight).  A
+	// missing, torn, corrupt, or fingerprint-skewed cache entry falls
+	// back to the live producer: the store can change cost, never
+	// results, which is also why TraceStore does not participate in
+	// JournalMeta.
+	TraceStore string
 }
 
 // benchStartHook, when non-nil, runs at the top of every RunBenchmark; a
@@ -381,16 +394,34 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 		prog = or.Program
 	}
 
-	machine := vm.NewSized(prog, opt.MemWords)
-	machine.StepLimit = opt.StepLimit
-	machine.Metrics = scope.WithPrefix("vm.profile.")
-
 	// An injected fault plan arms the VM trap on both passes and its
 	// replay faults on the analysis fan-out below.
 	var faultPlan *faultinject.Plan
 	if opt.Faults != nil {
 		faultPlan = opt.Faults(b.Name)
 	}
+
+	// Warm trace cache: a committed annotated trace for this exact
+	// (program, predictor config, lanes) fingerprint replays straight
+	// from disk — both VM passes skipped.  Any cache problem falls
+	// through to the live pipeline below; only cancellation aborts.
+	if opt.TraceStore != "" {
+		res, cerr := cachedBenchmark(ctx, b, opt, prog, scope, logf)
+		if cerr != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, cerr)
+		}
+		if res != nil {
+			benchDone()
+			if opt.Metrics != nil {
+				res.Telemetry = opt.Metrics.Snapshot().Filter("bench." + b.Name + ".")
+			}
+			return res, nil
+		}
+	}
+
+	machine := vm.NewSized(prog, opt.MemWords)
+	machine.StepLimit = opt.StepLimit
+	machine.Metrics = scope.WithPrefix("vm.profile.")
 	if faultPlan != nil {
 		machine.StepHook = faultPlan.StepHook()
 	}
@@ -430,6 +461,7 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	// single replay of the trace.
 	logf("[%s] analyzing %d models x 2 unroll configs over %d instructions",
 		b.Name, len(opt.Models), machine.Steps)
+	steps := machine.Steps
 	machine.Reset()
 	machine.Metrics = scope.WithPrefix("vm.analysis.")
 	analyzeDone := stageTimer(scope, "analyze")
@@ -441,11 +473,28 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	all := make([]*limits.Analyzer, 0, len(unrolled.Analyzers)+len(plain.Analyzers))
 	all = append(all, unrolled.Analyzers...)
 	all = append(all, plain.Analyzers...)
+	// Cold write-through: spill the annotated chunk stream into the
+	// trace store while the analyzers consume it.  Skipped under
+	// injected faults — a mutated chunk must never be committed as a
+	// clean trace.
+	var pop *tracestore.Populate
+	if opt.TraceStore != "" && faultPlan == nil && analyzeHooks == nil {
+		pop = beginBenchPopulate(b, opt, prog, st, all, storeMeta{
+			PredictionRate:    prof.Stats().Rate(),
+			TraceInstructions: traceInstrs,
+			DynamicCondBr:     condBranches,
+			Steps:             steps,
+		}, scope, logf)
+	}
+	var sink limits.ChunkSink
+	if pop != nil {
+		sink = pop.Sink()
+	}
 	if opt.Serial {
 		// The serial escape hatch shares the columnar chunking and the
 		// generated specialized steppers with the parallel path; only
 		// the goroutine fan-out differs.
-		err = limits.SerialReplay(ctx, machine.RunContext, all...)
+		err = limits.SerialReplayWith(ctx, sink, machine.RunContext, all...)
 	} else {
 		// Replay the trace once, fanning annotated chunks out to all
 		// analyzers, each scheduling on its own goroutine.  Ring
@@ -460,10 +509,14 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 			Metrics:  scope,
 			Hooks:    hooks,
 			Watchdog: opt.Watchdog,
+			Sink:     sink,
 		}, machine.RunContext, all...)
 	}
 	analyzeDone()
 	if err != nil {
+		if pop != nil {
+			pop.Abort()
+		}
 		return nil, fmt.Errorf("%s: analysis run: %w", b.Name, err)
 	}
 
@@ -500,7 +553,22 @@ func RunBenchmark(b bench.Benchmark, opt Options) (*BenchResult, error) {
 	viol := limits.CheckOrdering(res.Par, true)
 	viol = append(viol, limits.CheckOrdering(res.ParNoUnroll, false)...)
 	if len(viol) > 0 {
+		if pop != nil {
+			pop.Abort()
+		}
 		return nil, fmt.Errorf("%s: %w", b.Name, &limits.InvariantError{Violations: viol})
+	}
+	if pop != nil {
+		// Commit only after the invariant check passed: a trace that
+		// produced inconsistent schedules is not worth keeping.  Commit
+		// failures cost the cache entry, never the benchmark.
+		if cerr := pop.Commit(); cerr != nil {
+			scope.Counter("store.populate_errors").Inc()
+			logf("[%s] trace cache: populate failed: %v (continuing)", b.Name, cerr)
+		} else {
+			scope.Counter("store.populates").Inc()
+			logf("[%s] trace cache: stored %d annotated events", b.Name, pop.Events())
+		}
 	}
 	benchDone()
 	if opt.Metrics != nil {

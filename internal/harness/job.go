@@ -16,6 +16,7 @@ import (
 	"ilplimit/internal/predict"
 	"ilplimit/internal/telemetry"
 	"ilplimit/internal/trace"
+	"ilplimit/internal/tracestore"
 	"ilplimit/internal/vm"
 )
 
@@ -50,6 +51,13 @@ type JobSpec struct {
 	// Watchdog arms the replay ring's per-consumer stall watchdog
 	// (0 = off), exactly as Options.Watchdog does for suites.
 	Watchdog time.Duration
+	// TraceStore, when non-empty, is a persistent annotated trace store
+	// directory (Options.TraceStore): a warm entry for this program and
+	// model set replays zero-copy with no VM run, and a cold run writes
+	// through.  Trace jobs ignore it — an uploaded recording is not
+	// derivable from the program, so caching it under the program's key
+	// could serve the wrong events to a later submission.
+	TraceStore string
 	// Metrics, when non-nil, collects pipeline telemetry for the job.
 	Metrics *telemetry.Registry
 }
@@ -158,6 +166,15 @@ func analyzeJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		prog = or.Program
 	}
 
+	// A warm trace-store hit serves the whole job without a VM pass —
+	// a job result carries no profile statistics, only the parallelism
+	// matrix, so the stored annotated stream is everything it needs.
+	if spec.TraceStore != "" && spec.Trace == nil {
+		if res, err := cachedJob(ctx, spec, prog); err != nil || res != nil {
+			return res, err
+		}
+	}
+
 	// The profiling pass feeds the static predictor.  A trace job
 	// replays the recording; an execution job runs the VM.
 	prof := predict.NewProfile(prog)
@@ -184,6 +201,7 @@ func analyzeJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	group := limits.NewGroup(st, spec.MemWords, spec.Models, !spec.DisableUnrolling)
 	ropt := limits.ReplayOptions{Metrics: spec.Metrics, Watchdog: spec.Watchdog}
 	var run limits.RunFunc
+	var pop *tracestore.Populate
 	if spec.Trace != nil {
 		data := spec.Trace
 		run = func(ctx context.Context, visit func(vm.Event)) error {
@@ -193,8 +211,17 @@ func analyzeJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		machine.Reset()
 		machine.Metrics = spec.Metrics.WithPrefix("vm.analysis.")
 		run = machine.RunContext
+		if spec.TraceStore != "" {
+			pop = beginJobPopulate(spec, prog, st, group.Analyzers)
+			if pop != nil {
+				ropt.Sink = pop.Sink()
+			}
+		}
 	}
 	if err := limits.ReplayWith(ctx, ropt, run, group.Analyzers...); err != nil {
+		if pop != nil {
+			pop.Abort()
+		}
 		return nil, fmt.Errorf("job: analysis run: %w", err)
 	}
 
@@ -203,7 +230,14 @@ func analyzeJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		par[r.Model] = r.Parallelism()
 	}
 	if viol := limits.CheckOrdering(par, !spec.DisableUnrolling); len(viol) > 0 {
+		if pop != nil {
+			pop.Abort()
+		}
 		return nil, fmt.Errorf("job: %w", &limits.InvariantError{Violations: viol})
+	}
+	if pop != nil {
+		// A failed commit costs the cache entry, never the job.
+		_ = pop.Commit()
 	}
 	return &JobResult{Rows: []MatrixRow{{Name: "program", Par: modelPar(par)}}}, nil
 }

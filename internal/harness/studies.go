@@ -46,8 +46,18 @@ func prepare(b bench.Benchmark, opt Options) (*isa.Program, *vm.VM, *predict.Pro
 
 // runAnalyzers replays the machine's trace through the analyzers — the
 // chunked parallel fan-out by default, or the single-goroutine path when
-// opt.Serial is set.  Both paths honor the run's context.
-func runAnalyzers(opt Options, machine *vm.VM, analyzers []*limits.Analyzer) error {
+// opt.Serial is set.  Both paths honor the run's context.  With a trace
+// store configured, the replay is served from (or written through to)
+// the store instead: name, predictors, prog and st identify the trace
+// (see cachedStudyReplay); st must be a Static of prog shared by (or
+// annotation-identical to) the analyzers'.
+func runAnalyzers(opt Options, name, predictors string, prog *isa.Program, st *limits.Static,
+	machine *vm.VM, analyzers []*limits.Analyzer) error {
+	if opt.TraceStore != "" {
+		if handled, err := cachedStudyReplay(opt, name, predictors, prog, st, machine, analyzers); handled {
+			return err
+		}
+	}
 	if opt.Serial {
 		return limits.SerialReplay(opt.ctx(), machine.RunContext, analyzers...)
 	}
@@ -99,17 +109,21 @@ func RunPredictionStudy(opt Options) (*PredictionStudy, error) {
 		}
 		var groups []*limits.Group
 		var analyzers []*limits.Analyzer
+		var firstSt *limits.Static
 		for _, oc := range oracles {
 			st, err := limits.NewStatic(prog, oc.o)
 			if err != nil {
 				return nil, err
+			}
+			if firstSt == nil {
+				firstSt = st
 			}
 			g := limits.NewGroup(st, len(machine.Mem), models, true)
 			groups = append(groups, g)
 			analyzers = append(analyzers, g.Analyzers...)
 		}
 		machine.Reset()
-		if err := runAnalyzers(opt, machine, analyzers); err != nil {
+		if err := runAnalyzers(opt, b.Name, "profile,dynamic,btfn", prog, firstSt, machine, analyzers); err != nil {
 			return nil, fmt.Errorf("%s: analysis: %w", b.Name, err)
 		}
 		for i, oc := range oracles {
@@ -186,7 +200,7 @@ func RunWindowStudy(opt Options) (*WindowStudy, error) {
 			}))
 		}
 		machine.Reset()
-		if err := runAnalyzers(opt, machine, analyzers); err != nil {
+		if err := runAnalyzers(opt, b.Name, "profile", prog, st, machine, analyzers); err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		row := WindowRow{Name: b.Name, Par: make(map[int]float64)}
@@ -266,7 +280,7 @@ func RunLatencyStudy(opt Options) (*LatencyStudy, error) {
 			}))
 		}
 		machine.Reset()
-		if err := runAnalyzers(opt, machine, analyzers); err != nil {
+		if err := runAnalyzers(opt, b.Name, "profile", prog, st, machine, analyzers); err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		row := LatencyRow{

@@ -231,8 +231,10 @@ func NewAnalyzerConfig(st *Static, cfg Config) *Analyzer {
 	}
 	a.setLane(0)
 	if cfg.Latency != nil {
-		a.latTab = make([]int64, isa.NumOps)
-		for op := range a.latTab {
+		// latTabLen (not isa.NumOps) so the generated steppers can index
+		// by raw uint8 opcode with no bounds check; the tail stays zero.
+		a.latTab = make([]int64, latTabLen)
+		for op := 0; op < isa.NumOps; op++ {
 			a.latTab[op] = cfg.Latency(isa.Op(op))
 		}
 	}

@@ -97,6 +97,25 @@ func (c *Chunk) Set(i int, ae AnnotatedEvent) {
 	c.flags[i] = ae.Flags
 }
 
+// Lanes exposes the chunk's columnar storage: the base sequence number
+// and the three lanes, index-aligned.  Callers must treat the slices as
+// read-only; the trace store serializes them verbatim.
+func (c *Chunk) Lanes() (base int64, addr, idx, flags []uint32) {
+	return c.base, c.addr, c.idx, c.flags
+}
+
+// ChunkView wraps pre-decoded columnar lanes as a chunk without
+// copying — the zero-copy bridge from an on-disk v3 frame
+// (trace.ChunkFile.Frame) to the specialized steppers.  The lanes must
+// be equal length and are aliased, not copied; the caller must keep
+// them alive and unmodified while any analyzer steps the view.
+func ChunkView(base int64, addr, idx, flags []uint32) *Chunk {
+	if len(addr) != len(idx) || len(flags) != len(idx) {
+		panic(fmt.Sprintf("limits: ragged chunk view (%d/%d/%d)", len(addr), len(idx), len(flags)))
+	}
+	return &Chunk{base: base, addr: addr, idx: idx, flags: flags}
+}
+
 // Events appends the chunk's reconstructed events to dst and returns
 // the extended slice (testing and seam code; the hot paths never
 // rebuild AnnotatedEvents from a chunk).

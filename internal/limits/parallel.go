@@ -322,6 +322,16 @@ type ReplayOptions struct {
 	// fan-out path has a watchdog (a single analyzer steps inline in the
 	// producer, where there is no independent progress to watch).
 	Watchdog time.Duration
+	// Sink, when non-nil, additionally streams every published chunk to
+	// the trace store as one more ring consumer (see ChunkSink): it
+	// observes the same chunks in the same order as the analyzers, its
+	// first error detaches it without failing the replay, and on clean
+	// completion it receives the nil end-of-stream terminator.  The sink
+	// rides the fan-out and single-analyzer chunk paths; the per-event
+	// fault-hook path builds no chunks, so there Sink is ignored (the
+	// harness never populates the store under fault hooks — a mutated
+	// chunk must never be committed as a clean trace).
+	Sink ChunkSink
 }
 
 // StallError reports consumers detached by the replay watchdog.  The
@@ -434,22 +444,43 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 		}
 		c := getChunk()
 		defer putChunk(c)
+		sinkOK := o.Sink != nil
+		emit := func() {
+			a.StepChunk(c)
+			if sinkOK && o.Sink(c) != nil {
+				sinkOK = false
+			}
+		}
 		err := run(ctx, func(ev vm.Event) {
 			c.Append(an.Annotate(ev))
 			if c.Len() == ChunkEvents {
-				a.StepChunk(c)
+				emit()
 				c.Reset()
 			}
 		})
 		if c.Len() > 0 {
-			a.StepChunk(c)
+			emit()
 		}
-		return canceledErr(ctx, err)
+		err = canceledErr(ctx, err)
+		if err == nil && sinkOK {
+			_ = o.Sink(nil)
+		}
+		return err
 	}
 
 	an := NewAnnotator(analyzers...)
 	defer an.flush(o.Metrics)
-	r := newEventRing(len(analyzers), newRingMetrics(o.Metrics, len(analyzers)))
+	// The trace-store sink is one more ring consumer: it sees every
+	// chunk in order under the same flow control, so spilling the trace
+	// to disk overlaps the analyzers' stepping instead of serializing
+	// after it.
+	nCons := len(analyzers)
+	sinkID := -1
+	if o.Sink != nil {
+		sinkID = nCons
+		nCons++
+	}
+	r := newEventRing(nCons, newRingMetrics(o.Metrics, nCons))
 	defer r.recycle()
 	// A canceled context must unblock a producer waiting for a free slot
 	// and consumers waiting for the next chunk; condition variables cannot
@@ -522,6 +553,37 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 		}(i, a)
 	}
 
+	// The sink consumer: drains the same broadcast, detaches itself on
+	// its first error (or a panic) so a broken store can slow nothing
+	// down, and reports whether it survived to the end of the stream.
+	var sinkDone chan struct{}
+	sinkOK := false
+	if sinkID >= 0 {
+		sinkDone = make(chan struct{})
+		go func() {
+			defer close(sinkDone)
+			defer func() {
+				if p := recover(); p != nil {
+					r.detach(sinkID)
+				}
+			}()
+			for {
+				chunk := r.next(sinkID)
+				if chunk == nil {
+					r.mu.Lock()
+					sinkOK = !r.cut[sinkID] && !r.aborted
+					r.mu.Unlock()
+					return
+				}
+				if o.Sink(chunk) != nil {
+					r.detach(sinkID)
+					return
+				}
+				r.advance(sinkID)
+			}
+		}()
+	}
+
 	// The stall watchdog samples per-consumer chunk progress: a consumer
 	// with a chunk available that completes none of it within the
 	// deadline is detached like a panicked worker, so one wedged analyzer
@@ -559,6 +621,12 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 				r.mu.Lock()
 				now := time.Now()
 				for id := range r.tails {
+					if id == sinkID {
+						// The sink is not watched: a slow store write is
+						// I/O pressure, not a wedged analyzer, and killing
+						// it would only lose the populate.
+						continue
+					}
 					switch {
 					case r.cut[id]:
 						// Already detached (panic or earlier firing).
@@ -633,6 +701,9 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 		case <-killed[i]: // nil (never ready) unless the watchdog is armed
 		}
 	}
+	if sinkDone != nil {
+		<-sinkDone
+	}
 	panicMu.Lock()
 	rethrow := workerPanic
 	panicMu.Unlock()
@@ -646,6 +717,11 @@ func ReplayWith(ctx context.Context, o ReplayOptions, run RunFunc, analyzers ...
 	if err == nil && len(stalled) > 0 {
 		sort.Ints(stalled)
 		return &StallError{Consumers: stalled, Deadline: o.Watchdog}
+	}
+	if err == nil && len(stalled) == 0 && sinkOK {
+		// Clean end of stream: hand the sink its nil terminator so the
+		// store may commit the trace as complete.
+		_ = o.Sink(nil)
 	}
 	return err
 }

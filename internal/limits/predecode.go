@@ -271,6 +271,54 @@ func SerialVisitor(analyzers ...*Analyzer) func(vm.Event) {
 	}
 }
 
+// AssignReplayLanes re-applies the predictor-lane assignment that
+// NewAnnotator would make for this analyzer set — same order, same
+// Static sharing, same MaxLanes overflow rule — without building the
+// predictor streams, and reports the number of lanes assigned.  A
+// cached-trace replay (internal/tracestore) uses it so every analyzer
+// reads the mispredict bit the producing replay stamped into its lane;
+// the lane count is part of the cache fingerprint, since a trace
+// annotated for n lanes only serves analyzer sets that map to the same
+// n.  Panics with no analyzers or mixed programs, like NewAnnotator.
+func AssignReplayLanes(analyzers ...*Analyzer) int {
+	if len(analyzers) == 0 {
+		panic("limits: AssignReplayLanes needs at least one analyzer")
+	}
+	prog := analyzers[0].st.Prog
+	lanes := make(map[*Static]int)
+	n := 0
+	for _, a := range analyzers {
+		if a.st.Prog != prog {
+			panic("limits: analyzers of one replay must share a program")
+		}
+		if !a.spec {
+			continue
+		}
+		lane, ok := lanes[a.st]
+		if !ok {
+			lane = -1
+			if n < MaxLanes {
+				lane = n
+				n++
+			}
+			lanes[a.st] = lane
+		}
+		a.setLane(lane)
+	}
+	return n
+}
+
+// ChunkSink receives every columnar chunk a replay publishes, in trace
+// order, on a single goroutine — the spill point where the trace store
+// persists an annotated trace while the analyzers consume it.  After
+// the last chunk of a replay that completed cleanly, the sink is called
+// once more with a nil chunk: the end-of-stream mark a store needs
+// before it may commit a file as complete.  A sink that returns an
+// error is detached — the replay itself never fails because of its
+// sink — and the nil terminator is then withheld.  Chunks are only
+// valid for the duration of the call.
+type ChunkSink func(*Chunk) error
+
 // SerialReplay drives the trace source through every analyzer on the
 // caller's goroutine — the single-goroutine counterpart of ReplayContext
 // and the `-serial` escape hatch of the harness.  Events are annotated
@@ -281,25 +329,42 @@ func SerialVisitor(analyzers ...*Analyzer) func(vm.Event) {
 // producer returns, successful or not, matching the event-at-a-time
 // semantics of SerialVisitor bit for bit.
 func SerialReplay(ctx context.Context, run RunFunc, analyzers ...*Analyzer) error {
+	return SerialReplayWith(ctx, nil, run, analyzers...)
+}
+
+// SerialReplayWith is SerialReplay with an optional chunk sink: each
+// full chunk is stepped through every analyzer and then handed to sink,
+// with the nil end-of-stream terminator on clean completion (see
+// ChunkSink).  A nil sink is exactly SerialReplay.  With no analyzers
+// the producer runs without annotation and the sink is not called.
+func SerialReplayWith(ctx context.Context, sink ChunkSink, run RunFunc, analyzers ...*Analyzer) error {
 	if len(analyzers) == 0 {
 		return run(ctx, func(vm.Event) {})
 	}
 	an := NewAnnotator(analyzers...)
 	c := getChunk()
 	defer putChunk(c)
+	sinkOK := sink != nil
+	emit := func() {
+		for _, a := range analyzers {
+			a.StepChunk(c)
+		}
+		if sinkOK && sink(c) != nil {
+			sinkOK = false
+		}
+	}
 	err := run(ctx, func(ev vm.Event) {
 		c.Append(an.Annotate(ev))
 		if c.Len() == ChunkEvents {
-			for _, a := range analyzers {
-				a.StepChunk(c)
-			}
+			emit()
 			c.Reset()
 		}
 	})
 	if c.Len() > 0 {
-		for _, a := range analyzers {
-			a.StepChunk(c)
-		}
+		emit()
+	}
+	if err == nil && sinkOK {
+		_ = sink(nil)
 	}
 	return err
 }

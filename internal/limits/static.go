@@ -1,7 +1,9 @@
 package limits
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"ilplimit/internal/cfg"
 	"ilplimit/internal/dataflow"
@@ -84,6 +86,27 @@ func NewStatic(p *isa.Program, pred predict.Oracle) (*Static, error) {
 	st.unroll = dataflow.UnrollMarks(p, st.Graphs)
 	st.buildMeta()
 	return st, nil
+}
+
+// AnnotationFingerprint digests the static annotation tables — the
+// per-instruction Flag* bits and block ids the Annotator stamps into
+// every event — so a cached annotated trace can prove it was produced
+// by an equivalent Static.  The predictor is deliberately excluded:
+// predictor outcomes live in the trace's lane bits and are keyed
+// separately (internal/tracestore.Key.Predictors), which lets a warm
+// replay rebuild a Static without re-deriving the oracle.
+func (st *Static) AnnotationFingerprint() uint32 {
+	h := crc32.NewIEEE()
+	var b [12]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(st.meta)))
+	h.Write(b[:4])
+	for i := range st.meta {
+		binary.LittleEndian.PutUint32(b[0:], st.meta[i].flags)
+		binary.LittleEndian.PutUint32(b[4:], uint32(st.meta[i].block))
+		binary.LittleEndian.PutUint32(b[8:], uint32(i))
+		h.Write(b[:])
+	}
+	return h.Sum32()
 }
 
 // UnrollMarks exposes the induction-instruction marks (useful for reports).

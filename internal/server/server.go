@@ -58,6 +58,11 @@ type Config struct {
 	// Watchdog arms the replay ring stall watchdog per job (default 30s;
 	// negative disables).
 	Watchdog time.Duration
+	// TraceStore, when non-empty, is a persistent annotated trace store
+	// directory shared by all jobs: suite cells and source/assembly
+	// submissions replay warm entries zero-copy instead of re-running
+	// the VM.  Jobs carrying an uploaded trace never consult it.
+	TraceStore string
 	// Fault injects deterministic daemon-side faults (tests and the
 	// soak's load shaping); nil in production.
 	Fault *faultinject.ServerPlan
@@ -597,6 +602,7 @@ func (s *Server) execute(ctx context.Context, j *job) (*harness.JobResult, int, 
 			MemWords:         s.cfg.MemWords,
 			StepLimit:        s.cfg.StepLimit,
 			Watchdog:         s.cfg.Watchdog,
+			TraceStore:       s.cfg.TraceStore,
 			Metrics:          s.met.WithPrefix("job."),
 		})
 	}
@@ -620,6 +626,7 @@ func (s *Server) runSuiteJob(ctx context.Context, j *job) (*harness.JobResult, e
 		Metrics:      s.met.WithPrefix("job."),
 		Benchmarks:   j.benches,
 		Watchdog:     s.cfg.Watchdog,
+		TraceStore:   s.cfg.TraceStore,
 		Jobs:         1, // the service's parallelism is across jobs
 		Retries:      1,
 		RetryBackoff: 50 * time.Millisecond,

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// buildChunkFile serializes the given frames with the canonical writer.
+func buildChunkFile(t *testing.T, fingerprint, meta []byte, frames ...[]uint32) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw, err := NewChunkWriter(&buf, fingerprint, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(0)
+	for _, lane := range frames {
+		flags := make([]uint32, len(lane))
+		addr := make([]uint32, len(lane))
+		for i, v := range lane {
+			flags[i] = v ^ 0x5a5a
+			addr[i] = v * 3
+		}
+		if err := cw.WriteFrame(base, addr, lane, flags); err != nil {
+			t.Fatal(err)
+		}
+		base += int64(len(lane))
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestChunkFileRoundTrip(t *testing.T) {
+	fp := []byte("ilpc1 bench=x prog=1 annot=2 pred=profile lanes=1")
+	meta := []byte(`{"Steps":7}`)
+	data := buildChunkFile(t, fp, meta,
+		[]uint32{1, 2, 3, 4, 5},
+		[]uint32{6, 7},
+		[]uint32{8, 9, 10})
+	cf, err := OpenChunkFile(data)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !cf.Complete() {
+		t.Fatal("file not complete")
+	}
+	if !bytes.Equal(cf.Fingerprint(), fp) || !bytes.Equal(cf.Meta(), meta) {
+		t.Fatalf("header blocks skewed: %q / %q", cf.Fingerprint(), cf.Meta())
+	}
+	if cf.NumFrames() != 3 || cf.Events() != 10 {
+		t.Fatalf("got %d frames / %d events, want 3 / 10", cf.NumFrames(), cf.Events())
+	}
+	want := int64(0)
+	var seen []uint32
+	for i := 0; i < cf.NumFrames(); i++ {
+		base, addr, idx, flags := cf.Frame(i)
+		if base != want {
+			t.Fatalf("frame %d base %d, want %d", i, base, want)
+		}
+		for j := range idx {
+			if addr[j] != idx[j]*3 || flags[j] != idx[j]^0x5a5a {
+				t.Fatalf("frame %d event %d lanes skewed: %d/%d/%d", i, j, addr[j], idx[j], flags[j])
+			}
+			seen = append(seen, idx[j])
+		}
+		want += int64(len(idx))
+	}
+	for i, v := range seen {
+		if v != uint32(i+1) {
+			t.Fatalf("event %d idx %d, want %d", i, v, i+1)
+		}
+	}
+	if !IsChunkFile(data) {
+		t.Error("IsChunkFile rejects a valid file")
+	}
+	if IsChunkFile([]byte("ILPT\x02")) {
+		t.Error("IsChunkFile accepts a v2 stream header")
+	}
+}
+
+func TestChunkFileEmpty(t *testing.T) {
+	data := buildChunkFile(t, []byte("fp"), nil)
+	cf, err := OpenChunkFile(data)
+	if err != nil {
+		t.Fatalf("open empty: %v", err)
+	}
+	if cf.NumFrames() != 0 || cf.Events() != 0 || !cf.Complete() {
+		t.Fatalf("empty file parsed as %d frames / %d events", cf.NumFrames(), cf.Events())
+	}
+}
+
+func TestChunkWriterRejectsBadFrames(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewChunkWriter(&buf, []byte("fp"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An empty frame is silently skipped (count 0 is the footer sentinel).
+	if err := cw.WriteFrame(0, nil, nil, nil); err != nil {
+		t.Errorf("empty frame errored: %v", err)
+	}
+	if err := cw.WriteFrame(0, []uint32{1}, []uint32{1, 2}, []uint32{1, 2}); err == nil {
+		t.Error("ragged frame accepted")
+	}
+	// The ragged-frame error is sticky.
+	if err := cw.Close(); err == nil {
+		t.Error("Close after a ragged frame succeeded")
+	}
+}
+
+// TestChunkFileTruncation shears the file at every offset: every prefix
+// must either salvage a run of complete frames (with the right events)
+// or reject cleanly — never parse a wrong event, never panic.
+func TestChunkFileTruncation(t *testing.T) {
+	data := buildChunkFile(t, []byte("fingerprint"), []byte("meta"),
+		[]uint32{1, 2, 3}, []uint32{4, 5}, []uint32{6})
+	whole, err := OpenChunkFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		cf, err := OpenChunkFile(data[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d of %d parsed cleanly", cut, len(data))
+		}
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrBadTrace", cut, err)
+		}
+		if cf == nil {
+			continue
+		}
+		if cf.Complete() {
+			t.Fatalf("truncation at %d claims completeness", cut)
+		}
+		// Whatever frames survived must match the intact file's prefix.
+		if cf.NumFrames() > whole.NumFrames() {
+			t.Fatalf("truncation at %d salvaged %d frames from a %d-frame file", cut, cf.NumFrames(), whole.NumFrames())
+		}
+		for i := 0; i < cf.NumFrames(); i++ {
+			gb, ga, gi, gf := cf.Frame(i)
+			wb, wa, wi, wf := whole.Frame(i)
+			if gb != wb || !equalLanes(ga, wa) || !equalLanes(gi, wi) || !equalLanes(gf, wf) {
+				t.Fatalf("truncation at %d: salvaged frame %d differs from the original", cut, i)
+			}
+		}
+	}
+}
+
+// TestChunkFileBitFlips flips every bit of a small file: the reader must
+// reject the file or salvage a prefix of untouched frames — silently
+// absorbing a flip is only legal in bytes the format never reads
+// (padding), of which this file has none beyond the tail alignment.
+func TestChunkFileBitFlips(t *testing.T) {
+	data := buildChunkFile(t, []byte("fngr"), []byte("meta"), []uint32{1, 2, 3}, []uint32{4, 5})
+	whole, err := OpenChunkFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(data); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(data)
+			mut[pos] ^= 1 << bit
+			cf, err := OpenChunkFile(mut)
+			if err == nil {
+				// The flip must not have changed any event or header block.
+				if !bytes.Equal(cf.Fingerprint(), whole.Fingerprint()) || !bytes.Equal(cf.Meta(), whole.Meta()) {
+					t.Fatalf("flip %d.%d accepted with skewed header blocks", pos, bit)
+				}
+				if cf.NumFrames() != whole.NumFrames() || cf.Events() != whole.Events() {
+					t.Fatalf("flip %d.%d accepted with %d frames / %d events", pos, bit, cf.NumFrames(), cf.Events())
+				}
+				for i := 0; i < cf.NumFrames(); i++ {
+					gb, ga, gi, gf := cf.Frame(i)
+					wb, wa, wi, wf := whole.Frame(i)
+					if gb != wb || !equalLanes(ga, wa) || !equalLanes(gi, wi) || !equalLanes(gf, wf) {
+						t.Fatalf("flip %d.%d accepted with a corrupted frame %d", pos, bit, i)
+					}
+				}
+				continue
+			}
+			if cf == nil {
+				continue
+			}
+			for i := 0; i < cf.NumFrames(); i++ {
+				gb, ga, gi, gf := cf.Frame(i)
+				wb, wa, wi, wf := whole.Frame(i)
+				if gb != wb || !equalLanes(ga, wa) || !equalLanes(gi, wi) || !equalLanes(gf, wf) {
+					t.Fatalf("flip %d.%d: salvaged frame %d carries a wrong event", pos, bit, i)
+				}
+			}
+		}
+	}
+}
+
+func equalLanes(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -50,3 +50,61 @@ func FuzzReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzChunkFile checks that arbitrary bytes never panic the v3 chunk
+// reader and that whatever it reports as valid is internally consistent
+// — frame totals match the footer on a clean open, lanes are never
+// ragged, and a salvaged prefix stays within the file's bounds.
+func FuzzChunkFile(f *testing.F) {
+	valid := func(frames ...[]uint32) []byte {
+		var buf bytes.Buffer
+		cw, _ := NewChunkWriter(&buf, []byte("fuzz fingerprint"), []byte(`{"Steps":1}`))
+		base := int64(0)
+		for _, idx := range frames {
+			addr := make([]uint32, len(idx))
+			flags := make([]uint32, len(idx))
+			_ = cw.WriteFrame(base, addr, idx, flags)
+			base += int64(len(idx))
+		}
+		_ = cw.Close()
+		return buf.Bytes()
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte("ILPT\x03\x00\x00\x00"))
+	f.Add(valid())
+	f.Add(valid([]uint32{1, 2, 3}))
+	f.Add(valid([]uint32{1, 2, 3}, []uint32{4, 5}))
+	if v := valid([]uint32{1, 2, 3}); len(v) > 24 {
+		f.Add(v[:len(v)-20]) // footer sheared off
+		f.Add(v[:len(v)-24]) // footer plus frame tail sheared off
+		c := bytes.Clone(v)
+		c[len(c)-30] ^= 0x40 // flip inside the last frame
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cf, err := OpenChunkFile(data)
+		if cf == nil {
+			return
+		}
+		if err == nil && !cf.Complete() {
+			t.Fatal("clean open reported incomplete")
+		}
+		if err != nil && cf.Complete() {
+			t.Fatal("failed open reported complete")
+		}
+		var events int64
+		for i := 0; i < cf.NumFrames(); i++ {
+			_, addr, idx, flags := cf.Frame(i)
+			if len(addr) != len(idx) || len(flags) != len(idx) {
+				t.Fatalf("frame %d: ragged lanes", i)
+			}
+			if len(idx) == 0 {
+				t.Fatalf("frame %d: empty frame survived validation", i)
+			}
+			events += int64(len(idx))
+		}
+		if events != cf.Events() {
+			t.Fatalf("Events() says %d, frames hold %d", cf.Events(), events)
+		}
+	})
+}

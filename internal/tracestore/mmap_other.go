@@ -1,0 +1,11 @@
+//go:build !unix
+
+package tracestore
+
+import "errors"
+
+// mmapFile is unavailable off unix; Open falls back to reading the
+// file into memory, which keeps every other guarantee intact.
+func mmapFile(string) ([]byte, func() error, error) {
+	return nil, nil, errors.New("tracestore: mmap unsupported on this platform")
+}

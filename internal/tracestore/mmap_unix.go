@@ -1,0 +1,33 @@
+//go:build unix
+
+package tracestore
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only.  The returned bytes alias the page
+// cache — the zero-copy half of "zero-copy replay" — and the returned
+// func unmaps them.  Any failure sends the caller to the copy path.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, errors.New("tracestore: unmappable file size")
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}
